@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper table/figure. The
+benchmark body both *times* the experiment (pytest-benchmark) and *prints*
+the regenerated rows/series (run with ``-s`` to see them); the rendered text
+is also attached to the benchmark's ``extra_info`` so it lands in the JSON
+output of ``--benchmark-json``.
+
+Scale: benchmarks default to the SMALL preset (tens of seconds per figure).
+Set ``REPRO_BENCH_SCALE=paper`` for full trace dimensions or ``tiny`` for a
+smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    try:
+        return ExperimentScale(name)
+    except ValueError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be tiny|small|paper, got {name!r}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+def attach_and_print(benchmark, rendered: str) -> None:
+    """Record the regenerated figure text on the benchmark and print it."""
+    benchmark.extra_info["figure"] = rendered
+    print()
+    print(rendered)

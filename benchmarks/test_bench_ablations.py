@@ -1,0 +1,73 @@
+"""Bench: ablations beyond the paper's figures.
+
+DESIGN.md calls out two design choices the paper motivates but does not
+ablate directly; these benches quantify them:
+
+* **work conservation** (Fig. 4's argument): Saath with vs without the
+  work-conservation fill;
+* **contention scope**: LCoF's ``k_c`` counted against all active coflows
+  (default) vs only same-queue coflows.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import per_coflow_speedups
+from repro.analysis.report import format_table
+from repro.config import SimulationConfig
+from repro.experiments.common import fb_workload, run_policy_on
+
+from conftest import attach_and_print
+
+
+def test_ablation_work_conservation(benchmark, scale):
+    def run():
+        workload = fb_workload(scale)
+        with_wc = run_policy_on(workload, "saath").ccts()
+        without = run_policy_on(workload, "saath-no-wc").ccts()
+        return workload, with_wc, without
+
+    workload, with_wc, without = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedups = list(per_coflow_speedups(without, with_wc).values())
+    median = float(np.median(speedups))
+    rendered = format_table(
+        ["metric", "value"],
+        [
+            ["median speedup from work conservation", median],
+            ["avg CCT with WC (s)", float(np.mean(list(with_wc.values())))],
+            ["avg CCT without WC (s)", float(np.mean(list(without.values())))],
+        ],
+        title="Ablation — Saath work conservation (Fig. 4's claim)",
+        float_fmt="{:.3f}",
+    )
+    attach_and_print(benchmark, rendered)
+    # Work conservation must not hurt on average and should help somewhere.
+    assert np.mean(list(with_wc.values())) <= np.mean(list(without.values())) * 1.05
+    assert max(speedups) >= 1.0
+
+
+def test_ablation_contention_scope(benchmark, scale):
+    def run():
+        workload = fb_workload(scale)
+        all_scope = run_policy_on(
+            workload, "saath", SimulationConfig(contention_scope="all")
+        ).ccts()
+        queue_scope = run_policy_on(
+            workload, "saath", SimulationConfig(contention_scope="queue")
+        ).ccts()
+        return all_scope, queue_scope
+
+    all_scope, queue_scope = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = (np.mean(list(queue_scope.values()))
+             / np.mean(list(all_scope.values())))
+    rendered = format_table(
+        ["metric", "value"],
+        [["avg CCT ratio (queue-scope / all-scope)", float(ratio)]],
+        title="Ablation — LCoF contention scope",
+        float_fmt="{:.3f}",
+    )
+    attach_and_print(benchmark, rendered)
+    # The two scopes should be in the same ballpark (the choice is a
+    # second-order effect); a blow-up would indicate a bug.
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,98 @@
+"""Bench: extension baselines and the estimator ablation (beyond the paper).
+
+* **Baraat FIFO-LM** — the decentralised related-work scheduler (§8): the
+  Saath paper argues it inherits Aalo's limitations; here we measure where
+  it lands between UC-TCP and Aalo/Saath.
+* **Sincronia BSSI** — a post-paper clairvoyant ordering; sanity: it should
+  be competitive with SEBF.
+* **Length estimators** (§4.3 future work): Saath's dynamics promotion with
+  median vs trimmed-mean vs conservative-quantile vs Cedar-like estimates,
+  under straggler injection.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import per_coflow_speedups
+from repro.analysis.report import format_table
+from repro.config import SimulationConfig
+from repro.core.estimators import ESTIMATORS
+from repro.core.saath import SaathScheduler
+from repro.experiments.common import fb_workload, run_policy_on
+from repro.rng import make_rng
+from repro.simulator.dynamics import inject_stragglers
+from repro.simulator.engine import run_policy
+
+from conftest import attach_and_print
+
+
+def test_extension_baselines(benchmark, scale):
+    def run():
+        workload = fb_workload(scale)
+        return workload, {
+            policy: run_policy_on(workload, policy).ccts()
+            for policy in ("aalo", "saath", "baraat-fifo-lm",
+                           "sincronia-bssi", "varys-sebf")
+        }
+
+    workload, ccts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for policy, values in ccts.items():
+        rows.append([policy, float(np.mean(list(values.values())))])
+    attach_and_print(benchmark, format_table(
+        ["policy", "avg CCT (s)"], rows,
+        title="Extension baselines — average CCT (same workload)",
+        float_fmt="{:.3f}",
+    ))
+
+    avg = {p: np.mean(list(v.values())) for p, v in ccts.items()}
+    # Sincronia (clairvoyant) should land in SEBF's league, well ahead of
+    # the decentralised Baraat; Saath must beat Baraat (the §8 argument).
+    assert avg["sincronia-bssi"] < avg["baraat-fifo-lm"]
+    assert avg["saath"] < avg["baraat-fifo-lm"] * 1.05
+    assert avg["sincronia-bssi"] < avg["aalo"]
+
+
+def test_estimator_ablation(benchmark, scale):
+    """Saath + §4.3 promotion under stragglers, per estimator."""
+    def run():
+        workload = fb_workload(scale)
+        rng = make_rng(13)
+        base_actions = inject_stragglers(
+            workload.coflows, rng, fraction=0.05, efficiency=0.3
+        )
+        results = {}
+        for name, estimator in ESTIMATORS.items():
+            config = SimulationConfig(enable_dynamics_promotion=True)
+            scheduler = SaathScheduler(config, length_estimator=estimator)
+            res = run_policy(
+                scheduler, workload.fresh_coflows(), workload.fabric,
+                config, dynamics=[type(a)(a.time, a.flow_id, a.efficiency)
+                                  for a in base_actions],
+            )
+            results[name] = res.average_cct()
+        # Reference: promotion disabled entirely.
+        config = SimulationConfig(enable_dynamics_promotion=False)
+        res = run_policy(
+            SaathScheduler(config), workload.fresh_coflows(),
+            workload.fabric, config,
+            dynamics=[type(a)(a.time, a.flow_id, a.efficiency)
+                      for a in base_actions],
+        )
+        results["(no promotion)"] = res.average_cct()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, cct] for name, cct in results.items()]
+    attach_and_print(benchmark, format_table(
+        ["estimator", "avg CCT under stragglers (s)"], rows,
+        title="Ablation — §4.3 length estimators (Cedar future work)",
+        float_fmt="{:.3f}",
+    ))
+
+    # All estimators must complete the workload and stay within a sane band
+    # of each other; promotion should not be catastrophically worse than
+    # no-promotion under any estimator.
+    baseline = results["(no promotion)"]
+    for name, cct in results.items():
+        assert cct > 0
+        assert cct < baseline * 1.5, name

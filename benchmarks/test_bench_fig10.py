@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 10 — design breakdown A/N, P/F, LCoF (§6.2)."""
+
+from repro.experiments import fig10_breakdown
+
+from conftest import attach_and_print
+
+
+def test_fig10_breakdown(benchmark, scale):
+    result = benchmark.pedantic(
+        fig10_breakdown.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig10_breakdown.render(result))
+
+    for trace, by_variant in result.summaries.items():
+        an = by_variant["an-fifo"].p50
+        an_pf = by_variant["an-pf-fifo"].p50
+        saath = by_variant["saath"].p50
+        # The cumulative-design shape: every variant helps vs Aalo, and
+        # the full Saath is the best of the three.
+        assert an > 0.9
+        assert saath > 1.0
+        assert saath >= an - 0.1
+        assert saath >= an_pf - 0.1

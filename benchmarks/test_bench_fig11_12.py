@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 11 / Fig. 12 — per-bin breakdown (§6.2)."""
+
+from repro.analysis.bins import BIN_LABELS
+from repro.experiments import fig11_bins
+
+from conftest import attach_and_print
+
+
+def test_fig11_12_bins(benchmark, scale):
+    result = benchmark.pedantic(
+        fig11_bins.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig11_bins.render(result))
+
+    fb = result.per_trace["fb-like"]
+    # Bin mix resembles Table 1 (bin-1 dominates).
+    assert fb.fractions["bin-1"] == max(fb.fractions.values())
+    # LCoF (full Saath) helps the small+thin bin-1 the most strongly among
+    # paper claims we can assert robustly: it must improve bin-1 vs Aalo.
+    saath_medians = fb.medians["saath"]
+    assert saath_medians.get("bin-1", 0.0) > 1.0
+    # Every populated bin has a finite median for every variant.
+    for variant, medians in fb.medians.items():
+        for label, value in medians.items():
+            assert value > 0.0, (variant, label)

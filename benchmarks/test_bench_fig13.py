@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 13 — FCT deviation, Saath vs Aalo (§6.2)."""
+
+from repro.experiments import fig13_deviation
+
+from conftest import attach_and_print
+
+
+def test_fig13_fct_deviation(benchmark, scale):
+    result = benchmark.pedantic(
+        fig13_deviation.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig13_deviation.render(result))
+
+    saath = result.profiles["saath"]
+    aalo = result.profiles["aalo"]
+    # The paper's claim: Saath keeps far more equal-length coflows in sync.
+    assert (saath.equal_fraction_at_zero(1e-3)
+            >= aalo.equal_fraction_at_zero(1e-3))
+    under_10_saath = 1 - saath.equal_fraction_over(0.10)
+    under_10_aalo = 1 - aalo.equal_fraction_over(0.10)
+    assert under_10_saath >= under_10_aalo
+    # And it does not fully eliminate out-of-sync (work conservation).
+    assert saath.equal_fraction_over(0.0) > 0.0

@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig. 14 — sensitivity to S, E, δ, A, d (§6.3).
+
+The five sweeps run 2 policies × ~6 settings each, so this is the heaviest
+benchmark; it always uses the TINY workload unless REPRO_BENCH_SCALE=paper
+explicitly asks for more.
+"""
+
+from repro.experiments import fig14_sensitivity
+from repro.experiments.common import ExperimentScale
+
+from conftest import attach_and_print
+
+
+def _sweep_scale(scale: ExperimentScale) -> ExperimentScale:
+    if scale is ExperimentScale.PAPER:
+        return ExperimentScale.SMALL  # full sweeps at paper scale take hours
+    return ExperimentScale.TINY
+
+
+def test_fig14_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        fig14_sensitivity.run,
+        kwargs={"scale": _sweep_scale(scale)},
+        rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig14_sensitivity.render(result))
+
+    # (a) Saath is less sensitive to the start threshold than Aalo: its
+    # worst-case degradation across S values is no worse than Aalo's.
+    s_sweep = result.sweeps["S"].medians
+    saath_spread = (max(v["saath"] for v in s_sweep.values())
+                    / min(v["saath"] for v in s_sweep.values()))
+    aalo_spread = (max(v["aalo"] for v in s_sweep.values())
+                   / min(v["aalo"] for v in s_sweep.values()))
+    assert saath_spread <= aalo_spread * 1.5
+
+    # (b) E: both stay within a modest band.
+    e_sweep = result.sweeps["E"].medians
+    assert (max(v["saath"] for v in e_sweep.values())
+            / min(v["saath"] for v in e_sweep.values())) < 3.0
+
+    # (d) Saath keeps beating Aalo as contention rises.
+    a_sweep = result.sweeps["A"].medians
+    for vals in a_sweep.values():
+        assert vals["saath"] > 0.9
+
+    # (e) d: Saath insensitive to the deadline factor.
+    d_sweep = result.sweeps["d"].medians
+    assert (max(v["saath"] for v in d_sweep.values())
+            / min(v["saath"] for v in d_sweep.values())) < 2.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 15 — testbed-mode CCT speedup CDF (§7.1)."""
+
+from repro.experiments import fig15_testbed
+
+from conftest import attach_and_print
+
+
+def test_fig15_testbed_cct(benchmark, scale):
+    result = benchmark.pedantic(
+        fig15_testbed.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig15_testbed.render(result))
+
+    s = result.summary
+    # Paper shape: median > 1, most coflows improve, and there is both a
+    # sub-1 head (coflows FIFO favoured) and a long >1 tail.
+    assert s.p50 > 1.0
+    assert result.improved_fraction > 0.5
+    assert s.minimum < 1.0
+    assert s.maximum > 2.0

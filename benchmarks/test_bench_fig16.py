@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 16 — JCT speedup by shuffle fraction (§7.2)."""
+
+from repro.experiments import fig16_jct
+
+from conftest import attach_and_print
+
+
+def test_fig16_jct(benchmark, scale):
+    result = benchmark.pedantic(
+        fig16_jct.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig16_jct.render(result))
+
+    # Dilution shape: shuffle-heavy jobs gain more than shuffle-light ones
+    # (on means — medians degenerate to 1.0 on lightly-contended runs),
+    # and overall JCT speedup exceeds 1.
+    assert result.shuffle_heavy_mean > result.buckets["<25%"][2]
+    assert result.all_jobs_mean > 1.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 2 — out-of-sync prevalence under Aalo (§2.3)."""
+
+from repro.experiments import fig2_outofsync
+
+from conftest import attach_and_print
+
+
+def test_fig2_out_of_sync(benchmark, scale):
+    result = benchmark.pedantic(
+        fig2_outofsync.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    rendered = fig2_outofsync.render(result)
+    attach_and_print(benchmark, rendered)
+
+    # Shape assertions from §2.3: the three width populations all exist and
+    # the out-of-sync problem is visible (a solid fraction of equal-length
+    # coflows exceed 12% normalised FCT deviation under Aalo).
+    assert result.single_flow_fraction > 0.05
+    assert result.equal_multiflow_fraction > 0.2
+    assert result.unequal_multiflow_fraction > 0.1
+    assert result.profile.equal_fraction_over(0.12) > 0.15

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 3 — offline SCF/SRTF/LWTF vs Aalo (§2.4)."""
+
+from repro.experiments import fig3_offline
+
+from conftest import attach_and_print
+
+
+def test_fig3_offline_policies(benchmark, scale):
+    result = benchmark.pedantic(
+        fig3_offline.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig3_offline.render(result))
+
+    # Paper shape: all clairvoyant policies beat Aalo overall, and the
+    # contention-aware LWTF stays competitive with the duration-only
+    # orderings (at small scales the three are within noise of each other;
+    # LWTF's win is a statistical claim recorded in EXPERIMENTS.md).
+    for policy in fig3_offline.POLICIES:
+        assert result.overall[policy] > 1.0
+    assert result.overall["lwtf"] >= result.overall["scf"] * 0.85

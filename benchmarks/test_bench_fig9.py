@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 9 — Saath vs SEBF / Aalo / UC-TCP (§6.1)."""
+
+from repro.experiments import fig9_speedup
+from repro.experiments.common import ExperimentScale
+
+from conftest import attach_and_print
+
+
+def test_fig9_speedup(benchmark, scale):
+    result = benchmark.pedantic(
+        fig9_speedup.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, fig9_speedup.render(result))
+
+    contended = scale is not ExperimentScale.TINY
+    for trace, by_baseline in result.summaries.items():
+        aalo = by_baseline["aalo"]
+        uctcp = by_baseline["uc-tcp"]
+        sebf = by_baseline["varys-sebf"]
+        # Who wins: Saath beats Aalo, crushes UC-TCP under contention, and
+        # is in the same league as the offline SEBF.
+        assert aalo.p50 >= 1.0
+        assert aalo.p90 > aalo.p50  # long right tail, as in the paper
+        assert uctcp.p50 >= aalo.p50 * 0.95
+        assert sebf.p50 > 0.3
+        if contended:
+            # The two-orders-of-magnitude UC-TCP gap needs a loaded
+            # cluster; the TINY smoke workload is barely contended.
+            assert aalo.p50 > 1.0
+            assert uctcp.p90 > 5.0

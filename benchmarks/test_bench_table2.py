@@ -1,0 +1,38 @@
+"""Bench: regenerate Table 2 — coordinator overhead breakdown (§7.3).
+
+Also the one benchmark that genuinely uses pytest-benchmark's timing: the
+scheduling-round latency on a busy snapshot is the quantity Table 2
+reports (0.57 ms avg / 2.85 ms P90 for the C++ prototype; this Python
+implementation is expected to be slower in absolute terms — the breakdown
+structure is the reproducible claim).
+"""
+
+from repro.config import SimulationConfig
+from repro.core.saath import SaathScheduler
+from repro.experiments import table2_overhead
+from repro.experiments.common import fb_workload
+from repro.experiments.table2_overhead import _busy_state
+
+from conftest import attach_and_print
+
+
+def test_table2_overhead_report(benchmark, scale):
+    result = benchmark.pedantic(
+        table2_overhead.run, kwargs={"scale": scale, "rounds": 10},
+        rounds=1, iterations=1,
+    )
+    attach_and_print(benchmark, table2_overhead.render(result))
+
+    # Paper structure: ordering (LCoF) is less than half the compute time.
+    assert 0.0 < result.ordering_fraction < 0.5
+    assert result.total_ms_p90 >= result.total_ms_avg * 0.5
+    assert result.peak_memory_mb < 512
+
+
+def test_table2_schedule_round_latency(benchmark, scale):
+    """Micro-benchmark: one Saath scheduling round on a busy snapshot."""
+    workload = fb_workload(scale)
+    config = SimulationConfig()
+    scheduler = SaathScheduler(config)
+    state = _busy_state(workload, scheduler)
+    benchmark(scheduler.schedule, state, 0.0)

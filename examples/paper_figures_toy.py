@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Replay the paper's hand-worked figures (Fig. 1, 4, 5, 8, 17).
+
+Each scenario from :mod:`repro.experiments.toy` is executed under the
+schedulers the figure discusses and the resulting CCTs are printed in the
+figure's own time unit ``t`` (1 second here), next to the values the paper
+derives. Useful both as documentation and as a sanity harness for the
+scheduler implementations.
+"""
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.experiments.toy import ALL_SCENARIOS, PORT_RATE, UNIT_BYTES
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.flows import clone_coflows
+
+#: Keep every toy coflow inside the first priority queue so the figures'
+#: single-queue reasoning applies (thresholds play no role in them).
+CONFIG = SimulationConfig(
+    port_rate=PORT_RATE,
+    queues=QueueConfig(num_queues=6, start_threshold=100 * UNIT_BYTES,
+                       growth_factor=10.0),
+    min_rate=1e-3,
+)
+
+POLICIES = ("aalo", "saath", "saath-no-wc", "lwtf")
+
+
+def main() -> None:
+    for name, builder in ALL_SCENARIOS.items():
+        scenario = builder()
+        print(f"== {name}: {builder.__doc__.strip().splitlines()[0]}")
+        for policy in POLICIES:
+            result = run_policy(
+                make_scheduler(policy, CONFIG),
+                clone_coflows(scenario.coflows),
+                scenario.fabric,
+                CONFIG,
+            )
+            ccts = {
+                c.coflow_id: result.cct(c.coflow_id) / (UNIT_BYTES / PORT_RATE)
+                for c in scenario.coflows
+            }
+            cct_str = "  ".join(
+                f"C{cid}={cct:.2f}t" for cid, cct in sorted(ccts.items())
+            )
+            avg = sum(ccts.values()) / len(ccts)
+            print(f"  {policy:>12}: {cct_str}  (avg {avg:.2f}t)")
+        if scenario.paper_ccts:
+            for label, values in scenario.paper_ccts.items():
+                avg = sum(values.values()) / len(values)
+                paper_str = "  ".join(
+                    f"C{cid}={v:.2f}t" for cid, v in sorted(values.items())
+                )
+                print(f"  {'paper ' + label:>12}: {paper_str}  (avg {avg:.2f}t)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Replay an FB-like synthetic trace under every registered policy.
+
+Demonstrates the workload pipeline the paper's §6 evaluation uses:
+
+1. generate (or load) a coflow-benchmark trace,
+2. expand it to simulator coflows on a big-switch fabric,
+3. replay under each scheduling policy,
+4. report the per-coflow speedup of Saath over each baseline.
+
+To replay the *real* Facebook trace instead, download ``FB2010-1Hr-150-0.txt``
+from github.com/coflow/coflow-benchmark and pass it as argv[1].
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Fabric, SimulationConfig, clone_coflows, make_scheduler, run_policy
+from repro.analysis.metrics import per_coflow_speedups
+from repro.workloads.synthetic import fb_like_spec, WorkloadGenerator
+from repro.workloads.traces import load_trace, trace_to_coflows
+
+POLICIES = ("aalo", "varys-sebf", "uc-tcp", "saath")
+
+
+def load_workload(path: str | None):
+    config = SimulationConfig()
+    if path:
+        trace = load_trace(path)
+        fabric = Fabric(num_machines=trace.num_ports,
+                        port_rate=config.port_rate)
+        return fabric, trace_to_coflows(trace, fabric)
+    spec = fb_like_spec(num_machines=40, num_coflows=120)
+    fabric = spec.make_fabric()
+    return fabric, WorkloadGenerator(spec, seed=42).generate_coflows(fabric)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else None
+    fabric, workload = load_workload(path)
+    print(f"workload: {len(workload)} coflows, "
+          f"{sum(c.width for c in workload)} flows, "
+          f"{fabric.num_machines} machines\n")
+
+    config = SimulationConfig()
+    ccts = {}
+    for policy in POLICIES:
+        result = run_policy(
+            make_scheduler(policy, config), clone_coflows(workload),
+            fabric, config,
+        )
+        ccts[policy] = result.ccts()
+        print(f"{policy:>12}: average CCT {result.average_cct():.3f} s "
+              f"({result.reschedules} schedule rounds)")
+
+    print("\nSaath speedup (median [p10, p90]):")
+    for baseline in POLICIES:
+        if baseline == "saath":
+            continue
+        sp = np.array(list(
+            per_coflow_speedups(ccts[baseline], ccts["saath"]).values()
+        ))
+        print(f"  over {baseline:>12}: {np.median(sp):6.2f}x "
+              f"[{np.percentile(sp, 10):.2f}, {np.percentile(sp, 90):.2f}]")
+
+
+if __name__ == "__main__":
+    main()

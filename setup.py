@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `setup.py develop` works with plain
+setuptools. Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

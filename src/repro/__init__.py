@@ -1,0 +1,97 @@
+"""repro — a full Python reproduction of *Saath: Speeding up CoFlows by
+Exploiting the Spatial Dimension* (CoNEXT 2017).
+
+Public API quick tour::
+
+    from repro import (
+        CoFlow, Fabric, SimulationConfig, make_coflow,
+        make_scheduler, run_policy,
+    )
+
+    fabric = Fabric(num_machines=4, port_rate=gbps(1))
+    coflows = [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), mb(50))])]
+    result = run_policy(make_scheduler("saath", SimulationConfig()),
+                        coflows, fabric, SimulationConfig())
+    print(result.average_cct())
+
+Subpackages:
+
+* :mod:`repro.core` — the Saath scheduler (the paper's contribution),
+* :mod:`repro.simulator` — fluid-flow discrete-event fabric simulator,
+* :mod:`repro.schedulers` — Aalo, Varys/SEBF, SCF/SRTF/LWTF, UC-TCP,
+  ablations, and the policy registry,
+* :mod:`repro.workloads` — trace I/O, synthetic FB/OSP-like generators,
+  DAG jobs, JCT accounting,
+* :mod:`repro.analysis` — CCT/speedup statistics, out-of-sync metrics,
+  size×width binning, ASCII reports,
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .config import (
+    PAPER_DEFAULTS,
+    PAPER_SYNC_INTERVAL,
+    QueueConfig,
+    SimulationConfig,
+)
+from .core.saath import SaathScheduler
+from .errors import (
+    CapacityViolationError,
+    ConfigError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    TraceFormatError,
+    UnknownPolicyError,
+)
+from .schedulers.base import Allocation, Scheduler
+from .schedulers.registry import (
+    available_policies,
+    make_scheduler,
+    register_policy,
+)
+from .simulator.engine import SimulationResult, Simulator, run_policy
+from .simulator.fabric import Fabric, PortLedger
+from .simulator.flows import CoFlow, Flow, clone_coflows, make_coflow
+from .simulator.state import ClusterState
+from .units import GBPS, KB, MB, GB, TB, gb, gbps, mb, msec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "CapacityViolationError",
+    "ClusterState",
+    "CoFlow",
+    "ConfigError",
+    "Fabric",
+    "Flow",
+    "GBPS",
+    "GB",
+    "KB",
+    "MB",
+    "PAPER_DEFAULTS",
+    "PAPER_SYNC_INTERVAL",
+    "PortLedger",
+    "QueueConfig",
+    "ReproError",
+    "SaathScheduler",
+    "Scheduler",
+    "SchedulerError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "TB",
+    "TraceFormatError",
+    "UnknownPolicyError",
+    "available_policies",
+    "clone_coflows",
+    "gb",
+    "gbps",
+    "make_coflow",
+    "make_scheduler",
+    "mb",
+    "msec",
+    "register_policy",
+    "run_policy",
+]

@@ -1,0 +1,59 @@
+"""Analysis: CCT/speedup statistics, out-of-sync metrics, bins, reports."""
+
+from .comparison import ComparisonOutcome, compare_policies
+from .bins import (
+    BIN_LABELS,
+    BinnedSpeedups,
+    bin_fractions,
+    bin_membership,
+    bin_of,
+    binned_speedups,
+)
+from .metrics import (
+    DistributionSummary,
+    cdf_points,
+    fraction_at_least,
+    fraction_below,
+    overall_cct_speedup,
+    per_coflow_speedups,
+    speedup_summary,
+)
+from .outofsync import (
+    OutOfSyncProfile,
+    flow_lengths_equal,
+    normalized_fct_deviation,
+    normalized_length_deviation,
+    out_of_sync_profile,
+    width_distribution,
+)
+from .report import format_cdf, format_speedup_bars, format_table
+from .telemetry import Sample, TelemetryRecorder
+
+__all__ = [
+    "BIN_LABELS",
+    "BinnedSpeedups",
+    "ComparisonOutcome",
+    "compare_policies",
+    "DistributionSummary",
+    "OutOfSyncProfile",
+    "bin_fractions",
+    "bin_membership",
+    "bin_of",
+    "binned_speedups",
+    "cdf_points",
+    "flow_lengths_equal",
+    "format_cdf",
+    "format_speedup_bars",
+    "format_table",
+    "Sample",
+    "TelemetryRecorder",
+    "fraction_at_least",
+    "fraction_below",
+    "normalized_fct_deviation",
+    "normalized_length_deviation",
+    "out_of_sync_profile",
+    "overall_cct_speedup",
+    "per_coflow_speedups",
+    "speedup_summary",
+    "width_distribution",
+]

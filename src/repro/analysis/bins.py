@@ -1,0 +1,97 @@
+"""Table 1 size×width binning (used by Fig. 11 and Fig. 12).
+
+The paper groups coflows into four bins by total size and width::
+
+                       width <= 10    width > 10
+    size <= 100 MB        bin-1          bin-2
+    size > 100 MB         bin-3          bin-4
+
+Bin-1 (small, thin) is where all-or-none and LCoF shine; bins 2 and 4
+(wide) are where the per-flow queue threshold pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import ConfigError
+from ..simulator.flows import CoFlow
+from ..units import MB
+
+#: Bin boundaries from Table 1.
+SIZE_BOUNDARY_BYTES = 100.0 * MB
+WIDTH_BOUNDARY = 10
+
+BIN_LABELS = ("bin-1", "bin-2", "bin-3", "bin-4")
+
+
+def bin_of(coflow: CoFlow) -> str:
+    """Table-1 bin label of one coflow."""
+    small = coflow.total_volume <= SIZE_BOUNDARY_BYTES
+    narrow = coflow.width <= WIDTH_BOUNDARY
+    if small and narrow:
+        return "bin-1"
+    if small:
+        return "bin-2"
+    if narrow:
+        return "bin-3"
+    return "bin-4"
+
+
+def bin_membership(coflows: Iterable[CoFlow]) -> dict[str, list[int]]:
+    """coflow ids per bin, all four labels always present."""
+    members: dict[str, list[int]] = {label: [] for label in BIN_LABELS}
+    for c in coflows:
+        members[bin_of(c)].append(c.coflow_id)
+    return members
+
+
+def bin_fractions(coflows: Iterable[CoFlow]) -> dict[str, float]:
+    """Fraction of coflows per bin (the Fig. 11 x-label percentages)."""
+    members = bin_membership(coflows)
+    total = sum(len(v) for v in members.values())
+    if total == 0:
+        raise ConfigError("no coflows to bin")
+    return {label: len(ids) / total for label, ids in members.items()}
+
+
+@dataclass(frozen=True)
+class BinnedSpeedups:
+    """Per-bin speedup samples for one policy comparison."""
+
+    samples: Mapping[str, tuple[float, ...]]
+
+    def median(self, label: str) -> float:
+        values = sorted(self.samples.get(label, ()))
+        if not values:
+            raise ConfigError(f"no speedup samples in {label}")
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def medians(self) -> dict[str, float]:
+        return {
+            label: self.median(label)
+            for label in BIN_LABELS
+            if self.samples.get(label)
+        }
+
+
+def binned_speedups(
+    coflows: Iterable[CoFlow],
+    speedups: Mapping[int, float],
+) -> BinnedSpeedups:
+    """Group per-coflow speedups into Table-1 bins.
+
+    ``coflows`` provides the static size/width description (any replica of
+    the workload will do — binning only reads volumes and widths).
+    """
+    members = bin_membership(coflows)
+    samples: dict[str, tuple[float, ...]] = {}
+    for label, ids in members.items():
+        samples[label] = tuple(
+            speedups[cid] for cid in ids if cid in speedups
+        )
+    return BinnedSpeedups(samples=samples)

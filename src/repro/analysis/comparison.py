@@ -1,0 +1,128 @@
+"""High-level policy comparison: one call from workload to report.
+
+Every evaluation in this repository follows the same arc — run several
+policies on identical copies of a workload, compute per-coflow speedups
+against a baseline, and summarise. :func:`compare_policies` packages that
+arc behind one function so user code (and the examples/benchmarks) never
+re-implements the bookkeeping:
+
+    from repro.analysis.comparison import compare_policies
+
+    outcome = compare_policies(coflows, fabric, ["aalo", "saath"],
+                               baseline="aalo")
+    print(outcome.render())
+    outcome.summary("saath").p50   # median speedup over the baseline
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ConfigError
+from ..schedulers.registry import make_scheduler
+from ..simulator.engine import SimulationResult, run_policy
+from ..simulator.fabric import Fabric
+from ..simulator.flows import CoFlow, clone_coflows
+from .metrics import (
+    DistributionSummary,
+    overall_cct_speedup,
+    per_coflow_speedups,
+)
+from .report import format_table
+
+
+@dataclass
+class ComparisonOutcome:
+    """Results of one multi-policy comparison."""
+
+    baseline: str
+    #: policy -> full simulation result (finished coflows included).
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    def ccts(self, policy: str) -> dict[int, float]:
+        return self._result_of(policy).ccts()
+
+    def average_cct(self, policy: str) -> float:
+        return self._result_of(policy).average_cct()
+
+    def speedups(self, policy: str) -> dict[int, float]:
+        """Per-coflow speedup of ``policy`` over the baseline."""
+        return per_coflow_speedups(self.ccts(self.baseline),
+                                   self.ccts(policy))
+
+    def summary(self, policy: str) -> DistributionSummary:
+        return DistributionSummary.of(list(self.speedups(policy).values()))
+
+    def overall_speedup(self, policy: str) -> float:
+        return overall_cct_speedup(self.ccts(self.baseline),
+                                   self.ccts(policy))
+
+    def policies(self) -> list[str]:
+        return list(self.results)
+
+    def render(self, *, title: str | None = None) -> str:
+        """Aligned table: avg CCT plus speedup summary per policy."""
+        rows = []
+        for policy in self.results:
+            row: list[object] = [policy, self.average_cct(policy)]
+            if policy == self.baseline:
+                row += ["-", "-", "-"]
+            else:
+                s = self.summary(policy)
+                row += [s.p50, s.p10, s.p90]
+            rows.append(row)
+        return format_table(
+            ["policy", "avg CCT (s)",
+             f"median speedup vs {self.baseline}", "p10", "p90"],
+            rows,
+            title=title or "Policy comparison",
+            float_fmt="{:.3f}",
+        )
+
+    def _result_of(self, policy: str) -> SimulationResult:
+        try:
+            return self.results[policy]
+        except KeyError:
+            raise ConfigError(
+                f"policy {policy!r} was not part of this comparison; "
+                f"ran: {self.policies()}"
+            ) from None
+
+
+def compare_policies(
+    coflows: Iterable[CoFlow],
+    fabric: Fabric,
+    policies: Sequence[str],
+    *,
+    baseline: str | None = None,
+    config: SimulationConfig | None = None,
+    **run_kwargs,
+) -> ComparisonOutcome:
+    """Run each policy on a fresh copy of ``coflows`` and compare.
+
+    ``baseline`` defaults to the first policy. Extra keyword arguments
+    (``dynamics=``, ``rate_perturbation=``, ``observer=``) are forwarded to
+    every run — note that stateful extras (telemetry recorders, seeded
+    jitter) are then *shared* across runs; pass per-policy instances by
+    calling :func:`repro.run_policy` directly if that matters.
+    """
+    policies = list(policies)
+    if not policies:
+        raise ConfigError("need at least one policy to compare")
+    baseline = baseline or policies[0]
+    if baseline not in policies:
+        raise ConfigError(
+            f"baseline {baseline!r} must be among the policies {policies}"
+        )
+    config = config or SimulationConfig()
+    source = list(coflows)
+
+    outcome = ComparisonOutcome(baseline=baseline)
+    for policy in policies:
+        scheduler = make_scheduler(policy, config)
+        outcome.results[policy] = run_policy(
+            scheduler, clone_coflows(source), fabric, config, **run_kwargs,
+        )
+    return outcome

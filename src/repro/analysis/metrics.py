@@ -1,0 +1,122 @@
+"""CCT and speedup statistics used throughout the evaluation.
+
+The paper's headline metric is the per-coflow **speedup**: the ratio of a
+coflow's CCT under a baseline policy to its CCT under the evaluated policy
+(>1 means the evaluated policy is faster, Fig. 9/15). Distribution summaries
+report the median with P10/P90 error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Percentile summary of a sample (the paper's median + P10/P90 bars)."""
+
+    count: int
+    mean: float
+    p10: float
+    p50: float
+    p90: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "DistributionSummary":
+        if len(values) == 0:
+            raise ConfigError("cannot summarise an empty sample")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p10=float(np.percentile(arr, 10)),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+
+def per_coflow_speedups(
+    baseline_ccts: Mapping[int, float],
+    candidate_ccts: Mapping[int, float],
+) -> dict[int, float]:
+    """``speedup_c = CCT_baseline(c) / CCT_candidate(c)`` per coflow.
+
+    Coflows with zero CCT under both policies (zero-byte coflows) are
+    skipped; zero under exactly one would be a simulation bug and raises.
+    """
+    if set(baseline_ccts) != set(candidate_ccts):
+        missing = set(baseline_ccts) ^ set(candidate_ccts)
+        raise ConfigError(
+            f"CCT maps cover different coflows; symmetric difference "
+            f"{sorted(missing)[:10]}"
+        )
+    speedups: dict[int, float] = {}
+    for cid, base in baseline_ccts.items():
+        cand = candidate_ccts[cid]
+        if base == 0 and cand == 0:
+            continue
+        if cand <= 0 or base <= 0:
+            raise ConfigError(
+                f"coflow {cid}: non-positive CCT (baseline={base}, "
+                f"candidate={cand})"
+            )
+        speedups[cid] = base / cand
+    return speedups
+
+
+def speedup_summary(
+    baseline_ccts: Mapping[int, float],
+    candidate_ccts: Mapping[int, float],
+) -> DistributionSummary:
+    """Distribution summary of per-coflow speedups."""
+    return DistributionSummary.of(
+        list(per_coflow_speedups(baseline_ccts, candidate_ccts).values())
+    )
+
+
+def overall_cct_speedup(
+    baseline_ccts: Mapping[int, float],
+    candidate_ccts: Mapping[int, float],
+) -> float:
+    """Ratio of average CCTs (the paper's "overall CCT" metric, Fig. 3b)."""
+    if not baseline_ccts:
+        raise ConfigError("no coflows to compare")
+    base = float(np.mean(list(baseline_ccts.values())))
+    cand = float(np.mean(list(candidate_ccts.values())))
+    if cand <= 0:
+        raise ConfigError("candidate average CCT is non-positive")
+    return base / cand
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions in (0, 1])."""
+    if len(values) == 0:
+        raise ConfigError("cannot build a CDF from an empty sample")
+    xs = np.sort(np.asarray(values, dtype=float))
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ys
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample strictly below ``threshold``."""
+    if len(values) == 0:
+        raise ConfigError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float((arr < threshold).mean())
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample at or above ``threshold``."""
+    if len(values) == 0:
+        raise ConfigError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float((arr >= threshold).mean())

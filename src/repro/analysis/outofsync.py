@@ -1,0 +1,122 @@
+"""Out-of-sync analysis: normalised FCT deviation per coflow (§2.3, Fig. 2/13).
+
+The paper quantifies the out-of-sync problem as the standard deviation of a
+coflow's flow completion times, normalised by their mean. A perfectly
+synchronised all-or-none schedule of an equal-flow-length coflow yields 0;
+Aalo's uncoordinated FIFO yields large values.
+
+Flow completion times are measured from the coflow's arrival (the flow's
+wait contributes — that *is* the out-of-sync effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..simulator.flows import CoFlow
+
+#: Coefficient-of-variation below which flow lengths count as "equal".
+EQUAL_LENGTH_CV = 1e-9
+
+
+def flow_lengths_equal(coflow: CoFlow) -> bool:
+    """True when all flow volumes of the coflow are (numerically) equal."""
+    volumes = np.array([f.volume for f in coflow.flows], dtype=float)
+    if len(volumes) <= 1:
+        return True
+    mean = volumes.mean()
+    if mean == 0:
+        return True
+    return float(volumes.std() / mean) <= EQUAL_LENGTH_CV
+
+
+def normalized_length_deviation(coflow: CoFlow) -> float:
+    """Std of flow volumes normalised by mean volume (Fig. 2b)."""
+    volumes = np.array([f.volume for f in coflow.flows], dtype=float)
+    mean = volumes.mean()
+    if mean == 0:
+        return 0.0
+    return float(volumes.std() / mean)
+
+
+def normalized_fct_deviation(coflow: CoFlow) -> float:
+    """Std of flow FCTs normalised by mean FCT (Fig. 2c / Fig. 13).
+
+    FCT of a flow is its finish time minus the *coflow* arrival. Requires a
+    finished coflow.
+    """
+    if not coflow.all_flows_finished():
+        raise ConfigError(f"coflow {coflow.coflow_id} has unfinished flows")
+    fcts = np.array(
+        [f.fct(coflow.arrival_time) for f in coflow.flows], dtype=float
+    )
+    mean = fcts.mean()
+    if mean <= 0:
+        return 0.0
+    return float(fcts.std() / mean)
+
+
+@dataclass(frozen=True)
+class OutOfSyncProfile:
+    """Fig. 2(c)/Fig. 13-style profile of one finished workload."""
+
+    #: Normalised FCT deviations of multi-flow coflows with equal lengths.
+    equal_length: tuple[float, ...]
+    #: Same, for multi-flow coflows with unequal lengths.
+    unequal_length: tuple[float, ...]
+    #: Fraction of coflows excluded because they have a single flow.
+    single_flow_fraction: float
+
+    def equal_fraction_over(self, threshold: float) -> float:
+        """Fraction of equal-length coflows with deviation > threshold."""
+        if not self.equal_length:
+            return 0.0
+        arr = np.asarray(self.equal_length)
+        return float((arr > threshold).mean())
+
+    def unequal_fraction_over(self, threshold: float) -> float:
+        if not self.unequal_length:
+            return 0.0
+        arr = np.asarray(self.unequal_length)
+        return float((arr > threshold).mean())
+
+    def equal_fraction_at_zero(self, tol: float = 1e-9) -> float:
+        """Fraction of equal-length coflows that finished perfectly in sync
+        (Fig. 13's "40% of CoFlows ... finished their flows at the same
+        time" claim)."""
+        if not self.equal_length:
+            return 0.0
+        arr = np.asarray(self.equal_length)
+        return float((arr <= tol).mean())
+
+
+def out_of_sync_profile(coflows: list[CoFlow]) -> OutOfSyncProfile:
+    """Compute the out-of-sync profile of a finished workload."""
+    if not coflows:
+        raise ConfigError("no coflows to profile")
+    equal, unequal = [], []
+    singles = 0
+    for c in coflows:
+        if c.width <= 1:
+            singles += 1
+            continue
+        dev = normalized_fct_deviation(c)
+        if flow_lengths_equal(c):
+            equal.append(dev)
+        else:
+            unequal.append(dev)
+    return OutOfSyncProfile(
+        equal_length=tuple(equal),
+        unequal_length=tuple(unequal),
+        single_flow_fraction=singles / len(coflows),
+    )
+
+
+def width_distribution(coflows: list[CoFlow]) -> np.ndarray:
+    """Coflow widths, for the Fig. 2(a) CDF."""
+    if not coflows:
+        raise ConfigError("no coflows")
+    return np.array([c.width for c in coflows], dtype=int)

@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+aligned tables for bar charts and tables, and coarse ASCII CDF sketches for
+CDF figures. Keeping rendering here (and out of the experiment logic) lets
+tests assert on structured results instead of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .metrics import cdf_points
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned monospace table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    values: Sequence[float],
+    *,
+    title: str = "CDF",
+    points: int = 11,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Summarise a distribution as a short percentile table (text 'CDF')."""
+    xs, _ = cdf_points(values)
+    fractions = np.linspace(0.0, 1.0, points)
+    lines = [title]
+    for frac in fractions:
+        idx = min(int(frac * (len(xs) - 1)), len(xs) - 1) if len(xs) > 1 else 0
+        lines.append(f"  P{int(frac * 100):3d}: " + value_fmt.format(xs[idx]))
+    return "\n".join(lines)
+
+
+def format_speedup_bars(
+    medians: Mapping[str, float],
+    *,
+    title: str,
+    p10: Mapping[str, float] | None = None,
+    p90: Mapping[str, float] | None = None,
+) -> str:
+    """Render a bar-chart figure (e.g. Fig. 9/10) as a table with error bars."""
+    headers = ["policy", "median"]
+    if p10 is not None and p90 is not None:
+        headers += ["p10", "p90"]
+    rows = []
+    for name, med in medians.items():
+        row: list[object] = [name, med]
+        if p10 is not None and p90 is not None:
+            row += [p10.get(name, float("nan")), p90.get(name, float("nan"))]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,143 @@
+"""Command-line interface: ``saath-repro``.
+
+Sub-commands:
+
+* ``policies`` — list the registered scheduling policies.
+* ``experiments`` — list the reproducible paper tables/figures.
+* ``run-experiment <id>`` — run one experiment and print its rendering
+  (``--scale tiny|small|paper``).
+* ``simulate`` — run one policy on a trace file or a synthetic workload and
+  print CCT statistics (``--policy``, ``--trace``/``--synthetic``).
+* ``gen-trace`` — emit a synthetic workload in coflow-benchmark format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.metrics import DistributionSummary
+from .config import SimulationConfig
+from .errors import ReproError
+from .experiments.common import ExperimentScale
+from .experiments.registry import (
+    available_experiments,
+    get_experiment,
+    run_and_render,
+)
+from .schedulers.registry import available_policies, make_scheduler
+from .simulator.engine import run_policy
+from .units import MSEC
+from .workloads.synthetic import (
+    WorkloadGenerator,
+    fb_like_spec,
+    osp_like_spec,
+)
+from .workloads.traces import dump_trace, load_trace, trace_to_coflows
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="saath-repro",
+        description="Saath (CoNEXT 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list scheduling policies")
+    sub.add_parser("experiments", help="list paper experiments")
+
+    run_exp = sub.add_parser("run-experiment", help="reproduce a figure/table")
+    run_exp.add_argument("exp_id", choices=available_experiments())
+    run_exp.add_argument(
+        "--scale", choices=[s.value for s in ExperimentScale],
+        default=ExperimentScale.SMALL.value,
+    )
+
+    simulate = sub.add_parser("simulate", help="run one policy on a workload")
+    simulate.add_argument("--policy", default="saath",
+                          choices=available_policies())
+    source = simulate.add_mutually_exclusive_group()
+    source.add_argument("--trace", type=Path,
+                        help="coflow-benchmark trace file")
+    source.add_argument("--synthetic", choices=["fb-like", "osp-like"],
+                        default="fb-like")
+    simulate.add_argument("--machines", type=int, default=50)
+    simulate.add_argument("--coflows", type=int, default=150)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--sync-interval-ms", type=float, default=0.0)
+
+    gen = sub.add_parser("gen-trace", help="emit a synthetic trace")
+    gen.add_argument("--family", choices=["fb-like", "osp-like"],
+                     default="fb-like")
+    gen.add_argument("--machines", type=int, default=50)
+    gen.add_argument("--coflows", type=int, default=150)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--output", type=Path, default=None)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    config = SimulationConfig(sync_interval=args.sync_interval_ms * MSEC)
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        from .simulator.fabric import Fabric
+
+        fabric = Fabric(num_machines=trace.num_ports,
+                        port_rate=config.port_rate)
+        coflows = trace_to_coflows(trace, fabric)
+    else:
+        spec_fn = fb_like_spec if args.synthetic == "fb-like" else osp_like_spec
+        spec = spec_fn(num_machines=args.machines, num_coflows=args.coflows)
+        fabric = spec.make_fabric()
+        coflows = WorkloadGenerator(spec, seed=args.seed).generate_coflows(
+            fabric
+        )
+
+    scheduler = make_scheduler(args.policy, config)
+    result = run_policy(scheduler, coflows, fabric, config)
+    summary = DistributionSummary.of([c.cct() for c in result.coflows])
+    return "\n".join([
+        f"policy: {args.policy}",
+        f"coflows finished: {summary.count}",
+        f"CCT mean: {summary.mean:.4f} s",
+        f"CCT p10/p50/p90: {summary.p10:.4f} / {summary.p50:.4f} / "
+        f"{summary.p90:.4f} s",
+        f"makespan: {result.makespan:.4f} s",
+        f"schedule computations: {result.reschedules}",
+    ])
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> str:
+    spec_fn = fb_like_spec if args.family == "fb-like" else osp_like_spec
+    spec = spec_fn(num_machines=args.machines, num_coflows=args.coflows)
+    trace = WorkloadGenerator(spec, seed=args.seed).generate_trace()
+    text = dump_trace(trace)
+    if args.output is not None:
+        args.output.write_text(text)
+        return f"wrote {len(trace)} coflows to {args.output}"
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "policies":
+            print("\n".join(available_policies()))
+        elif args.command == "experiments":
+            for exp_id in available_experiments():
+                print(f"{exp_id}: {get_experiment(exp_id).description}")
+        elif args.command == "run-experiment":
+            print(run_and_render(args.exp_id, ExperimentScale(args.scale)))
+        elif args.command == "simulate":
+            print(_cmd_simulate(args))
+        elif args.command == "gen-trace":
+            print(_cmd_gen_trace(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The Saath scheduler — the paper's primary contribution."""
+
+from .contention import contention_counts, ports_in_use, waiting_time_increase
+from .dynamics import (
+    estimated_finished_length,
+    estimated_remaining_bottleneck,
+    promotion_queue,
+)
+from .estimators import (
+    CedarLikeEstimator,
+    ESTIMATORS,
+    LengthEstimator,
+    MedianEstimator,
+    QuantileEstimator,
+    TrimmedMeanEstimator,
+    get_estimator,
+)
+from .saath import SaathScheduler
+
+__all__ = [
+    "CedarLikeEstimator",
+    "ESTIMATORS",
+    "LengthEstimator",
+    "MedianEstimator",
+    "QuantileEstimator",
+    "SaathScheduler",
+    "TrimmedMeanEstimator",
+    "get_estimator",
+    "contention_counts",
+    "estimated_finished_length",
+    "estimated_remaining_bottleneck",
+    "ports_in_use",
+    "promotion_queue",
+    "waiting_time_increase",
+]

@@ -1,0 +1,69 @@
+"""Approximated SRTF under cluster dynamics (§4.3).
+
+Once some flows of a coflow have finished, the coordinator can estimate the
+coflow's remaining work from *observed* data only (finished-flow lengths are
+simply the bytes those flows sent — no clairvoyance involved):
+
+1. ``f_e`` — median length of the finished flows,
+2. per unfinished flow ``i``: ``f_rem_i = max(f_e - f_i, 0)`` where ``f_i``
+   is the bytes flow ``i`` has sent so far,
+3. ``m_c = max_i f_rem_i`` — the estimated remaining bottleneck,
+4. re-assign the coflow's queue by Eq. 1 using ``m_c``.
+
+Because ``f_i`` only grows, ``m_c`` only shrinks, so this rule *promotes*
+coflows toward higher-priority queues as they approach completion — the
+opposite of Aalo's demotion-only total-bytes rule, and the mechanism that
+rescues coflows delayed by stragglers and restarts.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..config import QueueConfig
+from ..simulator.flows import CoFlow
+
+
+def estimated_finished_length(coflow: CoFlow) -> float | None:
+    """Median observed length of the coflow's finished flows (``f_e``).
+
+    Returns ``None`` when no flow has finished yet — the estimate is then
+    undefined and queueing falls back to the threshold rule.
+    """
+    lengths = [f.bytes_sent for f in coflow.flows if f.finished]
+    if not lengths:
+        return None
+    return float(statistics.median(lengths))
+
+
+def estimated_remaining_bottleneck(coflow: CoFlow) -> float | None:
+    """``m_c = max_i max(f_e - f_i, 0)`` over unfinished flows.
+
+    ``None`` when undefined (no finished flows, or nothing unfinished).
+    """
+    f_e = estimated_finished_length(coflow)
+    if f_e is None:
+        return None
+    unfinished = coflow.unfinished_flows()
+    if not unfinished:
+        return None
+    return max(max(f_e - f.bytes_sent, 0.0) for f in unfinished)
+
+
+def promotion_queue(coflow: CoFlow, queues: QueueConfig,
+                    estimator=None) -> int | None:
+    """Queue the coflow should occupy under the SRTF approximation.
+
+    Applies Eq. 1 with the estimated remaining bottleneck in place of the
+    max-bytes-sent metric. ``None`` when the estimate is unavailable.
+    ``estimator`` optionally replaces the paper's median rule with one of
+    the :mod:`repro.core.estimators` strategies (the paper's Cedar future
+    work).
+    """
+    if estimator is None:
+        m_c = estimated_remaining_bottleneck(coflow)
+    else:
+        m_c = estimator.estimated_remaining_bottleneck(coflow)
+    if m_c is None:
+        return None
+    return queues.queue_for_per_flow_bytes(m_c, coflow.width)

@@ -1,0 +1,152 @@
+"""Pluggable flow-length estimators for the §4.3 dynamics handler.
+
+The paper estimates a coflow's unfinished-flow lengths from the *median* of
+its finished flows and notes: "more sophisticated schemes such as Cedar
+[35] can be used to estimate flow lengths, which we leave as future work."
+This module implements that future work as a small strategy family:
+
+* :class:`MedianEstimator` — the paper's default.
+* :class:`TrimmedMeanEstimator` — mean of the central ``1 - 2*trim``
+  fraction; more sample-efficient than the median when finished-flow
+  lengths are roughly symmetric.
+* :class:`QuantileEstimator` — a configurable quantile; an upper quantile
+  (e.g. 0.75) is *conservative*: it over-estimates remaining work, delaying
+  promotion but avoiding promoting coflows that still have a long tail
+  flow to run (the failure mode of optimistic estimates under skew).
+* :class:`CedarLikeEstimator` — Cedar's key idea (Kumar et al., EuroSys'16)
+  adapted to flows: combine the sample estimate with an uncertainty bonus
+  that shrinks as more flows finish, i.e. ``quantile + z * s / sqrt(n)``.
+
+All estimators consume only *observed* bytes (finished-flow lengths), never
+clairvoyant volumes, so they are legal for online schedulers.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import statistics
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..simulator.flows import CoFlow
+
+
+class LengthEstimator(abc.ABC):
+    """Estimates the typical flow length of a partially-finished coflow."""
+
+    @abc.abstractmethod
+    def estimate(self, finished_lengths: list[float]) -> float:
+        """Point estimate of a flow's length given finished-flow samples.
+
+        ``finished_lengths`` is non-empty (the caller guards).
+        """
+
+    def estimated_remaining_bottleneck(self, coflow: CoFlow) -> float | None:
+        """``m_c`` under this estimator (None when no flow has finished)."""
+        lengths = [f.bytes_sent for f in coflow.flows if f.finished]
+        if not lengths:
+            return None
+        unfinished = coflow.unfinished_flows()
+        if not unfinished:
+            return None
+        f_e = self.estimate(lengths)
+        return max(max(f_e - f.bytes_sent, 0.0) for f in unfinished)
+
+
+@dataclass(frozen=True)
+class MedianEstimator(LengthEstimator):
+    """The paper's default: the median of finished flow lengths."""
+
+    def estimate(self, finished_lengths: list[float]) -> float:
+        return float(statistics.median(finished_lengths))
+
+
+@dataclass(frozen=True)
+class TrimmedMeanEstimator(LengthEstimator):
+    """Mean of the central portion after trimming ``trim`` from each end."""
+
+    trim: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.trim < 0.5:
+            raise ConfigError(f"trim must be in [0, 0.5), got {self.trim}")
+
+    def estimate(self, finished_lengths: list[float]) -> float:
+        values = sorted(finished_lengths)
+        k = int(len(values) * self.trim)
+        core = values[k:len(values) - k] or values
+        return float(sum(core) / len(core))
+
+
+@dataclass(frozen=True)
+class QuantileEstimator(LengthEstimator):
+    """A configurable quantile of the finished lengths."""
+
+    quantile: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile <= 1:
+            raise ConfigError(
+                f"quantile must be in (0, 1], got {self.quantile}"
+            )
+
+    def estimate(self, finished_lengths: list[float]) -> float:
+        values = sorted(finished_lengths)
+        if len(values) == 1:
+            return float(values[0])
+        pos = self.quantile * (len(values) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return float(values[lo] * (1 - frac) + values[hi] * frac)
+
+
+@dataclass(frozen=True)
+class CedarLikeEstimator(LengthEstimator):
+    """Quantile + shrinking uncertainty bonus (Cedar's aggregation idea).
+
+    With few samples the bonus is large (conservative, avoids premature
+    promotion); it decays as ``1/sqrt(n)`` while the sample quantile takes
+    over — matching Cedar's confidence-aware estimates for straggler-aware
+    aggregation queries.
+    """
+
+    quantile: float = 0.5
+    z: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile <= 1:
+            raise ConfigError(
+                f"quantile must be in (0, 1], got {self.quantile}"
+            )
+        if self.z < 0:
+            raise ConfigError(f"z must be >= 0, got {self.z}")
+
+    def estimate(self, finished_lengths: list[float]) -> float:
+        base = QuantileEstimator(self.quantile).estimate(finished_lengths)
+        n = len(finished_lengths)
+        if n < 2:
+            # No spread information: assume the single sample could be half
+            # the story and double-hedge.
+            return base * (1.0 + self.z)
+        spread = float(statistics.stdev(finished_lengths))
+        return base + self.z * spread / math.sqrt(n)
+
+
+#: Registry used by config/CLI surfaces.
+ESTIMATORS: dict[str, LengthEstimator] = {
+    "median": MedianEstimator(),
+    "trimmed-mean": TrimmedMeanEstimator(),
+    "quantile-75": QuantileEstimator(0.75),
+    "cedar": CedarLikeEstimator(),
+}
+
+
+def get_estimator(name: str) -> LengthEstimator:
+    try:
+        return ESTIMATORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown estimator {name!r}; known: {sorted(ESTIMATORS)}"
+        ) from None

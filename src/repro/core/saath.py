@@ -1,0 +1,212 @@
+"""The Saath scheduler — the paper's primary contribution (§3–§4).
+
+Saath is an online (non-clairvoyant) coflow scheduler built from three
+complementary ideas plus two safety mechanisms, all implemented here:
+
+1. **All-or-none** (§3.1): a coflow is admitted only if *every* port its
+   schedulable flows touch still has capacity; either all of its flows are
+   scheduled together or none is. This removes Aalo's out-of-sync problem.
+2. **Per-flow queue thresholds** (§3.2, D3/Eq. 1): queue transitions fire
+   when the *largest flow* crosses its fair share ``Q_hi / width`` of the
+   queue threshold, moving long coflows out of high-priority queues faster.
+3. **Least-Contention-First** (§3.3, D1): within a queue, coflows are
+   admitted in increasing order of contention ``k_c`` — the spatial
+   generalisation of SJF.
+4. **Work conservation** (D4): ports left idle by all-or-none are filled
+   with the flows of skipped coflows, in scheduling order.
+5. **Starvation avoidance** (D5): each coflow carries a FIFO-derived
+   deadline ``d · C_q · t_q``; coflows past their deadline are admitted
+   ahead of the LCoF order.
+
+The optional §4.3 dynamics handler (approximated SRTF promotion when some
+flows have finished) is enabled by ``config.enable_dynamics_promotion``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import SimulationConfig
+from ..schedulers.base import Allocation, Scheduler
+from ..schedulers.queues import QueueTracker
+from ..simulator.flows import CoFlow, Flow
+from ..simulator.ratealloc import equal_rate_for_coflow, greedy_residual_rates
+from ..simulator.state import ClusterState
+from .contention import contention_counts
+from .dynamics import promotion_queue
+
+
+class SaathScheduler(Scheduler):
+    """Saath, with ablation switches for the Fig. 10–12 breakdown.
+
+    ``use_lcof=False`` replaces LCoF with FIFO (arrival order) within each
+    queue; ``use_perflow_threshold=False`` falls back to Aalo's total-bytes
+    queue metric. Both default to the full Saath design. All variants keep
+    all-or-none admission and work conservation, matching the paper's
+    breakdown (A/N+FIFO, A/N+P/F+FIFO, A/N+P/F+LCoF).
+    """
+
+    name = "saath"
+    clairvoyant = False
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        use_lcof: bool = True,
+        use_perflow_threshold: bool = True,
+        work_conservation: bool = True,
+        length_estimator=None,
+    ):
+        super().__init__(config)
+        self.use_lcof = use_lcof
+        self.use_perflow_threshold = use_perflow_threshold
+        self.work_conservation = work_conservation
+        #: Strategy for the §4.3 remaining-length estimate (None = the
+        #: paper's median rule; see repro.core.estimators).
+        self.length_estimator = length_estimator
+        metric = "perflow" if use_perflow_threshold else "total"
+        self.tracker = QueueTracker(config, metric=metric)
+        #: Coflows governed by the §4.3 SRTF approximation (some flows done).
+        self._dynamics_mode: set[int] = set()
+        #: Diagnostics: how often the starvation path admitted a coflow.
+        self.starvation_admissions = 0
+
+    # ---- lifecycle ------------------------------------------------------------
+
+    def on_coflow_arrival(self, coflow: CoFlow, now: float) -> None:
+        self.tracker.admit(coflow, now)
+
+    def on_coflow_completion(self, coflow: CoFlow, now: float) -> None:
+        self.tracker.remove(coflow)
+        self._dynamics_mode.discard(coflow.coflow_id)
+
+    def on_flow_completion(self, flow: Flow, coflow: CoFlow, now: float) -> None:
+        if not self.config.enable_dynamics_promotion:
+            return
+        self._dynamics_mode.add(coflow.coflow_id)
+        self._apply_promotion(coflow, now)
+
+    # ---- the scheduling round (Fig. 7) ------------------------------------------
+
+    def schedule(self, state: ClusterState, now: float) -> Allocation:
+        self._assign_queues(state, now)
+        order = self._scheduling_order(state, now)
+
+        ledger = state.make_ledger()
+        allocation = Allocation()
+        missed: list[CoFlow] = []
+
+        for coflow in order:
+            flows = state.schedulable_flows(coflow, now)
+            if not flows:
+                continue
+            if self._all_or_none_admissible(flows, ledger):
+                rates = equal_rate_for_coflow(coflow, ledger, flows=flows)
+                if rates:
+                    allocation.rates.update(rates)
+                    allocation.scheduled_coflows.add(coflow.coflow_id)
+                    continue
+            missed.append(coflow)
+
+        if self.work_conservation and missed:
+            self._work_conserve(missed, state, ledger, allocation, now)
+        return allocation
+
+    def next_wakeup(self, state: ClusterState, allocation: Allocation,
+                    now: float) -> float | None:
+        """Queue-threshold crossings and starvation-deadline expiries."""
+        best = math.inf
+        for coflow in state.active_coflows:
+            dt = self.tracker.next_transition_time(coflow, allocation.rates)
+            if dt < math.inf:
+                best = min(best, now + max(dt, 0.0))
+        if self.config.deadline_factor is not None:
+            best = min(best, self.tracker.next_deadline_after(now))
+        if not math.isfinite(best) or best <= now:
+            # A zero transition gap means refresh already happens on the
+            # next schedule; nudge forward to avoid a same-instant livelock.
+            if best <= now and math.isfinite(best):
+                return now + 1e-9
+            return None
+        return best
+
+    # ---- pieces ------------------------------------------------------------------
+
+    def _assign_queues(self, state: ClusterState, now: float) -> None:
+        """AssignQueue (Fig. 7 line 15): demotions plus §4.3 promotions."""
+        for coflow in state.active_coflows:
+            if coflow.coflow_id in self._dynamics_mode:
+                self._apply_promotion(coflow, now)
+            else:
+                self.tracker.refresh(coflow, now)
+
+    def _apply_promotion(self, coflow: CoFlow, now: float) -> None:
+        target = promotion_queue(coflow, self.config.queues,
+                                 estimator=self.length_estimator)
+        if target is not None:
+            self.tracker.force_queue(coflow, target, now)
+
+    def _scheduling_order(self, state: ClusterState,
+                          now: float) -> list[CoFlow]:
+        """Starved coflows first, then queues top-down, LCoF within each."""
+        starving: list[CoFlow] = []
+        per_queue: dict[int, list[CoFlow]] = {}
+        for coflow in state.active_coflows:
+            if (self.config.deadline_factor is not None
+                    and self.tracker.starving(coflow, now)):
+                starving.append(coflow)
+            else:
+                per_queue.setdefault(
+                    self.tracker.queue_of(coflow), []
+                ).append(coflow)
+
+        starving.sort(key=lambda c: (self.tracker.deadline_of(c), c.coflow_id))
+        self.starvation_admissions += len(starving)
+
+        order = starving
+        contention = None
+        if self.use_lcof:
+            queue_of = {
+                c.coflow_id: self.tracker.queue_of(c)
+                for c in state.active_coflows
+            }
+            contention = contention_counts(
+                state.active_coflows,
+                scope=self.config.contention_scope,
+                queue_of=queue_of,
+            )
+        for queue in sorted(per_queue):
+            members = per_queue[queue]
+            if self.use_lcof:
+                assert contention is not None
+                members.sort(
+                    key=lambda c: (contention[c.coflow_id],
+                                   c.arrival_time, c.coflow_id)
+                )
+            else:  # FIFO within the queue
+                members.sort(key=lambda c: (c.arrival_time, c.coflow_id))
+            order.extend(members)
+        return order
+
+    def _all_or_none_admissible(self, flows: list[Flow],
+                                ledger) -> bool:
+        """True if every port the flows touch has ≥ min_rate residual."""
+        min_rate = self.config.min_rate
+        ports: set[int] = set()
+        for f in flows:
+            ports.add(f.src)
+            ports.add(f.dst)
+        return all(ledger.has_capacity(p, min_rate) for p in ports)
+
+    def _work_conserve(self, missed: list[CoFlow], state: ClusterState,
+                       ledger, allocation: Allocation, now: float) -> None:
+        """Fig. 7 lines 18–23: fill leftover capacity in scheduling order."""
+        wc_flows: list[Flow] = []
+        for coflow in missed:
+            wc_flows.extend(state.schedulable_flows(coflow, now))
+        rates = greedy_residual_rates(wc_flows, ledger)
+        if rates:
+            allocation.rates.update(rates)
+            granted = {f.coflow_id for f in wc_flows if f.flow_id in rates}
+            allocation.work_conserved_coflows |= granted

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Saath reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file did not conform to the coflow-benchmark format."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler produced an invalid allocation or was misused."""
+
+
+class CapacityViolationError(SchedulerError):
+    """An allocation exceeded the capacity of some port."""
+
+    def __init__(self, port: str, allocated: float, capacity: float):
+        self.port = port
+        self.allocated = allocated
+        self.capacity = capacity
+        super().__init__(
+            f"port {port}: allocated {allocated:.3f} B/s exceeds "
+            f"capacity {capacity:.3f} B/s"
+        )
+
+
+class UnknownPolicyError(ReproError):
+    """A scheduler name was not found in the registry."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown scheduling policy {name!r}; known policies: "
+            + ", ".join(sorted(known))
+        )

@@ -1,0 +1,31 @@
+"""Experiments: one module per table/figure of the paper's evaluation."""
+
+from .common import (
+    ExperimentScale,
+    Workload,
+    build_workload,
+    ccts_under,
+    fb_workload,
+    osp_workload,
+    run_policy_on,
+)
+from .registry import (
+    Experiment,
+    available_experiments,
+    get_experiment,
+    run_and_render,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentScale",
+    "Workload",
+    "available_experiments",
+    "build_workload",
+    "ccts_under",
+    "fb_workload",
+    "get_experiment",
+    "osp_workload",
+    "run_and_render",
+    "run_policy_on",
+]

@@ -1,0 +1,128 @@
+"""Shared experiment machinery.
+
+Every experiment module exposes a ``run(scale=...) -> <Result dataclass>``
+plus a ``render(result) -> str`` that prints the paper's rows/series. The
+:class:`ExperimentScale` knob trades fidelity for runtime: benchmarks
+default to ``SMALL`` so the whole harness finishes in minutes on a laptop;
+``PAPER`` reproduces the full trace dimensions (150 machines / 526 coflows
+FB-like, 100 machines / 1000 coflows OSP-like).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import PAPER_SYNC_INTERVAL, SimulationConfig
+from ..schedulers.registry import make_scheduler
+from ..simulator.engine import SimulationResult, run_policy
+from ..simulator.fabric import Fabric
+from ..simulator.flows import CoFlow, clone_coflows
+from ..workloads.synthetic import (
+    SyntheticSpec,
+    WorkloadGenerator,
+    fb_like_spec,
+    osp_like_spec,
+)
+
+
+class ExperimentScale(enum.Enum):
+    """Workload sizing presets."""
+
+    TINY = "tiny"  # CI smoke: seconds
+    SMALL = "small"  # default benchmarks: tens of seconds
+    PAPER = "paper"  # full trace dimensions: minutes per policy
+
+
+_FB_DIMENSIONS: dict[ExperimentScale, tuple[int, int]] = {
+    ExperimentScale.TINY: (20, 40),
+    ExperimentScale.SMALL: (50, 150),
+    ExperimentScale.PAPER: (150, 526),
+}
+
+_OSP_DIMENSIONS: dict[ExperimentScale, tuple[int, int]] = {
+    ExperimentScale.TINY: (16, 60),
+    ExperimentScale.SMALL: (40, 250),
+    ExperimentScale.PAPER: (100, 1000),
+}
+
+
+def fb_spec_for(scale: ExperimentScale) -> SyntheticSpec:
+    machines, coflows = _FB_DIMENSIONS[scale]
+    return fb_like_spec(num_machines=machines, num_coflows=coflows)
+
+
+def osp_spec_for(scale: ExperimentScale) -> SyntheticSpec:
+    machines, coflows = _OSP_DIMENSIONS[scale]
+    return osp_like_spec(num_machines=machines, num_coflows=coflows)
+
+
+@dataclass
+class Workload:
+    """A reusable workload: fabric + pristine coflows + provenance."""
+
+    name: str
+    fabric: Fabric
+    coflows: list[CoFlow]
+    seed: int
+
+    def fresh_coflows(self) -> list[CoFlow]:
+        """A fresh, unmutated copy for one simulation run."""
+        return clone_coflows(self.coflows)
+
+
+def build_workload(spec: SyntheticSpec, seed: int = 7) -> Workload:
+    gen = WorkloadGenerator(spec, seed=seed)
+    fabric = spec.make_fabric()
+    return Workload(
+        name=spec.name, fabric=fabric,
+        coflows=gen.generate_coflows(fabric), seed=seed,
+    )
+
+
+def fb_workload(scale: ExperimentScale = ExperimentScale.SMALL,
+                seed: int = 7) -> Workload:
+    return build_workload(fb_spec_for(scale), seed=seed)
+
+
+def osp_workload(scale: ExperimentScale = ExperimentScale.SMALL,
+                 seed: int = 11) -> Workload:
+    return build_workload(osp_spec_for(scale), seed=seed)
+
+
+def default_experiment_config() -> SimulationConfig:
+    """The paper's §6 simulation defaults, δ = 8 ms included.
+
+    Experiments simulate the coordinator/agent sync loop (the paper's
+    simulator does too — δ is a first-class parameter of Fig. 14c); the
+    library-wide :class:`SimulationConfig` default stays at the idealised
+    δ = 0 for unit tests and interactive use.
+    """
+    return SimulationConfig(sync_interval=PAPER_SYNC_INTERVAL)
+
+
+def run_policy_on(
+    workload: Workload,
+    policy: str,
+    config: SimulationConfig | None = None,
+    **run_kwargs,
+) -> SimulationResult:
+    """Run one registered policy on a fresh copy of the workload."""
+    config = config or default_experiment_config()
+    scheduler = make_scheduler(policy, config)
+    return run_policy(
+        scheduler, workload.fresh_coflows(), workload.fabric, config,
+        **run_kwargs,
+    )
+
+
+def ccts_under(
+    workload: Workload,
+    policies: list[str],
+    config: SimulationConfig | None = None,
+) -> dict[str, dict[int, float]]:
+    """CCT maps for several policies on the same workload."""
+    return {
+        policy: run_policy_on(workload, policy, config).ccts()
+        for policy in policies
+    }

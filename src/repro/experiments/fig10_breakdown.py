@@ -1,0 +1,65 @@
+"""Fig. 10 — speedup breakdown across Saath's three design ideas (§6.2).
+
+Three cumulative variants over Aalo, for both traces:
+
+* ``A/N + FIFO`` — paper medians 1.13× (FB), 1.10× (OSP);
+* ``A/N + P/F + FIFO`` — 1.30× (FB), 1.32× (OSP);
+* ``A/N + P/F + LCoF`` (= Saath) — 1.53× (FB), 1.42× (OSP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import DistributionSummary, per_coflow_speedups
+from ..analysis.report import format_table
+from .common import (
+    ExperimentScale,
+    Workload,
+    ccts_under,
+    fb_workload,
+    osp_workload,
+)
+
+VARIANTS = ("an-fifo", "an-pf-fifo", "saath")
+PAPER_MEDIANS = {
+    "fb-like": {"an-fifo": 1.13, "an-pf-fifo": 1.30, "saath": 1.53},
+    "osp-like": {"an-fifo": 1.10, "an-pf-fifo": 1.32, "saath": 1.42},
+}
+
+
+@dataclass
+class Fig10Result:
+    #: trace -> variant -> speedup summary over Aalo.
+    summaries: dict[str, dict[str, DistributionSummary]]
+
+
+def _breakdown(workload: Workload) -> dict[str, DistributionSummary]:
+    ccts = ccts_under(workload, ["aalo", *VARIANTS])
+    return {
+        v: DistributionSummary.of(
+            list(per_coflow_speedups(ccts["aalo"], ccts[v]).values())
+        )
+        for v in VARIANTS
+    }
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        *, include_osp: bool = True, seed: int = 7) -> Fig10Result:
+    summaries = {"fb-like": _breakdown(fb_workload(scale, seed=seed))}
+    if include_osp:
+        summaries["osp-like"] = _breakdown(osp_workload(scale))
+    return Fig10Result(summaries=summaries)
+
+
+def render(result: Fig10Result) -> str:
+    rows = []
+    for trace, by_variant in result.summaries.items():
+        for variant, summary in by_variant.items():
+            paper = PAPER_MEDIANS.get(trace, {}).get(variant, float("nan"))
+            rows.append([trace, variant, summary.p50, summary.p90, paper])
+    return format_table(
+        ["trace", "variant", "median", "p90", "paper median"],
+        rows,
+        title="Fig. 10 — Saath speedup breakdown over Aalo",
+    )

@@ -1,0 +1,84 @@
+"""Fig. 11 / Fig. 12 — per-bin speedup breakdown (§6.2, Table 1 bins).
+
+Same variants as Fig. 10, but median speedups reported per Table-1
+size×width bin. Paper qualitative claims to check:
+
+* A/N helps small+thin coflows (bin-1) most;
+* P/F helps the wide bins (2 and 4);
+* LCoF helps every bin, most dramatically bin-1.
+
+Fig. 11 is the FB trace (with bin population fractions 54/14/12/20%);
+Fig. 12 repeats for OSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.bins import BIN_LABELS, bin_fractions, binned_speedups
+from ..analysis.metrics import per_coflow_speedups
+from ..analysis.report import format_table
+from .common import (
+    ExperimentScale,
+    Workload,
+    ccts_under,
+    fb_workload,
+    osp_workload,
+)
+from .fig10_breakdown import VARIANTS
+
+
+@dataclass
+class BinBreakdown:
+    #: variant -> bin label -> median speedup over Aalo.
+    medians: dict[str, dict[str, float]]
+    #: bin label -> fraction of coflows (x-label percentages of Fig. 11).
+    fractions: dict[str, float]
+
+
+@dataclass
+class Fig11Result:
+    per_trace: dict[str, BinBreakdown]
+
+
+def _bin_breakdown(workload: Workload) -> BinBreakdown:
+    ccts = ccts_under(workload, ["aalo", *VARIANTS])
+    medians: dict[str, dict[str, float]] = {}
+    for variant in VARIANTS:
+        speedups = per_coflow_speedups(ccts["aalo"], ccts[variant])
+        medians[variant] = binned_speedups(
+            workload.coflows, speedups
+        ).medians()
+    return BinBreakdown(
+        medians=medians, fractions=bin_fractions(workload.coflows)
+    )
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        *, include_osp: bool = True, seed: int = 7) -> Fig11Result:
+    per_trace = {"fb-like": _bin_breakdown(fb_workload(scale, seed=seed))}
+    if include_osp:
+        per_trace["osp-like"] = _bin_breakdown(osp_workload(scale))
+    return Fig11Result(per_trace=per_trace)
+
+
+def render(result: Fig11Result) -> str:
+    blocks = []
+    for trace, breakdown in result.per_trace.items():
+        rows = []
+        for label in BIN_LABELS:
+            row: list[object] = [
+                f"{label} ({breakdown.fractions[label] * 100:.0f}%)"
+            ]
+            for variant in VARIANTS:
+                row.append(breakdown.medians[variant].get(label, float("nan")))
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["bin", *VARIANTS],
+                rows,
+                title=f"Fig. 11/12 — median speedup over Aalo by bin "
+                      f"({trace})",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,174 @@
+"""Fig. 14 — sensitivity analysis (§6.3).
+
+Five sweeps on the FB-like trace, each reporting the median per-coflow
+speedup over *default Aalo* (Aalo at the paper's default parameters) for
+both Saath and Aalo at the swept setting:
+
+* (a) start queue threshold ``S`` — Aalo degrades as S grows (HoL blocking
+  inside the giant first queue); Saath stays flat thanks to LCoF;
+* (b) threshold growth exponent ``E`` — both insensitive;
+* (c) sync interval δ — both degrade as schedules go stale;
+* (d) arrival-time scaling ``A`` — contention up, both slow down, but the
+  Saath/Aalo gap widens (paper: 1.53× → 1.9×);
+* (e) starvation deadline factor ``d`` — Saath insensitive, slight dip at
+  d=1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.metrics import per_coflow_speedups
+from ..analysis.report import format_table
+from ..config import QueueConfig, SimulationConfig
+from ..schedulers.registry import make_scheduler
+from ..simulator.engine import run_policy
+from ..units import GB, MB, MSEC, TB
+from ..workloads.synthetic import scale_arrivals
+from .common import (
+    ExperimentScale,
+    Workload,
+    default_experiment_config,
+    fb_workload,
+)
+
+#: Sweep values mirroring the paper's x-axes (S capped at 100 GB — the 1 TB
+#: point adds nothing once every coflow fits in the first queue).
+START_THRESHOLDS = (10 * MB, 100 * MB, 1 * GB, 10 * GB, 100 * GB, 1 * TB)
+EXPONENTS = (2, 5, 10, 16, 32)
+SYNC_INTERVALS = tuple(x * MSEC for x in (2, 4, 8, 12, 16, 20))
+ARRIVAL_SCALES = (0.25, 0.5, 1, 2, 4, 5)
+DEADLINE_FACTORS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class SweepResult:
+    """One parameter sweep: setting -> policy -> median speedup."""
+
+    parameter: str
+    #: setting value -> {"saath": median, "aalo": median} over default Aalo.
+    medians: dict[float, dict[str, float]] = field(default_factory=dict)
+
+
+@dataclass
+class Fig14Result:
+    sweeps: dict[str, SweepResult]
+
+
+def _median_speedup(reference: dict[int, float],
+                    candidate: dict[int, float]) -> float:
+    return float(np.median(
+        list(per_coflow_speedups(reference, candidate).values())
+    ))
+
+
+def _run(workload: Workload, policy: str, config: SimulationConfig,
+         arrival_scale: float = 1.0) -> dict[int, float]:
+    coflows = workload.fresh_coflows()
+    if arrival_scale != 1.0:
+        scale_arrivals(coflows, arrival_scale)
+    scheduler = make_scheduler(policy, config)
+    return run_policy(scheduler, coflows, workload.fabric, config).ccts()
+
+
+def run(scale: ExperimentScale = ExperimentScale.TINY,
+        workload: Workload | None = None,
+        *,
+        sweeps: tuple[str, ...] = ("S", "E", "delta", "A", "d"),
+        seed: int = 7) -> Fig14Result:
+    workload = workload or fb_workload(scale, seed=seed)
+    default_cfg = default_experiment_config()
+    reference = _run(workload, "aalo", default_cfg)
+
+    out: dict[str, SweepResult] = {}
+
+    if "S" in sweeps:
+        sweep = SweepResult(parameter="start_threshold")
+        for s in START_THRESHOLDS:
+            cfg = default_cfg.with_updates(
+                queues=QueueConfig(start_threshold=s)
+            )
+            sweep.medians[s] = {
+                "saath": _median_speedup(reference, _run(workload, "saath", cfg)),
+                "aalo": _median_speedup(reference, _run(workload, "aalo", cfg)),
+            }
+        out["S"] = sweep
+
+    if "E" in sweeps:
+        sweep = SweepResult(parameter="growth_factor")
+        for e in EXPONENTS:
+            cfg = default_cfg.with_updates(
+                queues=QueueConfig(growth_factor=float(e))
+            )
+            sweep.medians[e] = {
+                "saath": _median_speedup(reference, _run(workload, "saath", cfg)),
+                "aalo": _median_speedup(reference, _run(workload, "aalo", cfg)),
+            }
+        out["E"] = sweep
+
+    if "delta" in sweeps:
+        sweep = SweepResult(parameter="sync_interval")
+        for delta in SYNC_INTERVALS:
+            cfg = default_cfg.with_updates(sync_interval=delta)
+            sweep.medians[delta] = {
+                "saath": _median_speedup(reference, _run(workload, "saath", cfg)),
+                "aalo": _median_speedup(reference, _run(workload, "aalo", cfg)),
+            }
+        out["delta"] = sweep
+
+    if "A" in sweeps:
+        sweep = SweepResult(parameter="arrival_scale")
+        for a in ARRIVAL_SCALES:
+            # Reference for each A is Aalo at default parameters *and the
+            # same arrival scaling*, matching the paper's normalisation to
+            # "default Aalo" per contention level... the paper normalises
+            # to A=1 Aalo; we keep per-A Aalo-vs-Saath pairs and also store
+            # the Saath/Aalo gap, which is the quantity the text discusses.
+            aalo_a = _run(workload, "aalo", default_cfg, arrival_scale=a)
+            saath_a = _run(workload, "saath", default_cfg, arrival_scale=a)
+            sweep.medians[a] = {
+                "saath": _median_speedup(aalo_a, saath_a),
+                "aalo": 1.0,
+            }
+        out["A"] = sweep
+
+    if "d" in sweeps:
+        sweep = SweepResult(parameter="deadline_factor")
+        for d in DEADLINE_FACTORS:
+            cfg = default_cfg.with_updates(deadline_factor=float(d))
+            sweep.medians[d] = {
+                "saath": _median_speedup(reference, _run(workload, "saath", cfg)),
+                "aalo": _median_speedup(reference, _run(workload, "aalo", cfg)),
+            }
+        out["d"] = sweep
+
+    return Fig14Result(sweeps=out)
+
+
+def render(result: Fig14Result) -> str:
+    blocks = []
+    captions = {
+        "S": "(a) start queue threshold S (paper: Aalo sensitive, Saath not)",
+        "E": "(b) growth exponent E (paper: both insensitive)",
+        "delta": "(c) sync interval δ seconds (paper: both degrade)",
+        "A": "(d) arrival scaling A (paper: Saath/Aalo gap widens "
+             "1.53x -> 1.9x)",
+        "d": "(e) deadline factor d (paper: insensitive, slight dip at 1)",
+    }
+    for key, sweep in result.sweeps.items():
+        rows = [
+            [setting, vals.get("saath", float("nan")),
+             vals.get("aalo", float("nan"))]
+            for setting, vals in sweep.medians.items()
+        ]
+        blocks.append(
+            format_table(
+                [sweep.parameter, "saath median speedup", "aalo median speedup"],
+                rows,
+                title=f"Fig. 14 {captions.get(key, key)}",
+                float_fmt="{:.3g}",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,86 @@
+"""Fig. 15 — testbed CCT speedup CDF (§7.1), via testbed mode.
+
+The paper's Azure testbed replays the FB trace through the C++ prototype;
+per-coflow CCT speedups over Aalo range 0.09–12.15× with an average of
+1.88× and median 1.43×, and >70% of coflows improve. Some coflows *slow
+down* — those favoured by FIFO's arrival-order service that LCoF pushes
+back — which is why the CDF starts below 1.
+
+This reproduction runs both schedulers in testbed mode: the coordinator
+sync interval δ = 8 ms and multiplicative achieved-rate jitter
+(:class:`~repro.simulator.testbed.RateJitter`) stand in for the real
+deployment's imperfections (substitution documented in DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.metrics import (
+    DistributionSummary,
+    fraction_at_least,
+    per_coflow_speedups,
+)
+from ..analysis.report import format_cdf
+from ..config import SimulationConfig
+from ..schedulers.registry import make_scheduler
+from ..simulator.engine import run_policy
+from ..simulator.testbed import RateJitter, testbed_config
+from .common import ExperimentScale, Workload, fb_workload
+
+
+@dataclass
+class Fig15Result:
+    speedups: dict[int, float]
+    summary: DistributionSummary
+    improved_fraction: float
+    #: Count of starvation-path admissions during the Saath run (the paper
+    #: reports the starvation mechanism triggering for <1% of coflows).
+    starvation_admissions: int = 0
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        workload: Workload | None = None,
+        *,
+        jitter_seed: int = 3,
+        seed: int = 7) -> Fig15Result:
+    workload = workload or fb_workload(scale, seed=seed)
+    config: SimulationConfig = testbed_config()
+
+    ccts = {}
+    starvation = 0
+    for policy in ("aalo", "saath"):
+        jitter = RateJitter(seed=jitter_seed)
+        scheduler = make_scheduler(policy, config)
+        result = run_policy(
+            scheduler, workload.fresh_coflows(), workload.fabric, config,
+            rate_perturbation=jitter,
+        )
+        ccts[policy] = result.ccts()
+        starvation = getattr(scheduler, "starvation_admissions", starvation)
+
+    speedups = per_coflow_speedups(ccts["aalo"], ccts["saath"])
+    values = list(speedups.values())
+    return Fig15Result(
+        speedups=speedups,
+        summary=DistributionSummary.of(values),
+        improved_fraction=fraction_at_least(values, 1.0),
+        starvation_admissions=starvation,
+    )
+
+
+def render(result: Fig15Result) -> str:
+    s = result.summary
+    return "\n".join([
+        "Fig. 15 — [testbed mode] CCT speedup CDF (Saath over Aalo)",
+        format_cdf(list(result.speedups.values()), title="speedup CDF"),
+        f"range: {s.minimum:.2f}x – {s.maximum:.2f}x "
+        f"(paper: 0.09x – 12.15x)",
+        f"mean: {s.mean:.2f}x (paper: 1.88x)   "
+        f"median: {s.p50:.2f}x (paper: 1.43x)",
+        f"fraction improved: {result.improved_fraction:.2f} (paper: >0.70)",
+        f"starvation-path admissions: {result.starvation_admissions} "
+        f"(paper: <1% of coflows)",
+    ])

@@ -1,0 +1,79 @@
+"""Fig. 16 — job completion time speedup by shuffle fraction (§7.2).
+
+Converts the testbed-mode CCT results into job completion times with the
+shuffle-fraction model of :mod:`repro.workloads.jobs`. Paper numbers:
+shuffle-heavy jobs (fraction ≥ 50%) speed up 1.83× on average (P50 1.24×,
+P90 2.81×); across all jobs the average is 1.42× (P50 1.07×, P90 1.98×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..workloads.jobs import (
+    SHUFFLE_BUCKETS,
+    bucket_speedups,
+    job_outcomes,
+    sample_shuffle_fractions,
+)
+from .common import ExperimentScale, Workload, ccts_under, fb_workload
+
+
+@dataclass
+class Fig16Result:
+    #: bucket label -> (P50, P90, mean) of JCT speedup.
+    buckets: dict[str, tuple[float, float, float]]
+    shuffle_heavy_mean: float
+    all_jobs_mean: float
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        workload: Workload | None = None,
+        *,
+        fraction_seed: int = 5,
+        seed: int = 7) -> Fig16Result:
+    workload = workload or fb_workload(scale, seed=seed)
+    ccts = ccts_under(workload, ["aalo", "saath"])
+    fractions = sample_shuffle_fractions(len(ccts["aalo"]), seed=fraction_seed)
+    outcomes = job_outcomes(ccts["aalo"], ccts["saath"], fractions)
+
+    grouped = bucket_speedups(outcomes)
+    buckets = {}
+    for label, values in grouped.items():
+        if not values:
+            continue
+        arr = np.asarray(values)
+        buckets[label] = (
+            float(np.percentile(arr, 50)),
+            float(np.percentile(arr, 90)),
+            float(arr.mean()),
+        )
+    heavy = [o.speedup for o in outcomes if o.shuffle_fraction >= 0.5]
+    return Fig16Result(
+        buckets=buckets,
+        shuffle_heavy_mean=float(np.mean(heavy)) if heavy else float("nan"),
+        all_jobs_mean=float(np.mean([o.speedup for o in outcomes])),
+    )
+
+
+def render(result: Fig16Result) -> str:
+    order = [label for label, _, _ in SHUFFLE_BUCKETS] + ["All"]
+    rows = []
+    for label in order:
+        if label in result.buckets:
+            p50, p90, mean = result.buckets[label]
+            rows.append([label, p50, p90, mean])
+    table = format_table(
+        ["shuffle fraction", "P50", "P90", "mean"],
+        rows,
+        title="Fig. 16 — JCT speedup of Saath over Aalo by shuffle fraction",
+    )
+    return "\n".join([
+        table,
+        f"shuffle-heavy (>=50%) mean: {result.shuffle_heavy_mean:.2f}x "
+        f"(paper: 1.83x)",
+        f"all jobs mean: {result.all_jobs_mean:.2f}x (paper: 1.42x)",
+    ])

@@ -1,0 +1,73 @@
+"""Fig. 9 — Saath's headline speedups over SEBF, Aalo and UC-TCP (§6.1).
+
+For both traces (FB-like, OSP-like), report the median / P10 / P90 of the
+per-coflow speedup of Saath over each comparison policy. Paper values:
+
+* over Aalo: median 1.53× (FB), 1.42× (OSP); P90 4.5× and 37×;
+* over offline SEBF: close to 1× (Saath approaches the clairvoyant
+  scheduler while running online);
+* over UC-TCP: median 154× (FB) and 121× (OSP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import DistributionSummary, per_coflow_speedups
+from ..analysis.report import format_table
+from .common import (
+    ExperimentScale,
+    Workload,
+    ccts_under,
+    fb_workload,
+    osp_workload,
+)
+
+BASELINES = ("varys-sebf", "aalo", "uc-tcp")
+
+
+@dataclass
+class Fig9Result:
+    #: trace name -> baseline -> summary of CCT_baseline / CCT_saath.
+    summaries: dict[str, dict[str, DistributionSummary]]
+
+
+def _speedups_for(workload: Workload,
+                  baselines: tuple[str, ...]) -> dict[str, DistributionSummary]:
+    ccts = ccts_under(workload, ["saath", *baselines])
+    return {
+        b: DistributionSummary.of(
+            list(per_coflow_speedups(ccts[b], ccts["saath"]).values())
+        )
+        for b in baselines
+    }
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        *,
+        include_osp: bool = True,
+        baselines: tuple[str, ...] = BASELINES,
+        seed: int = 7) -> Fig9Result:
+    summaries = {"fb-like": _speedups_for(fb_workload(scale, seed=seed),
+                                          baselines)}
+    if include_osp:
+        summaries["osp-like"] = _speedups_for(osp_workload(scale), baselines)
+    return Fig9Result(summaries=summaries)
+
+
+def render(result: Fig9Result) -> str:
+    rows = []
+    for trace, by_baseline in result.summaries.items():
+        for baseline, summary in by_baseline.items():
+            rows.append(
+                [trace, baseline, summary.p50, summary.p10, summary.p90]
+            )
+    return format_table(
+        ["trace", "baseline", "median", "p10", "p90"],
+        rows,
+        title=(
+            "Fig. 9 — speedup of Saath over other policies\n"
+            "(paper medians: aalo 1.53x FB / 1.42x OSP, "
+            "uc-tcp 154x FB / 121x OSP, varys-sebf ~1x)"
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Experiment registry: every paper table/figure, runnable by name.
+
+Each entry maps an experiment id (``fig2`` … ``table2``) to its module's
+``run``/``render`` pair. Used by the CLI (``saath-repro run-experiment``)
+and by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ReproError
+from . import (
+    fig2_outofsync,
+    fig3_offline,
+    fig9_speedup,
+    fig10_breakdown,
+    fig11_bins,
+    fig13_deviation,
+    fig14_sensitivity,
+    fig15_testbed,
+    fig16_jct,
+    table2_overhead,
+)
+from .common import ExperimentScale
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    description: str
+    run: Callable[..., Any]
+    render: Callable[[Any], str]
+
+
+_EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in [
+        Experiment("fig2", "out-of-sync prevalence under Aalo (§2.3)",
+                   fig2_outofsync.run, fig2_outofsync.render),
+        Experiment("fig3", "offline SCF/SRTF/LWTF vs Aalo (§2.4)",
+                   fig3_offline.run, fig3_offline.render),
+        Experiment("fig9", "Saath speedup over SEBF/Aalo/UC-TCP (§6.1)",
+                   fig9_speedup.run, fig9_speedup.render),
+        Experiment("fig10", "design breakdown A/N, P/F, LCoF (§6.2)",
+                   fig10_breakdown.run, fig10_breakdown.render),
+        Experiment("fig11", "per-bin breakdown, FB + OSP (§6.2)",
+                   fig11_bins.run, fig11_bins.render),
+        Experiment("fig13", "FCT deviation Saath vs Aalo (§6.2)",
+                   fig13_deviation.run, fig13_deviation.render),
+        Experiment("fig14", "sensitivity: S, E, δ, A, d (§6.3)",
+                   fig14_sensitivity.run, fig14_sensitivity.render),
+        Experiment("fig15", "testbed-mode CCT speedup CDF (§7.1)",
+                   fig15_testbed.run, fig15_testbed.render),
+        Experiment("fig16", "JCT speedup by shuffle fraction (§7.2)",
+                   fig16_jct.run, fig16_jct.render),
+        Experiment("table2", "scheduler overhead breakdown (§7.3)",
+                   table2_overhead.run, table2_overhead.render),
+    ]
+}
+
+
+def available_experiments() -> list[str]:
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return _EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; known: "
+            + ", ".join(available_experiments())
+        ) from None
+
+
+def run_and_render(exp_id: str,
+                   scale: ExperimentScale = ExperimentScale.SMALL,
+                   **kwargs: Any) -> str:
+    """Run an experiment and return its rendered text."""
+    exp = get_experiment(exp_id)
+    result = exp.run(scale=scale, **kwargs)
+    return exp.render(result)

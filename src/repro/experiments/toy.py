@@ -1,0 +1,159 @@
+"""The paper's hand-worked toy scenarios (Fig. 1, 4, 5, 8, 17).
+
+Each builder returns the exact port/coflow layout of the corresponding
+figure so tests and examples can re-derive the schedules the paper reasons
+about. Port counts and volumes are chosen so that the paper's unit ``t``
+equals one second at 100 MB/s ports (volumes of ``t`` seconds = 100 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.fabric import Fabric
+from ..simulator.flows import CoFlow, make_coflow
+
+#: One "t" of the figures: seconds to ship UNIT_BYTES at PORT_RATE.
+PORT_RATE = 100e6  # bytes/second
+UNIT_BYTES = 100e6  # 1 second worth of data
+
+
+@dataclass
+class ToyScenario:
+    """A figure's setup: fabric, coflows, and the paper's predictions."""
+
+    name: str
+    fabric: Fabric
+    coflows: list[CoFlow]
+    #: CCT in units of t predicted by the paper, per policy family, when
+    #: stated in the figure caption (used by the toy-scenario tests).
+    paper_ccts: dict[str, dict[int, float]]
+
+
+def _unit(n: float) -> float:
+    return n * UNIT_BYTES
+
+
+def fig1_out_of_sync() -> ToyScenario:
+    """Fig. 1: four coflows on three ports; FIFO de-synchronises C1.
+
+    Ports P1..P3; C1 occupies P1 and P3, C2 on P1, C3 on P2, C4 on P3 (C2-C4
+    single-port), arrivals C1 < C2 < C3 < C4 with C1's two flows of length
+    t. The paper reports average CCT 1.75t under Aalo vs 1.25t optimal.
+    """
+    fabric = Fabric(num_machines=6, port_rate=PORT_RATE)
+    rcv = fabric.receiver_port
+    # Senders 0,1,2 play P1,P2,P3; receivers are distinct per flow.
+    c1 = make_coflow(1, 0.00, [(0, rcv(3), _unit(1)), (2, rcv(4), _unit(1))],
+                     flow_id_start=0)
+    c2 = make_coflow(2, 0.01, [(0, rcv(5), _unit(1))], flow_id_start=10)
+    c3 = make_coflow(3, 0.02, [(1, rcv(3), _unit(1))], flow_id_start=20)
+    c4 = make_coflow(4, 0.03, [(2, rcv(5), _unit(1))], flow_id_start=30)
+    return ToyScenario(
+        name="fig1",
+        fabric=fabric,
+        coflows=[c1, c2, c3, c4],
+        paper_ccts={
+            "aalo": {1: 2.0, 2: 2.0, 3: 1.0, 4: 2.0},  # average 1.75t
+            "optimal": {1: 1.0, 2: 2.0, 3: 1.0, 4: 1.0},  # average 1.25t
+        },
+    )
+
+
+def fig4_work_conservation() -> ToyScenario:
+    """Fig. 4: three coflows on three ports.
+
+    C1 on P1+P3, C2 on P1+P2, C3 on P2+P3, all flows of length t. Pure
+    all-or-none serialises them (average CCT 2t); work conservation brings
+    the average to 1.67t.
+    """
+    fabric = Fabric(num_machines=9, port_rate=PORT_RATE)
+    rcv = fabric.receiver_port
+    c1 = make_coflow(1, 0.00, [(0, rcv(3), _unit(1)), (2, rcv(4), _unit(1))],
+                     flow_id_start=0)
+    c2 = make_coflow(2, 0.01, [(0, rcv(5), _unit(1)), (1, rcv(6), _unit(1))],
+                     flow_id_start=10)
+    c3 = make_coflow(3, 0.02, [(1, rcv(7), _unit(1)), (2, rcv(8), _unit(1))],
+                     flow_id_start=20)
+    return ToyScenario(
+        name="fig4",
+        fabric=fabric,
+        coflows=[c1, c2, c3],
+        paper_ccts={
+            "all-or-none": {1: 1.0, 2: 2.0, 3: 3.0},  # average 2t
+            "saath": {1: 1.0, 2: 2.0, 3: 2.0},  # average 1.67t
+        },
+    )
+
+
+def fig5_fast_transition() -> ToyScenario:
+    """Fig. 5: per-flow thresholds speed up queue transitions.
+
+    C2 has four flows on ports P1..P4; C1 contends on P1 and P4. With a
+    total-bytes threshold of ``bandwidth * 4t``, Aalo needs 2t of C2's
+    2-port progress to demote it; Saath's per-flow share ``bandwidth * t``
+    demotes it after t.
+    """
+    fabric = Fabric(num_machines=10, port_rate=PORT_RATE)
+    rcv = fabric.receiver_port
+    c1 = make_coflow(1, 0.01, [(0, rcv(4), _unit(2)), (3, rcv(5), _unit(2))],
+                     flow_id_start=0)
+    c2 = make_coflow(2, 0.00, [
+        (0, rcv(6), _unit(4)), (1, rcv(7), _unit(4)),
+        (2, rcv(8), _unit(4)), (3, rcv(9), _unit(4)),
+    ], flow_id_start=10)
+    return ToyScenario(
+        name="fig5", fabric=fabric, coflows=[c1, c2], paper_ccts={},
+    )
+
+
+def fig8_lcof_limitation() -> ToyScenario:
+    """Fig. 8: the rare case where LCoF loses to the optimal schedule.
+
+    C2 spans S1+S2 (length 2.5t each side in the figure; we use 2.5t), C1
+    on S1 (1t), C3 on S2 (1t)... The figure's numbers: scheduling C2 first
+    (it has the least contention pattern in the example) yields average CCT
+    2.83t; the optimal 2.66t.
+    """
+    fabric = Fabric(num_machines=8, port_rate=PORT_RATE)
+    rcv = fabric.receiver_port
+    c2 = make_coflow(2, 0.00, [(0, rcv(2), _unit(2.5)), (1, rcv(3), _unit(2.5))],
+                     flow_id_start=10)
+    c1 = make_coflow(1, 0.01, [(0, rcv(4), _unit(1))], flow_id_start=0)
+    c3 = make_coflow(3, 0.02, [(1, rcv(5), _unit(1))], flow_id_start=20)
+    return ToyScenario(
+        name="fig8", fabric=fabric, coflows=[c2, c1, c3], paper_ccts={},
+    )
+
+
+def fig17_sjf_suboptimal() -> ToyScenario:
+    """Appendix Fig. 17: SJF is sub-optimal even offline.
+
+    C1 has two flows of 5t on P1 and P2 (width 2, contention 2); C2 is 6t
+    on P1; C3 is 7t on P2. SJF (SCF) schedules C1 first → average CCT 9.3t;
+    scheduling C2/C3 first → 8.3t.
+    """
+    fabric = Fabric(num_machines=8, port_rate=PORT_RATE)
+    rcv = fabric.receiver_port
+    c1 = make_coflow(1, 0.00, [(0, rcv(2), _unit(5)), (1, rcv(3), _unit(5))],
+                     flow_id_start=0)
+    c2 = make_coflow(2, 0.01, [(0, rcv(4), _unit(6))], flow_id_start=10)
+    c3 = make_coflow(3, 0.02, [(1, rcv(5), _unit(7))], flow_id_start=20)
+    return ToyScenario(
+        name="fig17",
+        fabric=fabric,
+        coflows=[c1, c2, c3],
+        paper_ccts={
+            "scf": {1: 5.0, 2: 11.0, 3: 12.0},  # average 9.33t
+            "optimal": {1: 12.0, 2: 6.0, 3: 7.0},  # average 8.33t
+        },
+    )
+
+
+ALL_SCENARIOS = {
+    "fig1": fig1_out_of_sync,
+    "fig4": fig4_work_conservation,
+    "fig5": fig5_fast_transition,
+    "fig8": fig8_lcof_limitation,
+    "fig17": fig17_sjf_suboptimal,
+}

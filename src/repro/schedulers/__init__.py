@@ -1,0 +1,28 @@
+"""Coflow schedulers: Saath baselines, ablations and the policy registry."""
+
+from .aalo import AaloScheduler
+from .baraat import BaraatFifoLmScheduler
+from .base import Allocation, Scheduler
+from .offline import LwtfScheduler, ScfScheduler, SrtfScheduler
+from .queues import QueueTracker
+from .registry import available_policies, make_scheduler, register_policy
+from .sincronia import SincroniaScheduler
+from .uctcp import UcTcpScheduler
+from .varys import VarysSebfScheduler
+
+__all__ = [
+    "AaloScheduler",
+    "BaraatFifoLmScheduler",
+    "Allocation",
+    "LwtfScheduler",
+    "QueueTracker",
+    "ScfScheduler",
+    "Scheduler",
+    "SincroniaScheduler",
+    "SrtfScheduler",
+    "UcTcpScheduler",
+    "VarysSebfScheduler",
+    "available_policies",
+    "make_scheduler",
+    "register_policy",
+]

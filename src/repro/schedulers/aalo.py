@@ -1,0 +1,143 @@
+"""The Aalo scheduler (Chowdhury & Stoica, SIGCOMM'15) — main baseline (§2.2).
+
+Aalo approximates Shortest-CoFlow-First online with:
+
+* a **global coordinator** that assigns each coflow to a logical priority
+  queue based on the **total bytes** the coflow has sent so far, with
+  exponentially growing queue thresholds; and
+* **independent local ports**: each sender port splits its bandwidth across
+  the non-empty priority queues by **weighted sharing** (Aalo §5.1 —
+  higher-priority queues get larger weights, which also provides Aalo's
+  starvation-freedom), serving flows FIFO (coflow arrival order) within a
+  queue; leftover capacity spills down in priority order (work conserving).
+
+Crucially the ports do **not** coordinate, which is precisely the spatial
+blindness the paper attacks: flows of one coflow may be scheduled at some
+ports and queued at others (out-of-sync, §2.3), and FIFO ignores contention
+(§2.4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from ..config import SimulationConfig
+from ..simulator.flows import CoFlow, Flow
+from ..simulator.state import ClusterState
+from .base import Allocation, Scheduler
+from .queues import QueueTracker
+
+
+class AaloScheduler(Scheduler):
+    """Aalo: total-bytes priority queues + per-port weighted FIFO.
+
+    ``queue_weight_decay`` follows Aalo's design of giving queue ``q`` a
+    weight that shrinks with priority; weight(q) = decay**(-q), normalised
+    over the queues occupied at the port. A decay of 10 makes high-priority
+    queues strongly dominant (close to strict priority) while guaranteeing
+    forward progress for demoted coflows.
+    """
+
+    name = "aalo"
+    clairvoyant = False
+
+    def __init__(self, config: SimulationConfig,
+                 *, queue_weight_decay: float = 10.0):
+        super().__init__(config)
+        if queue_weight_decay < 1.0:
+            raise ValueError(
+                f"queue_weight_decay must be >= 1, got {queue_weight_decay}"
+            )
+        self.queue_weight_decay = queue_weight_decay
+        self.tracker = QueueTracker(config, metric="total")
+        #: coflow_id -> arrival order index, the FIFO key at every port.
+        self._arrival_order: dict[int, int] = {}
+        self._arrival_counter = 0
+
+    # ---- lifecycle ------------------------------------------------------------
+
+    def on_coflow_arrival(self, coflow: CoFlow, now: float) -> None:
+        self.tracker.admit(coflow, now)
+        self._arrival_order[coflow.coflow_id] = self._arrival_counter
+        self._arrival_counter += 1
+
+    def on_coflow_completion(self, coflow: CoFlow, now: float) -> None:
+        self.tracker.remove(coflow)
+        self._arrival_order.pop(coflow.coflow_id, None)
+
+    # ---- scheduling -------------------------------------------------------------
+
+    def schedule(self, state: ClusterState, now: float) -> Allocation:
+        for coflow in state.active_coflows:
+            self.tracker.refresh(coflow, now)
+
+        # Gather schedulable flows per sender port.
+        per_sender: dict[int, list[tuple[tuple, Flow]]] = defaultdict(list)
+        for coflow in state.active_coflows:
+            queue = self.tracker.queue_of(coflow)
+            fifo = self._arrival_order[coflow.coflow_id]
+            for f in state.schedulable_flows(coflow, now):
+                # Local priority: queue first, FIFO (arrival) within queue,
+                # flow id as the final deterministic tie-break.
+                per_sender[f.src].append(((queue, fifo, f.flow_id), f))
+
+        ledger = state.make_ledger()
+        allocation = Allocation()
+        # Ports act independently; a deterministic port order stands in for
+        # the real system's races on receiver capacity.
+        for port in sorted(per_sender):
+            queue_flows = sorted(per_sender[port], key=lambda kv: kv[0])
+            self._allocate_port(port, queue_flows, ledger, allocation)
+        return allocation
+
+    def _allocate_port(self, port: int,
+                       queue_flows: list[tuple[tuple, Flow]],
+                       ledger, allocation: Allocation) -> None:
+        """Weighted queue shares at one sender port, then a spill pass."""
+        occupied = sorted({key[0] for key, _ in queue_flows})
+        port_capacity = ledger.residual(port)
+        if port_capacity <= 0:
+            return
+        weights = {q: self.queue_weight_decay ** (-q) for q in occupied}
+        total_weight = sum(weights.values())
+
+        # Pass 1: each occupied queue spends its weighted share, FIFO.
+        for q in occupied:
+            budget = port_capacity * weights[q] / total_weight
+            for (queue, _, _), flow in queue_flows:
+                if queue != q or budget <= 0:
+                    continue
+                rate = min(budget, ledger.residual(flow.src),
+                           ledger.residual(flow.dst))
+                if rate <= 0:
+                    continue
+                ledger.commit(flow.src, flow.dst, rate)
+                budget -= rate
+                allocation.rates[flow.flow_id] = (
+                    allocation.rates.get(flow.flow_id, 0.0) + rate
+                )
+                allocation.scheduled_coflows.add(flow.coflow_id)
+
+        # Pass 2 (work conservation): spill leftover capacity in strict
+        # priority+FIFO order, e.g. when a queue's share outruns its flows'
+        # receiver capacity.
+        for _, flow in queue_flows:
+            rate = min(ledger.residual(flow.src), ledger.residual(flow.dst))
+            if rate <= 0:
+                continue
+            ledger.commit(flow.src, flow.dst, rate)
+            allocation.rates[flow.flow_id] = (
+                allocation.rates.get(flow.flow_id, 0.0) + rate
+            )
+            allocation.scheduled_coflows.add(flow.coflow_id)
+
+    def next_wakeup(self, state: ClusterState, allocation: Allocation,
+                    now: float) -> float | None:
+        """Wake at the next total-bytes queue-threshold crossing."""
+        best = math.inf
+        for coflow in state.active_coflows:
+            dt = self.tracker.next_transition_time(coflow, allocation.rates)
+            if dt < math.inf:
+                best = min(best, now + max(dt, 1e-9))
+        return best if math.isfinite(best) else None

@@ -1,0 +1,54 @@
+"""Saath ablation variants used in the Fig. 10–12 breakdown.
+
+The paper decomposes Saath's gain over Aalo into its three ideas by
+evaluating the partial designs:
+
+* ``A/N + FIFO`` — all-or-none admission and work conservation, but FIFO
+  ordering within queues and Aalo's total-bytes queue metric;
+* ``A/N + P/F + FIFO`` — adds the per-flow queue threshold;
+* ``A/N + P/F + LCoF`` — the full Saath.
+
+These are thin constructors over :class:`~repro.core.saath.SaathScheduler`'s
+ablation switches, given stable registry names.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..core.saath import SaathScheduler
+
+
+class AllOrNoneFifoScheduler(SaathScheduler):
+    """A/N + FIFO: all-or-none only (first bar of Fig. 10)."""
+
+    name = "an-fifo"
+
+    def __init__(self, config: SimulationConfig):
+        super().__init__(
+            config, use_lcof=False, use_perflow_threshold=False
+        )
+
+
+class AllOrNonePerFlowFifoScheduler(SaathScheduler):
+    """A/N + P/F + FIFO: adds per-flow thresholds (second bar of Fig. 10)."""
+
+    name = "an-pf-fifo"
+
+    def __init__(self, config: SimulationConfig):
+        super().__init__(
+            config, use_lcof=False, use_perflow_threshold=True
+        )
+
+
+class SaathNoWorkConservationScheduler(SaathScheduler):
+    """Full Saath minus work conservation.
+
+    Not a paper figure, but the design discussion (§3, Fig. 4) argues work
+    conservation is what keeps all-or-none from wasting ports; this variant
+    lets the ablation benchmarks quantify that claim.
+    """
+
+    name = "saath-no-wc"
+
+    def __init__(self, config: SimulationConfig):
+        super().__init__(config, work_conservation=False)

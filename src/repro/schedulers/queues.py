@@ -1,0 +1,195 @@
+"""Priority-queue bookkeeping shared by Aalo, Saath and the ablations.
+
+The :class:`QueueTracker` maintains, per coflow, the current logical queue,
+the instant it entered that queue, and (for Saath) the starvation deadline
+derived from FIFO (§4.2 D5). It also computes *when* a coflow will cross its
+queue threshold given current rates, which the engine uses to wake the
+scheduler exactly at transition instants instead of polling.
+
+Two transition metrics are supported, selected by the owner:
+
+* ``"total"``  — Aalo: total bytes sent by the coflow vs ``Q_hi``.
+* ``"perflow"`` — Saath: max bytes sent by any flow vs ``Q_hi / width``
+  (Eq. 1, §4.2 D3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import SimulationConfig
+from ..errors import SchedulerError
+from ..simulator.flows import CoFlow
+
+
+class QueueTracker:
+    """Tracks queue membership, entry times, and starvation deadlines."""
+
+    def __init__(self, config: SimulationConfig, *, metric: str):
+        if metric not in ("total", "perflow"):
+            raise SchedulerError(f"unknown queue metric {metric!r}")
+        self.config = config
+        self.metric = metric
+        #: coflow_id -> queue index
+        self._queue: dict[int, int] = {}
+        #: coflow_id -> time the coflow entered its current queue
+        self._entered: dict[int, float] = {}
+        #: coflow_id -> absolute starvation deadline
+        self._deadline: dict[int, float] = {}
+
+    # ---- membership ---------------------------------------------------------
+
+    def admit(self, coflow: CoFlow, now: float) -> None:
+        """Place a newly-arrived coflow in the highest-priority queue."""
+        self._place(coflow, 0, now)
+
+    def remove(self, coflow: CoFlow) -> None:
+        self._queue.pop(coflow.coflow_id, None)
+        self._entered.pop(coflow.coflow_id, None)
+        self._deadline.pop(coflow.coflow_id, None)
+
+    def queue_of(self, coflow: CoFlow) -> int:
+        try:
+            return self._queue[coflow.coflow_id]
+        except KeyError:
+            raise SchedulerError(
+                f"coflow {coflow.coflow_id} is not tracked; "
+                f"was on_coflow_arrival delivered?"
+            ) from None
+
+    def deadline_of(self, coflow: CoFlow) -> float:
+        return self._deadline.get(coflow.coflow_id, math.inf)
+
+    def tracked_ids(self) -> set[int]:
+        return set(self._queue)
+
+    def population(self, queue: int) -> int:
+        """Number of tracked coflows currently in ``queue``."""
+        return sum(1 for q in self._queue.values() if q == queue)
+
+    # ---- transitions ----------------------------------------------------------
+
+    def metric_value(self, coflow: CoFlow) -> float:
+        """Progress metric compared against thresholds (see module doc)."""
+        if self.metric == "total":
+            return coflow.bytes_sent
+        return coflow.max_flow_bytes_sent
+
+    def target_queue(self, coflow: CoFlow) -> int:
+        """Queue the coflow *should* be in given its progress metric.
+
+        Queues are demotion-only here (progress only grows); §4.3 promotion
+        is applied by Saath's dynamics handler, which calls
+        :meth:`force_queue` explicitly.
+        """
+        qcfg = self.config.queues
+        if self.metric == "total":
+            return qcfg.queue_for_bytes(coflow.bytes_sent)
+        return qcfg.queue_for_per_flow_bytes(
+            coflow.max_flow_bytes_sent, coflow.width
+        )
+
+    def refresh(self, coflow: CoFlow, now: float) -> bool:
+        """Move the coflow to its target queue if it crossed a threshold.
+
+        Returns True if the queue changed. Demotion-only (never moves a
+        coflow to a higher-priority queue; see :meth:`force_queue`).
+        """
+        current = self.queue_of(coflow)
+        target = self.target_queue(coflow)
+        if target > current:
+            self._place(coflow, target, now)
+            return True
+        return False
+
+    def force_queue(self, coflow: CoFlow, queue: int, now: float) -> bool:
+        """Explicitly (re)assign ``coflow`` to ``queue`` (dynamics, §4.3).
+
+        Promotion resets the entry time and deadline like any other queue
+        change. Returns True if the queue changed.
+        """
+        if queue == self._queue.get(coflow.coflow_id):
+            return False
+        self._place(coflow, queue, now)
+        return True
+
+    def next_transition_time(self, coflow: CoFlow,
+                             rates: dict[int, float]) -> float:
+        """Seconds from now until the coflow crosses its queue threshold.
+
+        Under constant ``rates`` (flow_id → bytes/s). ``inf`` if it never
+        will (zero relevant rate or already in the last queue).
+        """
+        qcfg = self.config.queues
+        current = self.queue_of(coflow)
+        if current >= qcfg.num_queues - 1:
+            return math.inf
+        hi = qcfg.hi_threshold(current)
+        if self.metric == "total":
+            total_rate = sum(
+                rates.get(f.flow_id, 0.0) for f in coflow.flows if not f.finished
+            )
+            if total_rate <= 0:
+                return math.inf
+            gap = hi - coflow.bytes_sent
+            return max(gap, 0.0) / total_rate
+        # Per-flow metric: first flow to reach hi / width.
+        per_flow_hi = hi / coflow.width
+        best = math.inf
+        for f in coflow.flows:
+            if f.finished:
+                continue
+            rate = rates.get(f.flow_id, 0.0)
+            if rate <= 0:
+                continue
+            # A flow cannot push bytes_sent beyond its volume; crossing only
+            # happens if the threshold is reachable within the flow.
+            reachable = min(f.volume, per_flow_hi)
+            if reachable <= f.bytes_sent:
+                # Already at/over the reachable point: if it is the true
+                # threshold, the transition is immediate on next refresh.
+                if f.bytes_sent >= per_flow_hi:
+                    return 0.0
+                continue
+            if per_flow_hi <= f.volume:
+                best = min(best, (per_flow_hi - f.bytes_sent) / rate)
+        return best
+
+    # ---- starvation deadlines (§4.2 D5) --------------------------------------
+
+    def set_deadline(self, coflow: CoFlow, now: float) -> None:
+        """Assign a fresh FIFO-derived deadline for the coflow's queue.
+
+        ``deadline = now + d * C_q * t_q`` where ``C_q`` counts coflows
+        resident in the queue (including this one) and ``t_q`` is the
+        minimum queue-residency time at full port rate.
+        """
+        factor = self.config.deadline_factor
+        if factor is None:
+            self._deadline[coflow.coflow_id] = math.inf
+            return
+        queue = self.queue_of(coflow)
+        population = max(self.population(queue), 1)
+        t_q = self.config.queues.min_residency_time(
+            queue, self.config.port_rate
+        )
+        self._deadline[coflow.coflow_id] = now + factor * population * t_q
+
+    def starving(self, coflow: CoFlow, now: float) -> bool:
+        """True if the coflow has passed its starvation deadline."""
+        return now >= self._deadline.get(coflow.coflow_id, math.inf)
+
+    def next_deadline_after(self, now: float) -> float:
+        """Earliest deadline strictly in the future, or ``inf``."""
+        future = [d for d in self._deadline.values() if d > now]
+        return min(future, default=math.inf)
+
+    # ---- internal -------------------------------------------------------------
+
+    def _place(self, coflow: CoFlow, queue: int, now: float) -> None:
+        self._queue[coflow.coflow_id] = queue
+        self._entered[coflow.coflow_id] = now
+        coflow.queue = queue
+        coflow.queue_entry_time = now
+        self.set_deadline(coflow, now)
+        coflow.deadline = self._deadline[coflow.coflow_id]

@@ -1,0 +1,98 @@
+"""Name → scheduler factory registry.
+
+Every experiment and the CLI refer to policies by the registry name, so
+adding a scheduler in one place makes it available everywhere. Names:
+
+=============  =====================================================
+``saath``      full Saath (all-or-none + per-flow thresholds + LCoF)
+``aalo``       Aalo baseline (total-bytes queues, per-port FIFO)
+``varys-sebf`` offline SEBF + MADD (clairvoyant)
+``scf``        offline Shortest-CoFlow-First (clairvoyant)
+``srtf``       offline Shortest-Remaining-Time-First (clairvoyant)
+``lwtf``       offline Least-Waiting-Time-First (clairvoyant)
+``uc-tcp``     uncoordinated per-flow fair sharing
+``baraat-fifo-lm`` decentralized FIFO with limited multiplexing (related work)
+``sincronia-bssi`` Sincronia-style BSSI ordering (clairvoyant extension)
+``an-fifo``    ablation: all-or-none + FIFO
+``an-pf-fifo`` ablation: all-or-none + per-flow thresholds + FIFO
+``saath-no-wc`` ablation: Saath without work conservation
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import SimulationConfig
+from ..errors import UnknownPolicyError
+from .base import Scheduler
+
+SchedulerFactory = Callable[[SimulationConfig], Scheduler]
+
+_REGISTRY: dict[str, SchedulerFactory] = {}
+
+
+def _builtin_factories() -> dict[str, SchedulerFactory]:
+    """Build the builtin policy table.
+
+    Imported lazily: the Saath classes live in :mod:`repro.core`, which
+    itself imports :mod:`repro.schedulers.base`; resolving them at call time
+    keeps the import graph acyclic.
+    """
+    from ..core.saath import SaathScheduler
+    from .ablations import (
+        AllOrNoneFifoScheduler,
+        AllOrNonePerFlowFifoScheduler,
+        SaathNoWorkConservationScheduler,
+    )
+    from .aalo import AaloScheduler
+    from .baraat import BaraatFifoLmScheduler
+    from .offline import LwtfScheduler, ScfScheduler, SrtfScheduler
+    from .sincronia import SincroniaScheduler
+    from .uctcp import UcTcpScheduler
+    from .varys import VarysSebfScheduler
+
+    classes = [
+        SaathScheduler,
+        AaloScheduler,
+        VarysSebfScheduler,
+        ScfScheduler,
+        SrtfScheduler,
+        LwtfScheduler,
+        UcTcpScheduler,
+        BaraatFifoLmScheduler,
+        SincroniaScheduler,
+        AllOrNoneFifoScheduler,
+        AllOrNonePerFlowFifoScheduler,
+        SaathNoWorkConservationScheduler,
+    ]
+    return {cls.name: cls for cls in classes}
+
+
+def _registry() -> dict[str, SchedulerFactory]:
+    if not _REGISTRY:
+        _REGISTRY.update(_builtin_factories())
+    return _REGISTRY
+
+
+def available_policies() -> list[str]:
+    """Sorted list of registered policy names."""
+    return sorted(_registry())
+
+
+def make_scheduler(name: str, config: SimulationConfig) -> Scheduler:
+    """Instantiate the policy registered under ``name``."""
+    try:
+        factory = _registry()[name]
+    except KeyError:
+        raise UnknownPolicyError(name, available_policies()) from None
+    return factory(config)
+
+
+def register_policy(name: str, factory: SchedulerFactory,
+                    *, overwrite: bool = False) -> None:
+    """Register a custom policy (see ``examples/custom_scheduler.py``)."""
+    table = _registry()
+    if name in table and not overwrite:
+        raise ValueError(f"policy {name!r} already registered")
+    table[name] = factory

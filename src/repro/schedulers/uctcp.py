@@ -1,0 +1,41 @@
+"""UC-TCP: the uncoordinated baseline of Fig. 9.
+
+No coordinator, no priority queues, no notion of coflows at all: every flow
+is scheduled the moment it arrives and the fabric shares capacity per-flow
+max-min fairly — the fluid-model equivalent of letting TCP congestion
+control sort it out. The paper reports Saath beating this baseline by two
+orders of magnitude in median CCT, which is the cost of ignoring coflow
+semantics entirely.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..simulator.flows import Flow
+from ..simulator.ratealloc import max_min_fair
+from ..simulator.state import ClusterState
+from .base import Allocation, Scheduler
+
+
+class UcTcpScheduler(Scheduler):
+    """Per-flow max-min fair sharing, no coordination."""
+
+    name = "uc-tcp"
+    clairvoyant = False
+
+    def __init__(self, config: SimulationConfig):
+        super().__init__(config)
+
+    def schedule(self, state: ClusterState, now: float) -> Allocation:
+        flows: list[Flow] = []
+        for coflow in state.active_coflows:
+            flows.extend(state.schedulable_flows(coflow, now))
+        ledger = state.make_ledger()
+        rates = max_min_fair(flows, ledger)
+        allocation = Allocation(
+            rates={fid: r for fid, r in rates.items() if r > 0}
+        )
+        allocation.scheduled_coflows = {
+            f.coflow_id for f in flows if rates.get(f.flow_id, 0.0) > 0
+        }
+        return allocation

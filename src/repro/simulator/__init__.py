@@ -1,0 +1,23 @@
+"""Fluid-flow discrete-event fabric simulator (the evaluation substrate)."""
+
+from .engine import SimulationResult, Simulator, run_policy
+from .events import Event, EventKind, EventQueue
+from .fabric import Fabric, PortLedger
+from .flows import CoFlow, Flow, clone_coflows, make_coflow
+from .state import ClusterState
+
+__all__ = [
+    "ClusterState",
+    "CoFlow",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Fabric",
+    "Flow",
+    "PortLedger",
+    "SimulationResult",
+    "Simulator",
+    "clone_coflows",
+    "make_coflow",
+    "run_policy",
+]

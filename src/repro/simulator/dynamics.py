@@ -1,0 +1,173 @@
+"""Cluster dynamics injection: failures, stragglers, skewed computation.
+
+The paper (§4.3) argues Saath's queue machinery should react to cluster
+dynamics — node failures restarting flows, stragglers slowing them — and
+adds an approximated-SRTF promotion rule. This module provides the *fault
+injectors* that create those situations in the simulator; the scheduler-side
+reaction lives in :mod:`repro.core.dynamics`.
+
+Each action implements the engine's ``DynamicsAction`` protocol: a ``time``
+attribute and an ``apply(sim, now)`` that mutates simulator state. The
+engine recomputes the schedule immediately after applying an action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+def _find_flow(sim, flow_id: int):
+    for coflow in sim.state.active_coflows:
+        for f in coflow.flows:
+            if f.flow_id == flow_id:
+                return f
+    return None
+
+
+@dataclass
+class FlowRestart:
+    """A task restart after a node failure: the flow loses its progress.
+
+    Models the §4.3 failure case — the flow's destination task is re-run
+    elsewhere-or-in-place and the data must be resent. ``dst_machine``
+    optionally moves the flow to a new receiver (task re-placement).
+    """
+
+    time: float
+    flow_id: int
+    new_dst_port: int | None = None
+
+    def apply(self, sim, now: float) -> None:
+        flow = _find_flow(sim, self.flow_id)
+        if flow is None or flow.finished:
+            return  # the flow beat the failure; nothing to restart
+        flow.bytes_sent = 0.0
+        flow.rate = 0.0
+        flow.start_time = None
+        if self.new_dst_port is not None:
+            flow.dst = self.new_dst_port
+
+
+@dataclass
+class FlowSlowdown:
+    """A straggler: the flow achieves only ``efficiency`` of its allocation.
+
+    The port capacity it *occupies* is unchanged (the allocation is what the
+    scheduler granted); the achieved throughput is scaled, exactly like a
+    slow disk or CPU-bound sender in a real cluster.
+    """
+
+    time: float
+    flow_id: int
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.efficiency <= 1:
+            raise ConfigError(
+                f"efficiency must be in [0, 1], got {self.efficiency}"
+            )
+
+    def apply(self, sim, now: float) -> None:
+        sim.flow_efficiency[self.flow_id] = self.efficiency
+        flow = _find_flow(sim, self.flow_id)
+        if flow is not None and not flow.finished:
+            flow.rate *= self.efficiency
+
+
+@dataclass
+class StragglerRecovery:
+    """End of a straggler episode: the flow runs at full efficiency again."""
+
+    time: float
+    flow_id: int
+
+    def apply(self, sim, now: float) -> None:
+        sim.flow_efficiency.pop(self.flow_id, None)
+
+
+@dataclass
+class PortDegradation:
+    """Persistent capacity loss at a port (congested/failing link).
+
+    ``factor`` scales the port's capacity: 0.5 halves it, 0 kills the link
+    (flows through it stall until :class:`PortRecovery`).
+    """
+
+    time: float
+    port: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.factor <= 1:
+            raise ConfigError(f"factor must be in [0, 1], got {self.factor}")
+
+    def apply(self, sim, now: float) -> None:
+        base = sim.fabric.capacity(self.port)
+        sim.state.capacity_override[self.port] = base * self.factor
+
+
+@dataclass
+class PortRecovery:
+    """Restore a degraded port to full capacity."""
+
+    time: float
+    port: int
+
+    def apply(self, sim, now: float) -> None:
+        sim.state.capacity_override.pop(self.port, None)
+
+
+def inject_stragglers(
+    coflows,
+    rng,
+    *,
+    fraction: float = 0.05,
+    efficiency: float = 0.3,
+    onset: float = 0.0,
+) -> list[FlowSlowdown]:
+    """Sample straggling flows uniformly across a workload.
+
+    ``fraction`` of all flows become stragglers running at ``efficiency``;
+    onset is the straggler start time (absolute). Returns actions to pass to
+    the engine's ``dynamics=...``.
+    """
+    if not 0 <= fraction <= 1:
+        raise ConfigError(f"fraction must be in [0, 1], got {fraction}")
+    all_flows = [f for c in coflows for f in c.flows]
+    count = int(round(len(all_flows) * fraction))
+    if count == 0:
+        return []
+    chosen = rng.choice(len(all_flows), size=count, replace=False)
+    return [
+        FlowSlowdown(time=max(onset, all_flows[i].available_time),
+                     flow_id=all_flows[i].flow_id, efficiency=efficiency)
+        for i in sorted(int(i) for i in chosen)
+    ]
+
+
+def inject_failures(
+    coflows,
+    rng,
+    *,
+    fraction: float = 0.02,
+    delay_range: tuple[float, float] = (0.1, 1.0),
+) -> list[FlowRestart]:
+    """Sample flow restarts: each chosen flow fails ``delay`` seconds after
+    its coflow arrives, losing all progress."""
+    if not 0 <= fraction <= 1:
+        raise ConfigError(f"fraction must be in [0, 1], got {fraction}")
+    pairs = [(c, f) for c in coflows for f in c.flows]
+    count = int(round(len(pairs) * fraction))
+    if count == 0:
+        return []
+    chosen = rng.choice(len(pairs), size=count, replace=False)
+    actions = []
+    for i in sorted(int(i) for i in chosen):
+        coflow, flow = pairs[i]
+        delay = rng.uniform(*delay_range)
+        actions.append(
+            FlowRestart(time=coflow.arrival_time + delay, flow_id=flow.flow_id)
+        )
+    return actions

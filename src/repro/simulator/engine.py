@@ -1,0 +1,439 @@
+"""Fluid-flow discrete-event simulation engine.
+
+The engine advances a set of coflows through a big-switch fabric under the
+control of a :class:`~repro.schedulers.base.Scheduler`. Between events every
+flow moves at a constant allocated rate, so the engine only needs to visit:
+
+* external events — coflow arrivals and dynamics actions,
+* flow completions under the current allocation,
+* scheduler wakeups — queue-threshold crossings and starvation deadlines,
+* (sync mode) δ-grid boundaries at which new schedules take effect.
+
+**Coordinator timing model (§5).** With ``sync_interval == 0`` the scheduler
+reacts instantly to every event (the idealised coordinator used for the main
+simulation results). With ``δ = sync_interval > 0``, state changes are only
+*acted on* at the next multiple of δ: a coflow arriving at ``t`` is first
+scheduled at ``ceil(t/δ)·δ``, and bandwidth freed by a completion stays idle
+until that boundary — exactly the staleness that Fig. 14(c) measures.
+Because rates are constant between state changes, recomputing at every grid
+point would yield identical schedules, so the engine only recomputes at grid
+points *following* a state change; this is an exact optimisation, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..schedulers.base import Allocation, Scheduler
+from .events import Event, EventKind, EventQueue
+from .fabric import Fabric
+from .flows import CoFlow, Flow
+from .state import ClusterState
+
+
+class DynamicsAction(Protocol):
+    """Dynamics events (failures, stragglers, …) applied at their instant."""
+
+    time: float
+
+    def apply(self, sim: "Simulator", now: float) -> None:
+        """Mutate simulator state; the engine reschedules afterwards."""
+        ...  # pragma: no cover - protocol
+
+
+class ScheduleObserver(Protocol):
+    """Telemetry hook notified after every schedule application."""
+
+    def on_schedule(self, state: ClusterState, allocation: Allocation,
+                    now: float) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    #: Every coflow that finished, in completion order.
+    coflows: list[CoFlow] = field(default_factory=list)
+    #: Number of schedule computations performed.
+    reschedules: int = 0
+    #: Simulated time at which the last coflow finished.
+    makespan: float = 0.0
+
+    def cct(self, coflow_id: int) -> float:
+        for c in self.coflows:
+            if c.coflow_id == coflow_id:
+                return c.cct()
+        raise KeyError(f"coflow {coflow_id} not in result")
+
+    def ccts(self) -> dict[int, float]:
+        """coflow_id → CCT for every finished coflow."""
+        return {c.coflow_id: c.cct() for c in self.coflows}
+
+    def average_cct(self) -> float:
+        if not self.coflows:
+            return 0.0
+        return sum(c.cct() for c in self.coflows) / len(self.coflows)
+
+    def coflow(self, coflow_id: int) -> CoFlow:
+        for c in self.coflows:
+            if c.coflow_id == coflow_id:
+                return c
+        raise KeyError(f"coflow {coflow_id} not in result")
+
+
+class Simulator:
+    """Drives one scheduler over one workload on one fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        scheduler: Scheduler,
+        config: SimulationConfig,
+        *,
+        dynamics: Iterable[DynamicsAction] = (),
+        rate_perturbation: Callable[[Flow, float], float] | None = None,
+        observer: "ScheduleObserver | None" = None,
+    ):
+        self.fabric = fabric
+        self.scheduler = scheduler
+        self.config = config
+        self._dynamics = list(dynamics)
+        #: Optional testbed-mode hook mapping (flow, allocated rate) to the
+        #: *achieved* rate — models imperfect rate enforcement (§7 setup).
+        self._rate_perturbation = rate_perturbation
+        #: Optional telemetry observer notified after every schedule
+        #: application (see repro.analysis.telemetry.TelemetryRecorder).
+        self._observer = observer
+        if observer is not None and hasattr(observer, "bind_scheduler"):
+            observer.bind_scheduler(scheduler)
+
+        self.state = ClusterState(fabric=fabric)
+        #: Per-flow efficiency factors (< 1 for straggling flows, §4.3).
+        self.flow_efficiency: dict[int, float] = {}
+
+        self._events = EventQueue()
+        self._now = 0.0
+        self._next_sync: float | None = None
+        self._waiting_dag: dict[int, CoFlow] = {}
+        self._finished_ids: set[int] = set()
+        self._result = SimulationResult()
+        #: Flows with a positive rate under the current allocation, plus
+        #: flows that may already be complete (zero-volume on arrival).
+        #: Only these can change state between events — keeping the hot
+        #: loops off the full active set is the engine's main optimisation.
+        self._running: list[Flow] = []
+        self._maybe_done: list[tuple[Flow, CoFlow]] = []
+        self._coflow_of: dict[int, CoFlow] = {}
+
+    # ---- public API -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def run(self, coflows: Iterable[CoFlow]) -> SimulationResult:
+        """Simulate to completion and return per-coflow results."""
+        submitted = list(coflows)
+        self._validate_workload(submitted)
+        for c in submitted:
+            self._events.push(
+                Event(c.arrival_time, EventKind.COFLOW_ARRIVAL, c)
+            )
+        for action in self._dynamics:
+            self._events.push(Event(action.time, EventKind.DYNAMICS, action))
+
+        self._loop(expected=len(submitted))
+        self._result.makespan = max(
+            (c.finish_time or 0.0 for c in self._result.coflows), default=0.0
+        )
+        return self._result
+
+    # ---- main loop -------------------------------------------------------------
+
+    def _loop(self, expected: int) -> None:
+        while len(self._finished_ids) < expected:
+            t_next = self._next_instant()
+            if math.isinf(t_next):
+                self._raise_stuck()
+            if t_next > self.config.max_sim_time:
+                raise SimulationError(
+                    f"simulation exceeded max_sim_time="
+                    f"{self.config.max_sim_time}; likely a livelock"
+                )
+            self._advance_to(t_next)
+
+            changed = self._process_completions()
+            changed |= self._process_external_events()
+            if changed:
+                self._request_resync(self._now)
+
+            if self._next_sync is not None and self._next_sync <= self._now:
+                self._recompute_schedule()
+
+    def _next_instant(self) -> float:
+        """Earliest of: external event, flow completion, pending sync."""
+        candidates: list[float] = []
+        head = self._events.peek_time()
+        if head is not None:
+            candidates.append(head)
+        if self._next_sync is not None:
+            candidates.append(self._next_sync)
+        completion = self._earliest_completion()
+        if completion is not None:
+            candidates.append(completion)
+        if not candidates:
+            return math.inf
+        return max(min(candidates), self._now)
+
+    def _flow_complete(self, f: Flow) -> bool:
+        """Completion predicate with a rate-relative guard.
+
+        Absolute byte tolerance alone is not enough: a fast flow can be
+        left with ``remaining`` just above ``epsilon_bytes`` whose transfer
+        time (< 1e-12 s) underflows float64 time addition, freezing the
+        clock. Anything needing less than ~10 ns at its current rate is
+        complete.
+        """
+        remaining = f.volume - f.bytes_sent
+        if remaining <= self.config.epsilon_bytes:
+            return True
+        return f.rate > 0 and remaining <= f.rate * 1e-8
+
+    def _earliest_completion(self) -> float | None:
+        if self._maybe_done:
+            return self._now
+        best = math.inf
+        for f in self._running:
+            if f.finished:
+                continue
+            if self._flow_complete(f):
+                return self._now
+            ttc = (f.volume - f.bytes_sent) / f.rate if f.rate > 0 else math.inf
+            if ttc < best:
+                best = ttc
+        return self._now + best if math.isfinite(best) else None
+
+    def _advance_to(self, t: float) -> None:
+        dt = t - self._now
+        if dt < 0:
+            raise SimulationError(f"time went backwards: {self._now} -> {t}")
+        if dt > 0:
+            for f in self._running:
+                f.advance(dt)
+        self._now = t
+
+    # ---- event processing ---------------------------------------------------------
+
+    def _process_completions(self) -> bool:
+        candidates: list[tuple[Flow, CoFlow]] = []
+        for f in self._running:
+            if not f.finished and self._flow_complete(f):
+                candidates.append((f, self._coflow_of[f.coflow_id]))
+        if self._maybe_done:
+            candidates.extend(self._maybe_done)
+            self._maybe_done = []
+
+        touched: dict[int, CoFlow] = {}
+        for f, coflow in candidates:
+            if f.finished or not self._flow_complete(f):
+                continue
+            f.bytes_sent = f.volume
+            f.rate = 0.0
+            f.finish_time = self._now
+            self.scheduler.on_flow_completion(f, coflow, self._now)
+            touched[coflow.coflow_id] = coflow
+        if not touched:
+            return False
+
+        done: set[int] = set()
+        for coflow in touched.values():
+            if coflow.all_flows_finished():
+                coflow.finish_time = self._now
+                self._finished_ids.add(coflow.coflow_id)
+                self._result.coflows.append(coflow)
+                self.scheduler.on_coflow_completion(coflow, self._now)
+                done.add(coflow.coflow_id)
+                del self._coflow_of[coflow.coflow_id]
+        if done:
+            self.state.active_coflows = [
+                c for c in self.state.active_coflows
+                if c.coflow_id not in done
+            ]
+            for coflow_id in done:
+                self._release_dependents_of(coflow_id)
+        return True
+
+    def _process_external_events(self) -> bool:
+        changed = False
+        while True:
+            head = self._events.peek_time()
+            if head is None or head > self._now + 1e-15:
+                break
+            event = self._events.pop()
+            if event.kind is EventKind.COFLOW_ARRIVAL:
+                self._handle_arrival(event.payload)
+                changed = True
+            elif event.kind is EventKind.DYNAMICS:
+                event.payload.apply(self, self._now)
+                changed = True
+            else:  # SYNC markers never enter the external queue
+                raise SimulationError(f"unexpected event kind {event.kind}")
+        return changed
+
+    def _handle_arrival(self, coflow: CoFlow) -> None:
+        unmet = [d for d in coflow.depends_on if d not in self._finished_ids]
+        if unmet:
+            self._waiting_dag[coflow.coflow_id] = coflow
+            return
+        self._activate(coflow)
+
+    def _activate(self, coflow: CoFlow) -> None:
+        # DAG-released stages start counting CCT from their release instant.
+        coflow.arrival_time = max(coflow.arrival_time, self._now)
+        self.state.active_coflows.append(coflow)
+        self._coflow_of[coflow.coflow_id] = coflow
+        self.scheduler.on_coflow_arrival(coflow, self._now)
+        for f in coflow.flows:
+            # Wake the scheduler when pipelined data becomes available
+            # (§4.3), and catch zero-volume flows that are born complete.
+            if f.available_time > self._now:
+                self._events.push(
+                    Event(f.available_time, EventKind.DYNAMICS,
+                          _DataAvailable(f.available_time))
+                )
+            if f.volume - f.bytes_sent <= self.config.epsilon_bytes:
+                self._maybe_done.append((f, coflow))
+
+    def _release_dependents_of(self, finished_id: int) -> None:
+        released = [
+            c for c in self._waiting_dag.values()
+            if all(d in self._finished_ids for d in c.depends_on)
+        ]
+        for c in released:
+            del self._waiting_dag[c.coflow_id]
+            self._activate(c)
+
+    # ---- scheduling ------------------------------------------------------------------
+
+    def _request_resync(self, t: float) -> None:
+        """Ask for a schedule recomputation, quantised to the δ grid."""
+        delta = self.config.sync_interval
+        if delta > 0:
+            t = math.ceil((t - 1e-12) / delta) * delta
+        if self._next_sync is None or t < self._next_sync:
+            self._next_sync = t
+
+    def _recompute_schedule(self) -> None:
+        self._next_sync = None
+        allocation = self.scheduler.schedule(self.state, self._now)
+        self._apply_allocation(allocation)
+        self._result.reschedules += 1
+        if self._observer is not None:
+            self._observer.on_schedule(self.state, allocation, self._now)
+        wakeup = self.scheduler.next_wakeup(self.state, allocation, self._now)
+        # Sub-nanosecond wakeups cannot advance float64 time at realistic
+        # clock values; dropping them avoids reschedule storms.
+        if wakeup is not None and wakeup > self._now + 1e-9:
+            self._request_resync(wakeup)
+
+    def _apply_allocation(self, allocation: Allocation) -> None:
+        self._running = []
+        rates = allocation.rates
+        efficiency = self.flow_efficiency
+        for coflow in self.state.active_coflows:
+            for f in coflow.flows:
+                if f.finished:
+                    continue
+                rate = rates.get(f.flow_id, 0.0)
+                if rate > 0:
+                    if f.available_time > self._now:
+                        # §4.3: data not yet produced cannot be sent. A
+                        # scheduler that allocates here (availability-
+                        # oblivious) has reserved the ports for nothing —
+                        # the slot is wasted, which is the behaviour the
+                        # data-unavailability experiment measures.
+                        rate = 0.0
+                    elif efficiency:
+                        rate *= efficiency.get(f.flow_id, 1.0)
+                    if rate > 0 and self._rate_perturbation is not None:
+                        rate = self._rate_perturbation(f, rate)
+                f.rate = max(rate, 0.0)
+                if f.rate > 0:
+                    self._running.append(f)
+                    if f.start_time is None:
+                        f.start_time = self._now
+
+    # ---- diagnostics --------------------------------------------------------------------
+
+    def _raise_stuck(self) -> None:
+        stuck = [
+            c.coflow_id
+            for c in self.state.active_coflows
+            if not c.all_flows_finished()
+        ]
+        waiting = sorted(self._waiting_dag)
+        raise SimulationError(
+            f"simulation stalled at t={self._now}: no future events, "
+            f"active coflows {stuck}, DAG-blocked coflows {waiting}. "
+            f"This usually means the scheduler allocated zero rate to every "
+            f"remaining flow, or a DAG dependency cycle exists."
+        )
+
+    @staticmethod
+    def _validate_workload(coflows: list[CoFlow]) -> None:
+        seen_cf: set[int] = set()
+        seen_fl: set[int] = set()
+        for c in coflows:
+            if c.coflow_id in seen_cf:
+                raise SimulationError(f"duplicate coflow id {c.coflow_id}")
+            seen_cf.add(c.coflow_id)
+            for f in c.flows:
+                if f.flow_id in seen_fl:
+                    raise SimulationError(f"duplicate flow id {f.flow_id}")
+                seen_fl.add(f.flow_id)
+        ids = seen_cf
+        for c in coflows:
+            for dep in c.depends_on:
+                if dep not in ids:
+                    raise SimulationError(
+                        f"coflow {c.coflow_id} depends on unknown coflow {dep}"
+                    )
+
+
+@dataclass
+class _DataAvailable:
+    """Internal no-op dynamics action: wakes the scheduler when pipelined
+    data becomes available (§4.3)."""
+
+    time: float
+
+    def apply(self, sim: Simulator, now: float) -> None:
+        """No state change needed — the reschedule itself is the effect."""
+
+
+def run_policy(
+    scheduler: Scheduler,
+    coflows: Iterable[CoFlow],
+    fabric: Fabric,
+    config: SimulationConfig,
+    *,
+    dynamics: Iterable[DynamicsAction] = (),
+    rate_perturbation: Callable[[Flow, float], float] | None = None,
+    observer: ScheduleObserver | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper: build a simulator and run it."""
+    sim = Simulator(
+        fabric,
+        scheduler,
+        config,
+        dynamics=dynamics,
+        rate_perturbation=rate_perturbation,
+        observer=observer,
+    )
+    return sim.run(coflows)

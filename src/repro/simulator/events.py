@@ -1,0 +1,96 @@
+"""Event types and the event queue driving the discrete-event engine.
+
+The engine is a fluid-flow discrete-event simulator: between events all flow
+rates are constant, so the only instants at which anything interesting can
+happen are enumerated here. External events (arrivals, dynamics) are queued
+ahead of time; *derived* events (flow completions, threshold crossings) are
+recomputed from the current allocation after every step and therefore never
+enter the queue — see :mod:`repro.simulator.engine`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.Enum):
+    """External event categories, in tie-break priority order.
+
+    When several events share a timestamp, completions conceptually precede
+    arrivals (a freed port is visible to the arriving coflow's first
+    schedule); the engine handles same-time batching, and this ordering only
+    breaks ties deterministically inside the queue.
+    """
+
+    COFLOW_ARRIVAL = 1
+    DYNAMICS = 2  # failure / straggler / link events
+    SYNC = 3  # coordinator sync boundary (δ grid)
+
+    def __lt__(self, other: "EventKind") -> bool:
+        return self.value < other.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped external event.
+
+    ``payload`` is kind-specific: the :class:`~repro.simulator.flows.CoFlow`
+    for arrivals, a dynamics action object for ``DYNAMICS``, ``None`` for
+    ``SYNC``.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    kind: EventKind
+    seq: int
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` ordered by (time, kind, insertion).
+
+    Stability matters for reproducibility: two coflows arriving at the same
+    instant are delivered in insertion order, which trace loaders make the
+    trace order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(
+            self._heap,
+            _HeapEntry(event.time, event.kind, next(self._counter), event),
+        )
+
+    def push_all(self, events: list[Event]) -> None:
+        for e in events:
+            self.push(e)
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap).event
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

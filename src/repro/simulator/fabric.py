@@ -1,0 +1,149 @@
+"""Datacenter fabric model: a non-blocking big switch.
+
+Following the paper's evaluation setup (§6): full bisection bandwidth is
+assumed, so the network is abstracted as one big switch where congestion can
+occur only at the sender (uplink) and receiver (downlink) ports. Each machine
+``i`` contributes sender port ``SND(i)`` and receiver port ``RCV(i)``.
+
+Port identifiers are plain integers in two disjoint ranges so that a coflow's
+"ports" set (needed by all-or-none and contention) can be a flat set:
+machine ``i``'s sender port is ``i`` and its receiver port is ``i + n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CapacityViolationError, ConfigError
+
+#: Slack factor when validating allocations against capacity, to absorb
+#: floating-point accumulation across many flows.
+_CAPACITY_TOLERANCE = 1.0 + 1e-9
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A big-switch fabric with ``num_machines`` machines.
+
+    Every port has the same capacity ``port_rate`` (bytes/second), matching
+    the paper's homogeneous 1 Gbps setting; heterogeneous capacities can be
+    modelled by :class:`repro.simulator.dynamics.LinkDegradation`.
+    """
+
+    num_machines: int
+    port_rate: float
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 2:
+            raise ConfigError(
+                f"fabric needs at least 2 machines, got {self.num_machines}"
+            )
+        if self.port_rate <= 0:
+            raise ConfigError(f"port_rate must be positive, got {self.port_rate}")
+
+    # ---- port id scheme ----------------------------------------------------
+
+    def sender_port(self, machine: int) -> int:
+        """Sender (uplink) port id of ``machine``."""
+        self._check_machine(machine)
+        return machine
+
+    def receiver_port(self, machine: int) -> int:
+        """Receiver (downlink) port id of ``machine``."""
+        self._check_machine(machine)
+        return machine + self.num_machines
+
+    def is_sender_port(self, port: int) -> bool:
+        return 0 <= port < self.num_machines
+
+    def is_receiver_port(self, port: int) -> bool:
+        return self.num_machines <= port < 2 * self.num_machines
+
+    def machine_of(self, port: int) -> int:
+        """Machine owning ``port`` (either direction)."""
+        if self.is_sender_port(port):
+            return port
+        if self.is_receiver_port(port):
+            return port - self.num_machines
+        raise ConfigError(f"port {port} out of range for {self}")
+
+    @property
+    def num_ports(self) -> int:
+        """Total number of ports (senders + receivers)."""
+        return 2 * self.num_machines
+
+    def all_ports(self) -> range:
+        return range(self.num_ports)
+
+    def capacity(self, port: int) -> float:
+        """Capacity of ``port`` in bytes/second."""
+        if not 0 <= port < self.num_ports:
+            raise ConfigError(f"port {port} out of range for {self}")
+        return self.port_rate
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < self.num_machines:
+            raise ConfigError(
+                f"machine {machine} out of range [0, {self.num_machines})"
+            )
+
+
+class PortLedger:
+    """Mutable residual-capacity tracker used while building an allocation.
+
+    Schedulers repeatedly ask "how much is left at this port?" and then
+    commit flow rates; the ledger centralises that arithmetic and raises
+    :class:`CapacityViolationError` on over-commit, which turns subtle
+    scheduler bugs into loud failures.
+    """
+
+    def __init__(self, fabric: Fabric,
+                 capacity_override: dict[int, float] | None = None):
+        self._fabric = fabric
+        self._capacity = {
+            p: fabric.capacity(p) for p in fabric.all_ports()
+        }
+        if capacity_override:
+            for port, cap in capacity_override.items():
+                if cap < 0:
+                    raise ConfigError(
+                        f"capacity override for port {port} must be >= 0"
+                    )
+                self._capacity[port] = cap
+        self._used: dict[int, float] = {p: 0.0 for p in fabric.all_ports()}
+
+    @property
+    def fabric(self) -> Fabric:
+        return self._fabric
+
+    def capacity(self, port: int) -> float:
+        return self._capacity[port]
+
+    def used(self, port: int) -> float:
+        return self._used[port]
+
+    def residual(self, port: int) -> float:
+        """Unallocated capacity at ``port`` (never negative)."""
+        return max(self._capacity[port] - self._used[port], 0.0)
+
+    def has_capacity(self, port: int, min_rate: float) -> bool:
+        """True if ``port`` still has at least ``min_rate`` bytes/s free."""
+        return self.residual(port) >= min_rate
+
+    def commit(self, src: int, dst: int, rate: float) -> None:
+        """Reserve ``rate`` bytes/s on the sender and receiver of one flow."""
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate}")
+        if rate == 0:
+            return
+        for port in (src, dst):
+            new_used = self._used[port] + rate
+            if new_used > self._capacity[port] * _CAPACITY_TOLERANCE:
+                raise CapacityViolationError(
+                    str(port), new_used, self._capacity[port]
+                )
+            self._used[port] = min(new_used, self._capacity[port])
+
+    def snapshot_residuals(self) -> dict[int, float]:
+        """Copy of per-port residual capacity (for diagnostics/tests)."""
+        return {p: self.residual(p) for p in self._fabric.all_ports()}

@@ -1,0 +1,212 @@
+"""Rate-allocation substrate: water-filling max-min fairness and MADD.
+
+Three allocators used across the schedulers:
+
+* :func:`max_min_fair` — global per-flow max-min fairness via progressive
+  filling. This is the fluid model of per-flow TCP fair sharing and powers
+  the UC-TCP baseline (§6.1) and intra-queue fair sharing.
+* :func:`madd_rates` — Minimum-Allocation-for-Desired-Duration (Varys §4 /
+  paper §4.2 D2): give every flow of a coflow the rate that finishes it
+  exactly at the coflow's bottleneck completion time.
+* :func:`equal_rate_for_coflow` — Saath's D2 rule: one equal rate for all
+  flows of a coflow, the minimum of the per-flow fair caps.
+
+All functions operate on a :class:`~repro.simulator.fabric.PortLedger` so
+the caller controls what capacity is visible (residual capacity after
+higher-priority allocations).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .fabric import PortLedger
+from .flows import CoFlow, Flow
+
+
+def max_min_fair(
+    flows: Sequence[Flow],
+    ledger: PortLedger,
+    *,
+    rate_cap: float | None = None,
+) -> dict[int, float]:
+    """Max-min fair rates for ``flows`` over the ledger's residual capacity.
+
+    Progressive filling: repeatedly find the tightest port (smallest residual
+    divided by its number of unfrozen flows), freeze those flows at the fair
+    share, subtract, and continue. Runs in ``O(P * F)`` in the worst case,
+    which is fine at trace scale.
+
+    Returns a mapping ``flow_id -> rate``; rates of all flows are committed
+    to the ledger. ``rate_cap`` optionally bounds every flow's rate (used to
+    model per-flow demand limits).
+    """
+    active: dict[int, Flow] = {f.flow_id: f for f in flows if not f.finished}
+    rates: dict[int, float] = {fid: 0.0 for fid in active}
+    if not active:
+        return rates
+
+    residual: dict[int, float] = {}
+    port_flows: dict[int, set[int]] = defaultdict(set)
+    for f in active.values():
+        for port in (f.src, f.dst):
+            if port not in residual:
+                residual[port] = ledger.residual(port)
+            port_flows[port].add(f.flow_id)
+
+    frozen: set[int] = set()
+    # Flows capped below the fair share freeze at the cap first.
+    if rate_cap is not None and rate_cap <= 0:
+        return rates
+
+    while len(frozen) < len(active):
+        # Tightest port among those with unfrozen flows.
+        best_port = None
+        best_share = math.inf
+        for port, fids in port_flows.items():
+            live = [fid for fid in fids if fid not in frozen]
+            if not live:
+                continue
+            share = residual[port] / len(live)
+            if share < best_share:
+                best_share = share
+                best_port = port
+        if best_port is None:
+            break
+
+        if rate_cap is not None and rate_cap < best_share:
+            # Every remaining flow can take the cap without saturating any
+            # port: freeze them all at the cap.
+            for fid in [f for f in active if f not in frozen]:
+                rates[fid] = rate_cap
+                flow = active[fid]
+                residual[flow.src] -= rate_cap
+                residual[flow.dst] -= rate_cap
+                frozen.add(fid)
+            break
+
+        # Freeze the flows on the bottleneck port at the fair share.
+        newly = [fid for fid in port_flows[best_port] if fid not in frozen]
+        for fid in newly:
+            rates[fid] = best_share
+            flow = active[fid]
+            residual[flow.src] -= best_share
+            residual[flow.dst] -= best_share
+            frozen.add(fid)
+        # Numerical guard: residuals can dip a hair below zero.
+        for port in residual:
+            if residual[port] < 0:
+                residual[port] = 0.0
+
+    for fid, rate in rates.items():
+        if rate > 0:
+            flow = active[fid]
+            ledger.commit(flow.src, flow.dst, rate)
+    return rates
+
+
+def madd_rates(
+    coflow: CoFlow,
+    ledger: PortLedger,
+    *,
+    flows: Iterable[Flow] | None = None,
+) -> dict[int, float]:
+    """MADD rates finishing all flows of ``coflow`` at its bottleneck time.
+
+    **Clairvoyant**: reads flow remaining volumes. Computes the coflow's
+    completion time Γ if each port dedicated its residual capacity, then
+    assigns each flow ``remaining / Γ``, scaling down if any port would be
+    oversubscribed. Returns ``{}`` when the coflow cannot make progress
+    (some needed port has zero residual).
+
+    Rates are committed to the ledger.
+    """
+    todo = [f for f in (flows if flows is not None else coflow.flows)
+            if not f.finished and f.remaining > 0]
+    if not todo:
+        return {}
+
+    port_bytes: dict[int, float] = defaultdict(float)
+    for f in todo:
+        port_bytes[f.src] += f.remaining
+        port_bytes[f.dst] += f.remaining
+
+    gamma = 0.0
+    for port, volume in port_bytes.items():
+        residual = ledger.residual(port)
+        if residual <= 0:
+            return {}
+        gamma = max(gamma, volume / residual)
+    if gamma <= 0:
+        return {}
+
+    rates = {f.flow_id: f.remaining / gamma for f in todo}
+    for f in todo:
+        ledger.commit(f.src, f.dst, rates[f.flow_id])
+    return rates
+
+
+def equal_rate_for_coflow(
+    coflow: CoFlow,
+    ledger: PortLedger,
+    *,
+    flows: Sequence[Flow] | None = None,
+) -> dict[int, float]:
+    """Saath's D2 rule: one equal rate for every flow of the coflow.
+
+    Non-clairvoyant. At each port the coflow's flows share the residual
+    capacity fairly, so flow ``f``'s cap is
+    ``min(residual(src)/n_src, residual(dst)/n_dst)`` where ``n_src`` is the
+    number of the coflow's schedulable flows on that sender (resp.
+    receiver). The coflow rate is the minimum cap over its flows — "the rate
+    of the slowest flow is assigned to all the flows" (§4.2 D2) — and is
+    committed to the ledger.
+
+    Returns ``{}`` if the equal rate would be zero.
+    """
+    todo = [f for f in (flows if flows is not None else coflow.flows)
+            if not f.finished]
+    if not todo:
+        return {}
+
+    count_at_port: dict[int, int] = defaultdict(int)
+    for f in todo:
+        count_at_port[f.src] += 1
+        count_at_port[f.dst] += 1
+
+    rate = math.inf
+    for f in todo:
+        cap_src = ledger.residual(f.src) / count_at_port[f.src]
+        cap_dst = ledger.residual(f.dst) / count_at_port[f.dst]
+        rate = min(rate, cap_src, cap_dst)
+    if not math.isfinite(rate) or rate <= 0:
+        return {}
+
+    rates = {f.flow_id: rate for f in todo}
+    for f in todo:
+        ledger.commit(f.src, f.dst, rate)
+    return rates
+
+
+def greedy_residual_rates(
+    flows: Sequence[Flow],
+    ledger: PortLedger,
+) -> dict[int, float]:
+    """Work-conservation fill (Fig. 7 lines 18–23).
+
+    Walk ``flows`` in order, giving each flow
+    ``min(sender residual, receiver residual)`` and committing it. Later
+    flows see capacity already consumed by earlier ones, so the input order
+    is the scheduling priority order.
+    """
+    rates: dict[int, float] = {}
+    for f in flows:
+        if f.finished:
+            continue
+        rate = min(ledger.residual(f.src), ledger.residual(f.dst))
+        if rate > 0:
+            ledger.commit(f.src, f.dst, rate)
+            rates[f.flow_id] = rate
+    return rates

@@ -1,0 +1,60 @@
+"""Cluster state exposed to schedulers.
+
+:class:`ClusterState` is the schedulers' *only* window into the simulation:
+the set of active (arrived, unfinished) coflows, the fabric geometry, and
+per-port capacity overrides from dynamics. Online schedulers must not touch
+``Flow.volume`` / ``Flow.remaining`` — the clairvoyant baselines (Varys, SCF,
+SRTF, LWTF) are explicitly allowed to, and are marked as offline in their
+docstrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fabric import Fabric, PortLedger
+from .flows import CoFlow, Flow
+
+
+@dataclass
+class ClusterState:
+    """Snapshot handed to :meth:`repro.schedulers.base.Scheduler.schedule`."""
+
+    fabric: Fabric
+    #: Active coflows in arrival order (arrived, not yet finished, and with
+    #: DAG dependencies satisfied).
+    active_coflows: list[CoFlow] = field(default_factory=list)
+    #: Per-port capacity overrides (bytes/s) from dynamics events; ports not
+    #: listed run at ``fabric.port_rate``.
+    capacity_override: dict[int, float] = field(default_factory=dict)
+    #: When False, ``schedulable_flows`` ignores data availability — an
+    #: availability-*oblivious* coordinator that wastes slots on flows with
+    #: no data to send (the §4.3 counterfactual; the engine still refuses
+    #: to move unavailable bytes).
+    respect_availability: bool = True
+
+    def make_ledger(self) -> PortLedger:
+        """Fresh residual-capacity ledger honouring dynamic overrides."""
+        return PortLedger(self.fabric, capacity_override=self.capacity_override)
+
+    def schedulable_flows(self, coflow: CoFlow, now: float) -> list[Flow]:
+        """Unfinished flows of ``coflow`` whose data is available at ``now``.
+
+        Models §4.3 "un-availability of the data": the coordinator only
+        schedules flows that have accumulated data to send (local agents
+        piggyback availability onto their periodic flow statistics).
+        """
+        if not self.respect_availability:
+            return [f for f in coflow.flows if not f.finished]
+        return [
+            f for f in coflow.flows
+            if not f.finished and f.available_time <= now
+        ]
+
+    def active_flow_count(self) -> int:
+        return sum(
+            len(c.unfinished_flows()) for c in self.active_coflows
+        )
+
+    def port_capacity(self, port: int) -> float:
+        return self.capacity_override.get(port, self.fabric.capacity(port))

@@ -1,0 +1,72 @@
+"""Unit helpers and canonical units used throughout the reproduction.
+
+Internally the simulator works in a single canonical unit system:
+
+* **bytes** for data volume,
+* **seconds** for time,
+* **bytes per second** for rates and port capacities.
+
+The paper (and the public ``coflow-benchmark`` trace format) quote sizes in
+megabytes, times in milliseconds, and link speeds in Gbps; the helpers here
+perform those conversions explicitly so no magic constants appear in the
+algorithm code.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in one kilobyte / megabyte / gigabyte / terabyte (SI-ish,
+#: binary multiples as used by the coflow-benchmark trace tooling).
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+#: One millisecond, in seconds.
+MSEC = 1e-3
+
+#: Bits per byte.
+BITS_PER_BYTE = 8.0
+
+#: Default port speed used in the paper's simulations: 1 Gbps.
+GBPS = 1e9 / BITS_PER_BYTE  # bytes per second
+
+
+def mb(value: float) -> float:
+    """Convert megabytes to bytes."""
+    return value * MB
+
+
+def gb(value: float) -> float:
+    """Convert gigabytes to bytes."""
+    return value * GB
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MSEC
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return value * GBPS
+
+
+def bytes_to_mb(value: float) -> float:
+    """Convert bytes to megabytes."""
+    return value / MB
+
+
+def seconds_to_msec(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value / MSEC
+
+
+def transfer_time(size_bytes: float, rate_bps: float) -> float:
+    """Time in seconds to move ``size_bytes`` at ``rate_bps`` bytes/second.
+
+    Raises :class:`ValueError` for a non-positive rate, because a zero rate
+    would silently produce ``inf`` and propagate through the event queue.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes / rate_bps

@@ -1,0 +1,56 @@
+"""Workloads: trace I/O, synthetic generators, DAG jobs, JCT accounting."""
+
+from .dag import chain_stages, critical_path_stages, fan_in_stages, validate_dag
+from .jobs import (
+    SHUFFLE_BUCKETS,
+    JobOutcome,
+    bucket_speedups,
+    job_outcomes,
+    sample_shuffle_fractions,
+)
+from .synthetic import (
+    SyntheticSpec,
+    WorkloadGenerator,
+    fb_like_spec,
+    generate_fb_like,
+    generate_osp_like,
+    osp_like_spec,
+    scale_arrivals,
+)
+from .traces import (
+    Trace,
+    TraceCoflow,
+    coflows_to_trace,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+    trace_to_coflows,
+)
+
+__all__ = [
+    "SHUFFLE_BUCKETS",
+    "JobOutcome",
+    "SyntheticSpec",
+    "Trace",
+    "TraceCoflow",
+    "WorkloadGenerator",
+    "bucket_speedups",
+    "chain_stages",
+    "coflows_to_trace",
+    "critical_path_stages",
+    "dump_trace",
+    "fan_in_stages",
+    "fb_like_spec",
+    "generate_fb_like",
+    "generate_osp_like",
+    "job_outcomes",
+    "load_trace",
+    "osp_like_spec",
+    "parse_trace",
+    "sample_shuffle_fractions",
+    "save_trace",
+    "scale_arrivals",
+    "trace_to_coflows",
+    "validate_dag",
+]

@@ -1,0 +1,152 @@
+"""Multi-stage DAG and multi-wave job modelling (§4.3).
+
+Analytics queries are DAGs of dependent stages; Saath represents every
+stage (and every wave of a multi-wave MapReduce job) as **one coflow** and
+serialises dependent stages through the ``depends_on`` mechanism of the
+engine: a stage coflow becomes active only when all its parents have
+completed, and its CCT clock starts at release.
+
+This module provides builders for the common DAG shapes:
+
+* :func:`chain_stages` — a linear pipeline (also models multi-wave jobs,
+  where each wave is a stage);
+* :func:`fan_in_stages` — several parallel stages feeding a final stage
+  (the map-side/shuffle/reduce-side pattern of Hive queries);
+* :func:`validate_dag` — cycle/unknown-reference checking used by the
+  engine's workload validation and by user code building custom DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+from ..simulator.flows import CoFlow, make_coflow
+
+Transfers = Sequence[tuple[int, int, float]]
+
+
+def chain_stages(
+    base_id: int,
+    arrival_time: float,
+    stage_transfers: Sequence[Transfers],
+    *,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """Build a linear chain: stage ``i`` depends on stage ``i-1``.
+
+    ``stage_transfers[i]`` lists the ``(src, dst, bytes)`` triples of stage
+    ``i``'s coflow. Coflow ids are ``base_id, base_id+1, ...``; all stages
+    carry the same ``arrival_time`` (later stages are gated by the DAG, not
+    the clock) and the same ``job_id``.
+    """
+    if not stage_transfers:
+        raise ConfigError("chain needs at least one stage")
+    coflows = []
+    fid = flow_id_start
+    for i, transfers in enumerate(stage_transfers):
+        deps = (base_id + i - 1,) if i > 0 else ()
+        c = make_coflow(
+            base_id + i, arrival_time, transfers,
+            flow_id_start=fid, depends_on=deps, job_id=job_id,
+        )
+        fid += len(c.flows)
+        coflows.append(c)
+    return coflows
+
+
+def fan_in_stages(
+    base_id: int,
+    arrival_time: float,
+    branch_transfers: Sequence[Transfers],
+    final_transfers: Transfers,
+    *,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """Build a fan-in DAG: N parallel branches, then one dependent stage.
+
+    Branch coflows get ids ``base_id .. base_id+N-1``; the final stage id is
+    ``base_id+N`` and depends on every branch.
+    """
+    if not branch_transfers:
+        raise ConfigError("fan-in needs at least one branch")
+    coflows = []
+    fid = flow_id_start
+    for i, transfers in enumerate(branch_transfers):
+        c = make_coflow(base_id + i, arrival_time, transfers,
+                        flow_id_start=fid, job_id=job_id)
+        fid += len(c.flows)
+        coflows.append(c)
+    final = make_coflow(
+        base_id + len(branch_transfers), arrival_time, final_transfers,
+        flow_id_start=fid,
+        depends_on=tuple(base_id + i for i in range(len(branch_transfers))),
+        job_id=job_id,
+    )
+    coflows.append(final)
+    return coflows
+
+
+def validate_dag(coflows: Iterable[CoFlow]) -> None:
+    """Check that DAG references resolve and contain no cycles.
+
+    Raises :class:`~repro.errors.ConfigError` on an unknown dependency or a
+    dependency cycle (which would deadlock the simulation).
+    """
+    by_id = {c.coflow_id: c for c in coflows}
+    for c in by_id.values():
+        for dep in c.depends_on:
+            if dep not in by_id:
+                raise ConfigError(
+                    f"coflow {c.coflow_id} depends on unknown coflow {dep}"
+                )
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {cid: WHITE for cid in by_id}
+
+    def visit(cid: int, stack: list[int]) -> None:
+        colour[cid] = GREY
+        stack.append(cid)
+        for dep in by_id[cid].depends_on:
+            if colour[dep] == GREY:
+                cycle = stack[stack.index(dep):] + [dep]
+                raise ConfigError(f"DAG cycle: {' -> '.join(map(str, cycle))}")
+            if colour[dep] == WHITE:
+                visit(dep, stack)
+        stack.pop()
+        colour[cid] = BLACK
+
+    for cid in by_id:
+        if colour[cid] == WHITE:
+            visit(cid, [])
+
+
+def critical_path_stages(coflows: Iterable[CoFlow]) -> list[int]:
+    """Longest dependency chain (by stage count), as a list of coflow ids.
+
+    Useful for asserting DAG-experiment expectations: the job completion
+    time is bounded below by the critical path's serialised CCTs.
+    """
+    by_id = {c.coflow_id: c for c in coflows}
+    validate_dag(by_id.values())
+    memo: dict[int, list[int]] = {}
+
+    def longest(cid: int) -> list[int]:
+        if cid in memo:
+            return memo[cid]
+        best: list[int] = []
+        for dep in by_id[cid].depends_on:
+            cand = longest(dep)
+            if len(cand) > len(best):
+                best = cand
+        memo[cid] = best + [cid]
+        return memo[cid]
+
+    overall: list[int] = []
+    for cid in by_id:
+        cand = longest(cid)
+        if len(cand) > len(overall):
+            overall = cand
+    return overall

@@ -1,0 +1,129 @@
+"""Job-completion-time accounting with shuffle fractions (§7.2, Fig. 16).
+
+A data-analytics job spends part of its life computing and part shuffling.
+Improving CCT only accelerates the shuffle part, so the paper reports JCT
+speedups bucketed by the fraction of job time spent in shuffle (following
+the distribution used in the Aalo paper).
+
+Model: job ``j`` has a fixed compute time and a shuffle whose duration is
+the job's coflow CCT under the scheduler being evaluated. Given the shuffle
+fraction ``s_j`` *under the baseline* (Aalo), the compute time is inferred
+as ``compute_j = cct_base_j * (1 - s_j) / s_j`` and held constant across
+schedulers; then::
+
+    jct(policy) = compute_j + cct_policy_j
+    speedup_j   = jct(baseline) / jct(policy)
+
+which reproduces exactly the dilution effect Fig. 16 shows: shuffle-light
+jobs see speedups near 1 regardless of the CCT gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import make_rng
+
+#: Fig. 16's shuffle-fraction buckets (labels match the x-axis).
+SHUFFLE_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("<25%", 0.0, 0.25),
+    ("25-50%", 0.25, 0.50),
+    ("50-75%", 0.50, 0.75),
+    (">=75%", 0.75, 1.0 + 1e-9),
+)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """JCT of one job under baseline and candidate schedulers."""
+
+    job_id: int
+    shuffle_fraction: float
+    compute_time: float
+    jct_baseline: float
+    jct_candidate: float
+
+    @property
+    def speedup(self) -> float:
+        if self.jct_candidate <= 0:
+            raise ConfigError(f"job {self.job_id}: non-positive candidate JCT")
+        return self.jct_baseline / self.jct_candidate
+
+    @property
+    def bucket(self) -> str:
+        for label, lo, hi in SHUFFLE_BUCKETS:
+            if lo <= self.shuffle_fraction < hi:
+                return label
+        return SHUFFLE_BUCKETS[-1][0]
+
+
+def sample_shuffle_fractions(n: int, seed: int = 0) -> np.ndarray:
+    """Shuffle fractions for ``n`` jobs, following Aalo's distribution.
+
+    Aalo (SIGCOMM'15, Fig. 11) buckets its jobs roughly evenly across the
+    four quartile buckets with a mild tilt toward shuffle-light jobs; we use
+    bucket weights (0.30, 0.25, 0.25, 0.20) and uniform placement within a
+    bucket. The exact mix only affects the "All" column's weighting.
+    """
+    rng = make_rng(seed)
+    weights = np.array([0.30, 0.25, 0.25, 0.20])
+    bucket_idx = rng.choice(4, size=n, p=weights)
+    lows = np.array([b[1] for b in SHUFFLE_BUCKETS])[bucket_idx]
+    highs = np.minimum(
+        np.array([b[2] for b in SHUFFLE_BUCKETS])[bucket_idx], 1.0
+    )
+    fractions = rng.uniform(lows, highs)
+    # A zero fraction would make the compute time undefined.
+    return np.clip(fractions, 0.01, 0.99)
+
+
+def job_outcomes(
+    cct_baseline: Mapping[int, float],
+    cct_candidate: Mapping[int, float],
+    shuffle_fractions: Sequence[float] | np.ndarray,
+) -> list[JobOutcome]:
+    """Combine per-coflow CCTs into per-job JCT outcomes.
+
+    Jobs are identified with coflows one-to-one here (each trace coflow is
+    one job's shuffle stage, as in the paper's testbed replay);
+    ``shuffle_fractions`` is indexed positionally over the *sorted* coflow
+    ids so results are reproducible regardless of dict ordering.
+    """
+    ids = sorted(cct_baseline)
+    if len(shuffle_fractions) < len(ids):
+        raise ConfigError(
+            f"need {len(ids)} shuffle fractions, got {len(shuffle_fractions)}"
+        )
+    outcomes = []
+    for pos, cid in enumerate(ids):
+        if cid not in cct_candidate:
+            raise ConfigError(f"coflow {cid} missing from candidate CCTs")
+        s = float(shuffle_fractions[pos])
+        base_cct = cct_baseline[cid]
+        if base_cct <= 0:
+            continue  # zero-byte coflow: no shuffle, no speedup signal
+        compute = base_cct * (1.0 - s) / s
+        outcomes.append(
+            JobOutcome(
+                job_id=cid,
+                shuffle_fraction=s,
+                compute_time=compute,
+                jct_baseline=compute + base_cct,
+                jct_candidate=compute + cct_candidate[cid],
+            )
+        )
+    return outcomes
+
+
+def bucket_speedups(outcomes: Sequence[JobOutcome]) -> dict[str, list[float]]:
+    """Group speedups by Fig. 16 bucket, plus an ``"All"`` bucket."""
+    buckets: dict[str, list[float]] = {label: [] for label, _, _ in SHUFFLE_BUCKETS}
+    buckets["All"] = []
+    for o in outcomes:
+        buckets[o.bucket].append(o.speedup)
+        buckets["All"].append(o.speedup)
+    return buckets

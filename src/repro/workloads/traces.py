@@ -1,0 +1,235 @@
+"""Trace I/O in the public ``coflow-benchmark`` format.
+
+The paper's FB trace is published at github.com/coflow/coflow-benchmark in a
+line-oriented text format:
+
+.. code-block:: text
+
+    <numPorts> <numCoflows>
+    <id> <arrivalMillis> <numMappers> <m1 ... mM> <numReducers> <r1:sizeMB ... rR:sizeMB>
+
+Each coflow is a mapper×reducer shuffle: machine indices ``m*`` send,
+``r*:sizeMB`` receive ``sizeMB`` megabytes in total, split evenly over the
+mappers. This module reads and writes that format, so the real Facebook
+trace drops into every experiment unchanged; the synthetic generators in
+:mod:`repro.workloads.synthetic` emit the same structure.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..errors import TraceFormatError
+from ..simulator.fabric import Fabric
+from ..simulator.flows import CoFlow, Flow
+from ..units import MB, MSEC
+
+
+@dataclass(frozen=True)
+class TraceCoflow:
+    """One parsed trace line (mapper/reducer form, before flow expansion)."""
+
+    coflow_id: int
+    arrival_ms: float
+    mappers: tuple[int, ...]
+    #: (reducer machine, total received bytes) pairs.
+    reducers: tuple[tuple[int, float], ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.mappers) * len(self.reducers)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(size for _, size in self.reducers)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A parsed trace: port count plus coflows in file order."""
+
+    num_ports: int
+    coflows: tuple[TraceCoflow, ...]
+
+    def __len__(self) -> int:
+        return len(self.coflows)
+
+
+def parse_trace(text: str) -> Trace:
+    """Parse coflow-benchmark text into a :class:`Trace`."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise TraceFormatError(
+            f"header must be '<numPorts> <numCoflows>', got {lines[0]!r}"
+        )
+    try:
+        num_ports, num_coflows = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise TraceFormatError(f"bad header {lines[0]!r}") from exc
+    if len(lines) - 1 != num_coflows:
+        raise TraceFormatError(
+            f"header promises {num_coflows} coflows, file has {len(lines) - 1}"
+        )
+
+    coflows = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        coflows.append(_parse_coflow_line(line, lineno, num_ports))
+    return Trace(num_ports=num_ports, coflows=tuple(coflows))
+
+
+def _parse_coflow_line(line: str, lineno: int, num_ports: int) -> TraceCoflow:
+    tokens = line.split()
+    try:
+        coflow_id = int(tokens[0])
+        arrival_ms = float(tokens[1])
+        num_mappers = int(tokens[2])
+        mappers = tuple(int(t) for t in tokens[3:3 + num_mappers])
+        cursor = 3 + num_mappers
+        num_reducers = int(tokens[cursor])
+        reducer_tokens = tokens[cursor + 1:cursor + 1 + num_reducers]
+        if (len(mappers) != num_mappers
+                or len(reducer_tokens) != num_reducers):
+            raise IndexError
+        reducers = []
+        for tok in reducer_tokens:
+            machine_str, _, size_str = tok.partition(":")
+            reducers.append((int(machine_str), float(size_str) * MB))
+        if cursor + 1 + num_reducers != len(tokens):
+            raise TraceFormatError(
+                f"line {lineno}: trailing tokens after reducers"
+            )
+    except TraceFormatError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise TraceFormatError(f"line {lineno}: malformed coflow {line!r}") from exc
+
+    for m in mappers:
+        if not 0 <= m < num_ports:
+            raise TraceFormatError(
+                f"line {lineno}: mapper machine {m} out of range"
+            )
+    for r, size in reducers:
+        if not 0 <= r < num_ports:
+            raise TraceFormatError(
+                f"line {lineno}: reducer machine {r} out of range"
+            )
+        if size < 0:
+            raise TraceFormatError(f"line {lineno}: negative reducer size")
+    if not mappers or not reducers:
+        raise TraceFormatError(f"line {lineno}: coflow needs mappers and reducers")
+    if arrival_ms < 0:
+        raise TraceFormatError(f"line {lineno}: negative arrival time")
+    return TraceCoflow(coflow_id, arrival_ms, mappers, tuple(reducers))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read and parse a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+def dump_trace(trace: Trace, stream: TextIO | None = None) -> str:
+    """Serialise a :class:`Trace` back to coflow-benchmark text."""
+    out = stream or io.StringIO()
+    out.write(f"{trace.num_ports} {len(trace.coflows)}\n")
+    for c in trace.coflows:
+        # repr() keeps full float precision; together with MB being a power
+        # of two, dump->parse round-trips bit-exactly.
+        reducer_str = " ".join(
+            f"{machine}:{float(size) / MB!r}" for machine, size in c.reducers
+        )
+        mapper_str = " ".join(str(m) for m in c.mappers)
+        out.write(
+            f"{c.coflow_id} {float(c.arrival_ms)!r} {len(c.mappers)} "
+            f"{mapper_str} {len(c.reducers)} {reducer_str}\n"
+        )
+    if stream is None:
+        return out.getvalue()  # type: ignore[union-attr]
+    return ""
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    Path(path).write_text(dump_trace(trace))
+
+
+def trace_to_coflows(trace: Trace, fabric: Fabric) -> list[CoFlow]:
+    """Expand mapper×reducer trace lines into simulator coflows.
+
+    Each reducer's bytes are split evenly over the mappers (the standard
+    coflow-benchmark interpretation); a mapper co-located with a reducer on
+    the same machine still generates a flow because sender and receiver
+    ports are distinct directions of the NIC. Arrival times convert from
+    milliseconds to seconds.
+    """
+    if fabric.num_machines < trace.num_ports:
+        raise TraceFormatError(
+            f"trace needs {trace.num_ports} machines, fabric has "
+            f"{fabric.num_machines}"
+        )
+    coflows: list[CoFlow] = []
+    flow_id = 0
+    for tc in trace.coflows:
+        flows: list[Flow] = []
+        for reducer, total in tc.reducers:
+            per_mapper = total / len(tc.mappers)
+            if per_mapper <= 0:
+                continue
+            for mapper in tc.mappers:
+                flows.append(
+                    Flow(
+                        flow_id=flow_id,
+                        coflow_id=tc.coflow_id,
+                        src=fabric.sender_port(mapper),
+                        dst=fabric.receiver_port(reducer),
+                        volume=per_mapper,
+                    )
+                )
+                flow_id += 1
+        if not flows:
+            # Degenerate zero-byte coflow: keep one token flow so the
+            # coflow still arrives/completes in the simulation.
+            mapper, (reducer, _) = tc.mappers[0], tc.reducers[0]
+            flows.append(
+                Flow(flow_id=flow_id, coflow_id=tc.coflow_id,
+                     src=fabric.sender_port(mapper),
+                     dst=fabric.receiver_port(reducer), volume=0.0)
+            )
+            flow_id += 1
+        coflows.append(
+            CoFlow(
+                coflow_id=tc.coflow_id,
+                arrival_time=tc.arrival_ms * MSEC,
+                flows=flows,
+            )
+        )
+    return coflows
+
+
+def coflows_to_trace(coflows: Iterable[CoFlow], fabric: Fabric) -> Trace:
+    """Inverse of :func:`trace_to_coflows` for generator output.
+
+    Groups each coflow's flows by reducer machine; mapper sets are the
+    union of sender machines (sizes are re-aggregated per reducer).
+    """
+    out = []
+    for c in coflows:
+        mappers = tuple(sorted({fabric.machine_of(f.src) for f in c.flows}))
+        per_reducer: dict[int, float] = {}
+        for f in c.flows:
+            machine = fabric.machine_of(f.dst)
+            per_reducer[machine] = per_reducer.get(machine, 0.0) + f.volume
+        reducers = tuple(sorted(per_reducer.items()))
+        out.append(
+            TraceCoflow(
+                coflow_id=c.coflow_id,
+                arrival_ms=c.arrival_time / MSEC,
+                mappers=mappers,
+                reducers=reducers,
+            )
+        )
+    return Trace(num_ports=fabric.num_machines, coflows=tuple(out))

@@ -1,0 +1,162 @@
+"""Aalo baseline: total-bytes queues + per-port FIFO."""
+
+import pytest
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.schedulers.aalo import AaloScheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import make_coflow
+from repro.simulator.state import ClusterState
+
+
+def _fabric(machines=8, rate=100.0):
+    return Fabric(num_machines=machines, port_rate=rate)
+
+
+def _cfg(**kw):
+    defaults = dict(
+        port_rate=100.0,
+        queues=QueueConfig(num_queues=5, start_threshold=1000.0,
+                           growth_factor=10.0),
+        min_rate=1e-3,
+    )
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+def _state(fabric, coflows, scheduler, now=0.0):
+    state = ClusterState(fabric=fabric, active_coflows=list(coflows))
+    for c in coflows:
+        scheduler.on_coflow_arrival(c, now)
+    return state
+
+
+class TestFifoWithinQueue:
+    def test_earlier_arrival_wins_port(self):
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg())
+        first = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 100.0)],
+                            flow_id_start=0)
+        second = make_coflow(2, 0.1, [(0, fab.receiver_port(4), 100.0)],
+                             flow_id_start=10)
+        state = _state(fab, [first, second], aalo)
+        alloc = aalo.schedule(state, 0.1)
+        assert alloc.rates.get(0, 0.0) == pytest.approx(100.0)
+        assert alloc.rates.get(10, 0.0) == 0.0
+
+    def test_flows_of_one_coflow_uncoordinated(self):
+        """The defining Aalo behaviour: a coflow can be served at one port
+        and blocked at another (the out-of-sync problem)."""
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg())
+        blocker = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 100.0)],
+                              flow_id_start=0)
+        victim = make_coflow(2, 0.1, [(0, fab.receiver_port(4), 100.0),
+                                      (1, fab.receiver_port(5), 100.0)],
+                             flow_id_start=10)
+        state = _state(fab, [blocker, victim], aalo)
+        alloc = aalo.schedule(state, 0.1)
+        assert alloc.rates.get(10, 0.0) == 0.0  # blocked behind coflow 1
+        assert alloc.rates.get(11, 0.0) == pytest.approx(100.0)  # running
+
+    def test_lower_queue_gets_weighted_minority_share(self):
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg())
+        old = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 1e6)],
+                          flow_id_start=0)
+        young = make_coflow(2, 0.1, [(0, fab.receiver_port(4), 10.0)],
+                            flow_id_start=10)
+        state = _state(fab, [old, young], aalo)
+        old.flows[0].bytes_sent = 2000.0  # beyond Q0's 1000-byte threshold
+        alloc = aalo.schedule(state, 0.2)
+        # Weighted sharing: Q0 weight 1, Q1 weight 0.1 -> 10/11 vs 1/11.
+        assert alloc.rates.get(10, 0.0) == pytest.approx(100.0 * 10 / 11)
+        assert alloc.rates.get(0, 0.0) == pytest.approx(100.0 / 11)
+
+    def test_strict_priority_with_infinite_decay(self):
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg(), queue_weight_decay=1e12)
+        old = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 1e6)],
+                          flow_id_start=0)
+        young = make_coflow(2, 0.1, [(0, fab.receiver_port(4), 10.0)],
+                            flow_id_start=10)
+        state = _state(fab, [old, young], aalo)
+        old.flows[0].bytes_sent = 2000.0
+        alloc = aalo.schedule(state, 0.2)
+        assert alloc.rates.get(10, 0.0) == pytest.approx(100.0, rel=1e-9)
+
+    def test_port_work_conserving(self):
+        """Leftover receiver capacity flows to the next FIFO flow."""
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg())
+        # First coflow limited by receiver 3 shared with an earlier commit.
+        a = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(2, 0.1, [(1, fab.receiver_port(3), 100.0)],
+                        flow_id_start=10)
+        state = _state(fab, [a, b], aalo)
+        alloc = aalo.schedule(state, 0.1)
+        # Receiver 3 fully given to coflow 1's flow; coflow 2 gets nothing.
+        assert alloc.rates.get(0, 0.0) == pytest.approx(100.0)
+        assert alloc.rates.get(10, 0.0) == 0.0
+
+
+class TestQueueTransitions:
+    def test_total_bytes_demotion_affects_scheduling(self):
+        fab = _fabric()
+        cfg = _cfg()
+        # Long coflow, then short: once long crosses the threshold the
+        # short one takes over -> short CCT unaffected by the long one.
+        long = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 2000.0)],
+                           flow_id_start=0)
+        short = make_coflow(2, 0.0, [(0, fab.receiver_port(4), 500.0)],
+                            flow_id_start=10)
+        res = run_policy(AaloScheduler(cfg), [long, short], fab, cfg)
+        # FIFO serves the long coflow alone for 10s (1000 bytes), demoting
+        # it; the short one then takes the Q0-weighted share 10/11 of the
+        # port (500 / 90.90 = 5.5s), while the long one trickles at 1/11;
+        # afterwards the long coflow finishes its remaining 950 bytes.
+        assert res.cct(2) == pytest.approx(15.5)
+        assert res.cct(1) == pytest.approx(25.0)
+
+    def test_multi_flow_total_metric(self):
+        """Two half-speed flows cross the total threshold together (the
+        slow-transition behaviour Fig. 5 criticises)."""
+        fab = _fabric()
+        cfg = _cfg()
+        aalo = AaloScheduler(cfg)
+        c = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 5000.0),
+                                 (1, fab.receiver_port(4), 5000.0)],
+                        flow_id_start=0)
+        state = _state(fab, [c], aalo)
+        alloc = aalo.schedule(state, 0.0)
+        # Both flows at 100 B/s: total rate 200; threshold 1000 -> 5s.
+        wakeup = aalo.next_wakeup(state, alloc, 0.0)
+        assert wakeup == pytest.approx(5.0)
+
+
+class TestEndToEnd:
+    def test_completes_random_workload(self):
+        from repro.workloads.synthetic import fb_like_spec, WorkloadGenerator
+
+        spec = fb_like_spec(num_machines=12, num_coflows=25)
+        coflows = WorkloadGenerator(spec, seed=3).generate_coflows()
+        cfg = SimulationConfig()
+        res = run_policy(AaloScheduler(cfg), coflows, spec.make_fabric(), cfg)
+        assert len(res.coflows) == 25
+
+    def test_arrival_order_is_fifo_key_not_id(self):
+        fab = _fabric()
+        aalo = AaloScheduler(_cfg())
+        late_small_id = make_coflow(1, 0.5, [(0, fab.receiver_port(3), 100.0)],
+                                    flow_id_start=0)
+        early_big_id = make_coflow(9, 0.0, [(0, fab.receiver_port(4), 100.0)],
+                                   flow_id_start=10)
+        state = ClusterState(fabric=fab,
+                             active_coflows=[early_big_id, late_small_id])
+        aalo.on_coflow_arrival(early_big_id, 0.0)
+        aalo.on_coflow_arrival(late_small_id, 0.5)
+        alloc = aalo.schedule(state, 0.5)
+        assert alloc.rates.get(10, 0.0) == pytest.approx(100.0)
+        assert alloc.rates.get(0, 0.0) == 0.0

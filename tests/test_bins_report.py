@@ -1,0 +1,114 @@
+"""Table-1 binning and the text report renderers."""
+
+import pytest
+
+from repro.analysis.bins import (
+    BIN_LABELS,
+    bin_fractions,
+    bin_membership,
+    bin_of,
+    binned_speedups,
+)
+from repro.analysis.report import format_cdf, format_speedup_bars, format_table
+from repro.errors import ConfigError
+from repro.simulator.flows import make_coflow
+from repro.units import MB
+
+
+def _coflow(cid, width, size_bytes):
+    per_flow = size_bytes / width
+    transfers = [(i % 10, 100 + i, per_flow) for i in range(width)]
+    return make_coflow(cid, 0.0, transfers, flow_id_start=cid * 1000)
+
+
+class TestBinOf:
+    def test_bin1_small_narrow(self):
+        assert bin_of(_coflow(1, 5, 50 * MB)) == "bin-1"
+
+    def test_bin2_small_wide(self):
+        assert bin_of(_coflow(1, 20, 50 * MB)) == "bin-2"
+
+    def test_bin3_large_narrow(self):
+        assert bin_of(_coflow(1, 5, 500 * MB)) == "bin-3"
+
+    def test_bin4_large_wide(self):
+        assert bin_of(_coflow(1, 20, 500 * MB)) == "bin-4"
+
+    def test_boundaries_inclusive(self):
+        # width exactly 10 and size exactly 100MB are "small/narrow".
+        assert bin_of(_coflow(1, 10, 100 * MB)) == "bin-1"
+
+
+class TestMembership:
+    def test_all_labels_present(self):
+        members = bin_membership([_coflow(1, 5, 50 * MB)])
+        assert set(members) == set(BIN_LABELS)
+
+    def test_fractions_sum_to_one(self):
+        coflows = [
+            _coflow(1, 5, 50 * MB),
+            _coflow(2, 20, 50 * MB),
+            _coflow(3, 5, 500 * MB),
+            _coflow(4, 20, 500 * MB),
+        ]
+        fr = bin_fractions(coflows)
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert all(v == 0.25 for v in fr.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            bin_fractions([])
+
+
+class TestBinnedSpeedups:
+    def test_median_per_bin(self):
+        coflows = [_coflow(1, 5, 50 * MB), _coflow(2, 5, 50 * MB),
+                   _coflow(3, 20, 500 * MB)]
+        speedups = {1: 1.0, 2: 3.0, 3: 2.0}
+        binned = binned_speedups(coflows, speedups)
+        assert binned.median("bin-1") == pytest.approx(2.0)
+        assert binned.median("bin-4") == pytest.approx(2.0)
+
+    def test_missing_bin_raises(self):
+        binned = binned_speedups([_coflow(1, 5, 50 * MB)], {1: 1.5})
+        with pytest.raises(ConfigError):
+            binned.median("bin-4")
+
+    def test_medians_skips_empty_bins(self):
+        binned = binned_speedups([_coflow(1, 5, 50 * MB)], {1: 1.5})
+        assert binned.medians() == {"bin-1": 1.5}
+
+    def test_coflows_without_speedups_ignored(self):
+        coflows = [_coflow(1, 5, 50 * MB), _coflow(2, 5, 50 * MB)]
+        binned = binned_speedups(coflows, {1: 2.0})
+        assert binned.median("bin-1") == pytest.approx(2.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("---")
+        assert "1.50" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1.0]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_cdf_percentiles(self):
+        text = format_cdf([1.0, 2.0, 3.0, 4.0], title="speedups")
+        assert text.splitlines()[0] == "speedups"
+        assert "P  0" in text
+        assert "P100" in text
+
+    def test_format_speedup_bars(self):
+        text = format_speedup_bars(
+            {"aalo": 1.5, "uc-tcp": 100.0},
+            title="Fig 9",
+            p10={"aalo": 1.0, "uc-tcp": 50.0},
+            p90={"aalo": 4.5, "uc-tcp": 200.0},
+        )
+        assert "Fig 9" in text
+        assert "aalo" in text and "uc-tcp" in text
+        assert "p90" in text

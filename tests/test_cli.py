@@ -1,0 +1,79 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "saath" in out and "aalo" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+
+class TestSimulate:
+    def test_synthetic_run(self, capsys):
+        rc = main([
+            "simulate", "--policy", "saath",
+            "--machines", "10", "--coflows", "12", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coflows finished: 12" in out
+        assert "CCT mean" in out
+
+    def test_sync_interval_flag(self, capsys):
+        rc = main([
+            "simulate", "--policy", "aalo",
+            "--machines", "10", "--coflows", "8",
+            "--sync-interval-ms", "8",
+        ])
+        assert rc == 0
+        assert "coflows finished: 8" in capsys.readouterr().out
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("4 1\n1 0 2 0 1 2 2:10 3:20\n")
+        rc = main(["simulate", "--trace", str(trace), "--policy", "saath"])
+        assert rc == 0
+        assert "coflows finished: 1" in capsys.readouterr().out
+
+
+class TestGenTrace:
+    def test_stdout_emission(self, capsys):
+        rc = main([
+            "gen-trace", "--machines", "10", "--coflows", "5", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("10 5")
+
+    def test_file_emission_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.txt"
+        rc = main([
+            "gen-trace", "--machines", "10", "--coflows", "5",
+            "--output", str(out_file),
+        ])
+        assert rc == 0
+        from repro.workloads.traces import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.num_ports == 10
+        assert len(trace) == 5
+
+
+class TestRunExperiment:
+    def test_tiny_table2(self, capsys):
+        rc = main(["run-experiment", "table2", "--scale", "tiny"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-experiment", "fig99"])

@@ -1,0 +1,78 @@
+"""The high-level policy-comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import ComparisonOutcome, compare_policies
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.workloads.synthetic import generate_fb_like
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    fabric, coflows = generate_fb_like(seed=9, num_machines=12,
+                                       num_coflows=20)
+    return compare_policies(
+        coflows, fabric, ["aalo", "saath", "varys-sebf"], baseline="aalo",
+        config=SimulationConfig(),
+    )
+
+
+class TestComparePolicies:
+    def test_all_policies_ran(self, outcome):
+        assert outcome.policies() == ["aalo", "saath", "varys-sebf"]
+        for policy in outcome.policies():
+            assert len(outcome.ccts(policy)) == 20
+
+    def test_speedups_relative_to_baseline(self, outcome):
+        speedups = outcome.speedups("saath")
+        ccts_base = outcome.ccts("aalo")
+        ccts_saath = outcome.ccts("saath")
+        some_id = next(iter(speedups))
+        assert speedups[some_id] == pytest.approx(
+            ccts_base[some_id] / ccts_saath[some_id]
+        )
+
+    def test_baseline_speedup_is_identity(self, outcome):
+        s = outcome.summary("aalo")
+        assert s.p50 == pytest.approx(1.0)
+
+    def test_overall_speedup(self, outcome):
+        expected = outcome.average_cct("aalo") / outcome.average_cct("saath")
+        assert outcome.overall_speedup("saath") == pytest.approx(expected)
+
+    def test_render_contains_all_policies(self, outcome):
+        text = outcome.render(title="my comparison")
+        assert text.splitlines()[0] == "my comparison"
+        for policy in outcome.policies():
+            assert policy in text
+
+    def test_unknown_policy_rejected(self, outcome):
+        with pytest.raises(ConfigError):
+            outcome.ccts("pfabric")
+
+
+class TestValidation:
+    def test_empty_policy_list_rejected(self):
+        fabric, coflows = generate_fb_like(seed=1, num_machines=10,
+                                           num_coflows=5)
+        with pytest.raises(ConfigError):
+            compare_policies(coflows, fabric, [])
+
+    def test_baseline_must_be_included(self):
+        fabric, coflows = generate_fb_like(seed=1, num_machines=10,
+                                           num_coflows=5)
+        with pytest.raises(ConfigError):
+            compare_policies(coflows, fabric, ["saath"], baseline="aalo")
+
+    def test_default_baseline_is_first(self):
+        fabric, coflows = generate_fb_like(seed=1, num_machines=10,
+                                           num_coflows=5)
+        outcome = compare_policies(coflows, fabric, ["aalo", "saath"])
+        assert outcome.baseline == "aalo"
+
+    def test_source_workload_untouched(self):
+        fabric, coflows = generate_fb_like(seed=2, num_machines=10,
+                                           num_coflows=5)
+        compare_policies(coflows, fabric, ["saath"])
+        assert all(f.bytes_sent == 0.0 for c in coflows for f in c.flows)

@@ -1,0 +1,155 @@
+"""Queue geometry and simulation configuration."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    PAPER_DEFAULTS,
+    PAPER_SYNC_INTERVAL,
+    QueueConfig,
+    SimulationConfig,
+)
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+class TestQueueThresholds:
+    def test_first_queue_spans_zero_to_start(self):
+        q = QueueConfig(num_queues=10, start_threshold=10 * MB,
+                        growth_factor=10)
+        assert q.lo_threshold(0) == 0.0
+        assert q.hi_threshold(0) == 10 * MB
+
+    def test_exponential_growth(self):
+        q = QueueConfig(start_threshold=10 * MB, growth_factor=10)
+        assert q.hi_threshold(1) == pytest.approx(100 * MB)
+        assert q.hi_threshold(2) == pytest.approx(1000 * MB)
+
+    def test_last_queue_unbounded(self):
+        q = QueueConfig(num_queues=4)
+        assert math.isinf(q.hi_threshold(3))
+
+    def test_lo_equals_previous_hi(self):
+        q = QueueConfig(num_queues=6)
+        for i in range(1, 5):
+            assert q.lo_threshold(i) == pytest.approx(q.hi_threshold(i - 1))
+
+    def test_queue_index_out_of_range(self):
+        q = QueueConfig(num_queues=3)
+        with pytest.raises(ConfigError):
+            q.hi_threshold(3)
+        with pytest.raises(ConfigError):
+            q.lo_threshold(-1)
+
+
+class TestQueueForBytes:
+    def test_zero_bytes_in_queue_zero(self):
+        q = QueueConfig()
+        assert q.queue_for_bytes(0.0) == 0
+
+    def test_below_start_threshold(self):
+        q = QueueConfig(start_threshold=10 * MB)
+        assert q.queue_for_bytes(9.99 * MB) == 0
+
+    def test_exactly_at_threshold_moves_down(self):
+        q = QueueConfig(start_threshold=10 * MB, growth_factor=10)
+        assert q.queue_for_bytes(10 * MB) == 1
+
+    def test_middle_queue(self):
+        q = QueueConfig(start_threshold=10 * MB, growth_factor=10)
+        assert q.queue_for_bytes(500 * MB) == 2  # [100MB, 1000MB)
+
+    def test_huge_bytes_land_in_last_queue(self):
+        q = QueueConfig(num_queues=5, start_threshold=10 * MB)
+        assert q.queue_for_bytes(1e18) == 4
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ConfigError):
+            QueueConfig().queue_for_bytes(-1.0)
+
+    def test_consistency_with_thresholds(self):
+        q = QueueConfig(num_queues=8, start_threshold=5 * MB, growth_factor=4)
+        for b in [0, 1 * MB, 5 * MB, 19 * MB, 20 * MB, 333 * MB, 1e15]:
+            idx = q.queue_for_bytes(b)
+            assert q.lo_threshold(idx) <= b
+            assert b < q.hi_threshold(idx)
+
+
+class TestPerFlowQueueRule:
+    """Saath's Eq. 1: thresholds divided by coflow width."""
+
+    def test_wide_coflow_demotes_earlier(self):
+        q = QueueConfig(start_threshold=200 * MB, growth_factor=10)
+        # Paper example: 200MB threshold, 100 flows -> 2MB per-flow share.
+        assert q.queue_for_per_flow_bytes(1.9 * MB, width=100) == 0
+        assert q.queue_for_per_flow_bytes(2.1 * MB, width=100) == 1
+
+    def test_single_flow_matches_total_rule(self):
+        q = QueueConfig()
+        for b in [0, 3 * MB, 50 * MB, 5000 * MB]:
+            assert q.queue_for_per_flow_bytes(b, width=1) == q.queue_for_bytes(b)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            QueueConfig().queue_for_per_flow_bytes(1.0, width=0)
+
+
+class TestMinResidencyTime:
+    def test_first_queue_residency(self):
+        q = QueueConfig(start_threshold=10 * MB, growth_factor=10)
+        t = q.min_residency_time(0, port_rate=10 * MB)
+        assert t == pytest.approx(1.0)
+
+    def test_last_queue_residency_is_finite(self):
+        q = QueueConfig(num_queues=3)
+        assert math.isfinite(q.min_residency_time(2, port_rate=1e8))
+
+
+class TestQueueConfigValidation:
+    def test_bad_num_queues(self):
+        with pytest.raises(ConfigError):
+            QueueConfig(num_queues=0)
+
+    def test_bad_start_threshold(self):
+        with pytest.raises(ConfigError):
+            QueueConfig(start_threshold=0.0)
+
+    def test_bad_growth_factor(self):
+        with pytest.raises(ConfigError):
+            QueueConfig(growth_factor=1.0)
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper(self):
+        cfg = PAPER_DEFAULTS
+        assert cfg.queues.num_queues == 10
+        assert cfg.queues.start_threshold == 10 * MB
+        assert cfg.queues.growth_factor == 10
+        assert cfg.deadline_factor == 2.0
+        assert PAPER_SYNC_INTERVAL == pytest.approx(0.008)
+
+    def test_with_updates_returns_new_config(self):
+        cfg = SimulationConfig()
+        cfg2 = cfg.with_updates(sync_interval=0.008)
+        assert cfg.sync_interval == 0.0
+        assert cfg2.sync_interval == 0.008
+
+    def test_negative_sync_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(sync_interval=-1.0)
+
+    def test_bad_deadline_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(deadline_factor=0.0)
+
+    def test_none_deadline_factor_allowed(self):
+        assert SimulationConfig(deadline_factor=None).deadline_factor is None
+
+    def test_bad_contention_scope_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(contention_scope="port")
+
+    def test_bad_port_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(port_rate=0.0)

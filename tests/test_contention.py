@@ -1,0 +1,114 @@
+"""Contention computation (the k_c of LCoF / LWTF)."""
+
+import pytest
+
+from repro.core.contention import (
+    contention_counts,
+    ports_in_use,
+    waiting_time_increase,
+)
+from repro.simulator.flows import make_coflow
+
+
+def _c(cid, transfers, fid_base=None):
+    return make_coflow(cid, 0.0, transfers,
+                       flow_id_start=(fid_base or cid) * 100)
+
+
+class TestPortsInUse:
+    def test_includes_senders_and_receivers(self):
+        c = _c(0, [(0, 10, 1.0), (1, 11, 1.0)])
+        assert ports_in_use(c) == {0, 1, 10, 11}
+
+    def test_finished_flows_release_ports(self):
+        c = _c(0, [(0, 10, 1.0), (1, 11, 1.0)])
+        c.flows[0].finish_time = 1.0
+        assert ports_in_use(c) == {1, 11}
+
+
+class TestContentionCounts:
+    def test_disjoint_coflows_have_zero_contention(self):
+        a = _c(1, [(0, 10, 1.0)])
+        b = _c(2, [(1, 11, 1.0)])
+        counts = contention_counts([a, b])
+        assert counts == {1: 0, 2: 0}
+
+    def test_shared_sender_counts_once(self):
+        a = _c(1, [(0, 10, 1.0), (0, 11, 1.0)])
+        b = _c(2, [(0, 12, 1.0)])
+        counts = contention_counts([a, b])
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_fig1_contention_values(self):
+        """Fig. 1 of the paper: k1=1 per single-port coflow... the text
+        gives k1=1, k2=3 in the narrative example of §1; here we check the
+        structural property: a coflow overlapping N others reports N."""
+        hub = _c(1, [(0, 10, 1.0), (1, 11, 1.0), (2, 12, 1.0)])
+        spokes = [
+            _c(2, [(0, 13, 1.0)]),
+            _c(3, [(1, 14, 1.0)]),
+            _c(4, [(2, 15, 1.0)]),
+        ]
+        counts = contention_counts([hub, *spokes])
+        assert counts[1] == 3
+        for s in (2, 3, 4):
+            assert counts[s] == 1
+
+    def test_receiver_sharing_counts(self):
+        a = _c(1, [(0, 10, 1.0)])
+        b = _c(2, [(1, 10, 1.0)])
+        counts = contention_counts([a, b])
+        assert counts == {1: 1, 2: 1}
+
+    def test_multiple_shared_ports_still_one_count(self):
+        a = _c(1, [(0, 10, 1.0), (1, 11, 1.0)])
+        b = _c(2, [(0, 12, 1.0), (1, 13, 1.0)])
+        counts = contention_counts([a, b])
+        assert counts == {1: 1, 2: 1}
+
+    def test_finished_flows_do_not_contend(self):
+        a = _c(1, [(0, 10, 1.0), (1, 11, 1.0)])
+        b = _c(2, [(0, 12, 1.0)])
+        a.flows[0].finish_time = 1.0  # releases port 0
+        counts = contention_counts([a, b])
+        assert counts == {1: 0, 2: 0}
+
+    def test_queue_scope_filters(self):
+        a = _c(1, [(0, 10, 1.0)])
+        b = _c(2, [(0, 11, 1.0)])
+        c = _c(3, [(0, 12, 1.0)])
+        queue_of = {1: 0, 2: 0, 3: 1}
+        counts = contention_counts([a, b, c], scope="queue",
+                                   queue_of=queue_of)
+        assert counts[1] == 1  # only b shares a queue
+        assert counts[3] == 0
+
+    def test_queue_scope_requires_mapping(self):
+        with pytest.raises(ValueError):
+            contention_counts([_c(1, [(0, 10, 1.0)])], scope="queue")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            contention_counts([], scope="global")
+
+    def test_empty_input(self):
+        assert contention_counts([]) == {}
+
+
+class TestWaitingTimeIncrease:
+    def test_t_times_k(self):
+        c = _c(1, [(0, 10, 100.0)])
+        key = waiting_time_increase(c, {1: 3}, port_rate=100.0)
+        assert key == pytest.approx(3.0)  # 1 second duration * 3 blocked
+
+    def test_zero_contention_is_free(self):
+        c = _c(1, [(0, 10, 100.0)])
+        assert waiting_time_increase(c, {1: 0}, port_rate=100.0) == 0.0
+
+    def test_progress_reduces_key(self):
+        c = _c(1, [(0, 10, 100.0)])
+        before = waiting_time_increase(c, {1: 2}, 100.0)
+        c.flows[0].bytes_sent = 50.0
+        after = waiting_time_increase(c, {1: 2}, 100.0)
+        assert after == pytest.approx(before / 2)

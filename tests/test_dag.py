@@ -1,0 +1,147 @@
+"""DAG builders and validation."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.saath import SaathScheduler
+from repro.errors import ConfigError
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import CoFlow, make_coflow
+from repro.workloads.dag import (
+    chain_stages,
+    critical_path_stages,
+    fan_in_stages,
+    validate_dag,
+)
+
+
+def _fabric():
+    return Fabric(num_machines=6, port_rate=100.0)
+
+
+class TestChainStages:
+    def test_builds_linear_dependencies(self):
+        fab = _fabric()
+        stages = chain_stages(
+            10, 0.0,
+            [
+                [(0, fab.receiver_port(1), 100.0)],
+                [(1, fab.receiver_port(2), 100.0)],
+                [(2, fab.receiver_port(3), 100.0)],
+            ],
+            job_id=7,
+        )
+        assert [c.coflow_id for c in stages] == [10, 11, 12]
+        assert stages[0].depends_on == ()
+        assert stages[1].depends_on == (10,)
+        assert stages[2].depends_on == (11,)
+        assert all(c.job_id == 7 for c in stages)
+
+    def test_flow_ids_consecutive_and_unique(self):
+        fab = _fabric()
+        stages = chain_stages(
+            0, 0.0,
+            [
+                [(0, fab.receiver_port(1), 1.0), (1, fab.receiver_port(2), 1.0)],
+                [(2, fab.receiver_port(3), 1.0)],
+            ],
+            flow_id_start=100,
+        )
+        ids = [f.flow_id for c in stages for f in c.flows]
+        assert ids == [100, 101, 102]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigError):
+            chain_stages(0, 0.0, [])
+
+    def test_chain_runs_serially(self):
+        """A 3-wave job (multi-wave = chain DAG, §4.3) runs end to end."""
+        fab = _fabric()
+        cfg = SimulationConfig(port_rate=100.0)
+        stages = chain_stages(
+            0, 0.0,
+            [[(0, fab.receiver_port(1), 100.0)] for _ in range(3)],
+        )
+        res = run_policy(SaathScheduler(cfg), stages, fab, cfg)
+        assert res.coflow(2).finish_time == pytest.approx(3.0)
+
+
+class TestFanIn:
+    def test_structure(self):
+        fab = _fabric()
+        stages = fan_in_stages(
+            0, 0.0,
+            [
+                [(0, fab.receiver_port(2), 1.0)],
+                [(1, fab.receiver_port(3), 1.0)],
+            ],
+            [(2, fab.receiver_port(4), 1.0)],
+        )
+        assert [c.coflow_id for c in stages] == [0, 1, 2]
+        assert stages[2].depends_on == (0, 1)
+
+    def test_empty_branches_rejected(self):
+        fab = _fabric()
+        with pytest.raises(ConfigError):
+            fan_in_stages(0, 0.0, [], [(0, fab.receiver_port(1), 1.0)])
+
+    def test_final_waits_for_slowest_branch(self):
+        fab = _fabric()
+        cfg = SimulationConfig(port_rate=100.0)
+        stages = fan_in_stages(
+            0, 0.0,
+            [
+                [(0, fab.receiver_port(2), 100.0)],  # 1s
+                [(1, fab.receiver_port(3), 300.0)],  # 3s
+            ],
+            [(2, fab.receiver_port(4), 100.0)],
+        )
+        res = run_policy(SaathScheduler(cfg), stages, fab, cfg)
+        assert res.coflow(2).finish_time == pytest.approx(4.0)
+
+
+class TestValidateDag:
+    def test_valid_dag_passes(self):
+        a = make_coflow(0, 0.0, [(0, 10, 1.0)], flow_id_start=0)
+        b = make_coflow(1, 0.0, [(1, 11, 1.0)], flow_id_start=10,
+                        depends_on=(0,))
+        validate_dag([a, b])
+
+    def test_unknown_reference_rejected(self):
+        a = make_coflow(0, 0.0, [(0, 10, 1.0)], depends_on=(5,))
+        with pytest.raises(ConfigError, match="unknown"):
+            validate_dag([a])
+
+    def test_cycle_detected(self):
+        a = make_coflow(0, 0.0, [(0, 10, 1.0)], flow_id_start=0,
+                        depends_on=(1,))
+        b = make_coflow(1, 0.0, [(1, 11, 1.0)], flow_id_start=10,
+                        depends_on=(0,))
+        with pytest.raises(ConfigError, match="cycle"):
+            validate_dag([a, b])
+
+    def test_self_cycle_detected(self):
+        a = make_coflow(0, 0.0, [(0, 10, 1.0)], depends_on=(0,))
+        with pytest.raises(ConfigError, match="cycle"):
+            validate_dag([a])
+
+
+class TestCriticalPath:
+    def test_chain_critical_path(self):
+        fab = _fabric()
+        stages = chain_stages(
+            0, 0.0, [[(0, fab.receiver_port(1), 1.0)] for _ in range(4)]
+        )
+        assert critical_path_stages(stages) == [0, 1, 2, 3]
+
+    def test_fan_in_critical_path_length(self):
+        fab = _fabric()
+        stages = fan_in_stages(
+            0, 0.0,
+            [[(0, fab.receiver_port(2), 1.0)], [(1, fab.receiver_port(3), 1.0)]],
+            [(2, fab.receiver_port(4), 1.0)],
+        )
+        path = critical_path_stages(stages)
+        assert len(path) == 2
+        assert path[-1] == 2

@@ -1,0 +1,196 @@
+"""Cluster-dynamics injection and the §4.3 SRTF approximation."""
+
+import pytest
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.core.dynamics import (
+    estimated_finished_length,
+    estimated_remaining_bottleneck,
+    promotion_queue,
+)
+from repro.core.saath import SaathScheduler
+from repro.rng import make_rng
+from repro.simulator.dynamics import (
+    FlowRestart,
+    FlowSlowdown,
+    PortDegradation,
+    PortRecovery,
+    StragglerRecovery,
+    inject_failures,
+    inject_stragglers,
+)
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import clone_coflows, make_coflow
+from repro.errors import ConfigError
+
+
+def _fabric():
+    return Fabric(num_machines=6, port_rate=100.0)
+
+
+def _cfg(**kw):
+    defaults = dict(
+        port_rate=100.0,
+        queues=QueueConfig(num_queues=5, start_threshold=1000.0,
+                           growth_factor=10.0),
+        min_rate=1e-3,
+    )
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestEstimators:
+    def _coflow(self):
+        return make_coflow(1, 0.0, [(0, 10, 100.0), (1, 11, 100.0),
+                                    (2, 12, 100.0)])
+
+    def test_no_estimate_without_finished_flows(self):
+        c = self._coflow()
+        assert estimated_finished_length(c) is None
+        assert estimated_remaining_bottleneck(c) is None
+        assert promotion_queue(c, QueueConfig()) is None
+
+    def test_median_of_finished(self):
+        c = self._coflow()
+        c.flows[0].bytes_sent = 100.0
+        c.flows[0].finish_time = 1.0
+        assert estimated_finished_length(c) == pytest.approx(100.0)
+
+    def test_remaining_bottleneck(self):
+        c = self._coflow()
+        c.flows[0].bytes_sent = 100.0
+        c.flows[0].finish_time = 1.0
+        c.flows[1].bytes_sent = 70.0
+        c.flows[2].bytes_sent = 40.0
+        # f_e = 100; remaining = max(30, 60) = 60.
+        assert estimated_remaining_bottleneck(c) == pytest.approx(60.0)
+
+    def test_remaining_clamped_at_zero(self):
+        c = self._coflow()
+        c.flows[0].bytes_sent = 50.0
+        c.flows[0].finish_time = 1.0  # finished short (restart artefact)
+        c.flows[1].bytes_sent = 90.0  # beyond the estimate
+        c.flows[2].bytes_sent = 90.0
+        assert estimated_remaining_bottleneck(c) == pytest.approx(0.0)
+
+    def test_promotion_queue_uses_eq1(self):
+        qcfg = QueueConfig(num_queues=5, start_threshold=1000.0,
+                           growth_factor=10.0)
+        c = self._coflow()
+        c.flows[0].bytes_sent = 100.0
+        c.flows[0].finish_time = 1.0
+        c.flows[1].bytes_sent = 99.0
+        c.flows[2].bytes_sent = 99.0
+        # remaining ~1 byte; 1 * width(3) << 1000 -> queue 0.
+        assert promotion_queue(c, qcfg) == 0
+
+
+class TestInjectors:
+    def _coflows(self):
+        fab = _fabric()
+        return [
+            make_coflow(i, 0.1 * i,
+                        [(i % 3, fab.receiver_port(3 + i % 3), 500.0)],
+                        flow_id_start=10 * i)
+            for i in range(10)
+        ]
+
+    def test_straggler_count(self):
+        actions = inject_stragglers(self._coflows(), make_rng(1),
+                                    fraction=0.3, efficiency=0.5)
+        assert len(actions) == 3
+        assert all(isinstance(a, FlowSlowdown) for a in actions)
+
+    def test_straggler_zero_fraction(self):
+        assert inject_stragglers(self._coflows(), make_rng(1),
+                                 fraction=0.0) == []
+
+    def test_straggler_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            inject_stragglers(self._coflows(), make_rng(1), fraction=1.5)
+
+    def test_failures_scheduled_after_arrival(self):
+        coflows = self._coflows()
+        actions = inject_failures(coflows, make_rng(2), fraction=0.5,
+                                  delay_range=(0.1, 0.2))
+        by_flow = {a.flow_id: a for a in actions}
+        for c in coflows:
+            for f in c.flows:
+                if f.flow_id in by_flow:
+                    assert by_flow[f.flow_id].time >= c.arrival_time + 0.1
+
+    def test_deterministic_under_seed(self):
+        a = inject_stragglers(self._coflows(), make_rng(7), fraction=0.3)
+        b = inject_stragglers(self._coflows(), make_rng(7), fraction=0.3)
+        assert [x.flow_id for x in a] == [x.flow_id for x in b]
+
+
+class TestDynamicsEndToEnd:
+    def test_straggler_recovery_restores_speed(self):
+        fab = _fabric()
+        cfg = _cfg()
+        c = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 200.0)])
+        actions = [
+            FlowSlowdown(time=0.0, flow_id=0, efficiency=0.5),
+            StragglerRecovery(time=1.0, flow_id=0),
+        ]
+        res = run_policy(SaathScheduler(cfg), [c], fab, cfg, dynamics=actions)
+        # 1s at 50 B/s (50 bytes), then 150 bytes at 100 B/s -> 2.5s total.
+        assert res.cct(0) == pytest.approx(2.5)
+
+    def test_port_recovery(self):
+        fab = _fabric()
+        cfg = _cfg()
+        c = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 200.0)])
+        actions = [
+            PortDegradation(time=0.0, port=0, factor=0.5),
+            PortRecovery(time=2.0, port=0),
+        ]
+        res = run_policy(SaathScheduler(cfg), [c], fab, cfg, dynamics=actions)
+        # 2s at 50 B/s (100 bytes), then 100 bytes at 100 B/s -> 3s.
+        assert res.cct(0) == pytest.approx(3.0)
+
+    def test_promotion_rescues_straggling_coflow(self):
+        """§4.3: with promotion on, a coflow whose last flow straggles is
+        moved back up and finishes sooner than without promotion."""
+        fab = _fabric()
+        base = _cfg(queues=QueueConfig(num_queues=5, start_threshold=100.0,
+                                       growth_factor=4.0))
+        # Wide-ish coflow whose flows mostly finish, one straggles; plus a
+        # stream of competitors that would otherwise outrank it.
+        def build():
+            victim = make_coflow(
+                0, 0.0,
+                [(0, fab.receiver_port(3), 400.0),
+                 (1, fab.receiver_port(4), 400.0)],
+                flow_id_start=0,
+            )
+            rivals = [
+                make_coflow(1 + i, 3.5 + 0.5 * i,
+                            [(1, fab.receiver_port(5), 80.0)],
+                            flow_id_start=100 + 10 * i)
+                for i in range(6)
+            ]
+            return [victim, *rivals]
+
+        straggle = [FlowSlowdown(time=0.0, flow_id=1, efficiency=0.25)]
+
+        plain_cfg = base.with_updates(enable_dynamics_promotion=False)
+        promo_cfg = base.with_updates(enable_dynamics_promotion=True)
+        plain = run_policy(SaathScheduler(plain_cfg), build(), fab,
+                           plain_cfg, dynamics=list(straggle))
+        promo = run_policy(SaathScheduler(promo_cfg), build(), fab,
+                           promo_cfg, dynamics=list(straggle))
+        assert promo.cct(0) <= plain.cct(0) + 1e-9
+
+    def test_failure_injection_completes(self):
+        from repro.workloads.synthetic import fb_like_spec, WorkloadGenerator
+
+        spec = fb_like_spec(num_machines=10, num_coflows=15)
+        coflows = WorkloadGenerator(spec, seed=5).generate_coflows()
+        actions = inject_failures(coflows, make_rng(5), fraction=0.1)
+        cfg = SimulationConfig(enable_dynamics_promotion=True)
+        res = run_policy(SaathScheduler(cfg), coflows, spec.make_fabric(),
+                         cfg, dynamics=actions)
+        assert len(res.coflows) == 15

@@ -1,0 +1,70 @@
+"""Event queue ordering semantics."""
+
+import pytest
+
+from repro.simulator.events import Event, EventKind, EventQueue
+
+
+def _arrival(t, payload=None):
+    return Event(t, EventKind.COFLOW_ARRIVAL, payload)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        q.push(_arrival(3.0, "c"))
+        q.push(_arrival(1.0, "a"))
+        q.push(_arrival(2.0, "b"))
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stable_for_equal_times(self):
+        q = EventQueue()
+        for name in ["first", "second", "third"]:
+            q.push(_arrival(5.0, name))
+        assert [q.pop().payload for _ in range(3)] == [
+            "first", "second", "third"
+        ]
+
+    def test_kind_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.SYNC))
+        q.push(Event(1.0, EventKind.COFLOW_ARRIVAL, "c"))
+        q.push(Event(1.0, EventKind.DYNAMICS, "d"))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.COFLOW_ARRIVAL, EventKind.DYNAMICS, EventKind.SYNC
+        ]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(_arrival(7.0))
+        q.push(_arrival(2.0))
+        assert q.peek_time() == 2.0
+        q.pop()
+        assert q.peek_time() == 7.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push_all([_arrival(1.0), _arrival(2.0)])
+        assert len(q) == 2
+        assert q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(_arrival(-0.5))
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(_arrival(5.0, "late"))
+        q.push(_arrival(1.0, "early"))
+        assert q.pop().payload == "early"
+        q.push(_arrival(3.0, "middle"))
+        assert q.pop().payload == "middle"
+        assert q.pop().payload == "late"

@@ -1,0 +1,158 @@
+"""Smoke + structure tests for every experiment module (TINY scale).
+
+These verify that each experiment runs end-to-end, returns the documented
+structure, and renders non-empty text. The quantitative paper-shape
+assertions live in the benchmark harness (benchmarks/), which runs at the
+larger SMALL/PAPER scales.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    fb_workload,
+    osp_workload,
+    run_policy_on,
+)
+from repro.experiments import (
+    fig2_outofsync,
+    fig3_offline,
+    fig9_speedup,
+    fig10_breakdown,
+    fig11_bins,
+    fig13_deviation,
+    fig14_sensitivity,
+    fig15_testbed,
+    fig16_jct,
+    table2_overhead,
+)
+from repro.experiments.registry import run_and_render
+
+TINY = ExperimentScale.TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_fb():
+    return fb_workload(TINY)
+
+
+class TestCommon:
+    def test_fb_workload_dimensions(self, tiny_fb):
+        assert len(tiny_fb.coflows) == 40
+        assert tiny_fb.fabric.num_machines == 20
+
+    def test_fresh_coflows_are_clean_copies(self, tiny_fb):
+        first = tiny_fb.fresh_coflows()
+        first[0].flows[0].bytes_sent = 123.0
+        second = tiny_fb.fresh_coflows()
+        assert second[0].flows[0].bytes_sent == 0.0
+
+    def test_osp_workload_builds(self):
+        w = osp_workload(TINY)
+        assert len(w.coflows) == 60
+
+    def test_run_policy_on_uses_paper_delta(self, tiny_fb):
+        result = run_policy_on(tiny_fb, "saath")
+        assert len(result.coflows) == len(tiny_fb.coflows)
+
+
+class TestFig2:
+    def test_structure(self, tiny_fb):
+        r = fig2_outofsync.run(workload=tiny_fb)
+        total = (r.single_flow_fraction + r.equal_multiflow_fraction
+                 + r.unequal_multiflow_fraction)
+        assert total == pytest.approx(1.0)
+        assert len(r.widths) == len(tiny_fb.coflows)
+        assert fig2_outofsync.render(r)
+
+
+class TestFig3:
+    def test_structure(self, tiny_fb):
+        r = fig3_offline.run(workload=tiny_fb)
+        assert set(r.speedups) == set(fig3_offline.POLICIES)
+        assert set(r.overall) == set(fig3_offline.POLICIES)
+        assert all(v > 0 for v in r.overall.values())
+        assert "overall" in fig3_offline.render(r).lower()
+
+
+class TestFig9:
+    def test_structure(self):
+        r = fig9_speedup.run(TINY, include_osp=False,
+                             baselines=("aalo",))
+        assert set(r.summaries) == {"fb-like"}
+        assert "aalo" in r.summaries["fb-like"]
+        assert fig9_speedup.render(r)
+
+
+class TestFig10:
+    def test_structure(self):
+        r = fig10_breakdown.run(TINY, include_osp=False)
+        assert set(r.summaries["fb-like"]) == set(fig10_breakdown.VARIANTS)
+        assert fig10_breakdown.render(r)
+
+
+class TestFig11:
+    def test_structure(self):
+        r = fig11_bins.run(TINY, include_osp=False)
+        fb = r.per_trace["fb-like"]
+        assert sum(fb.fractions.values()) == pytest.approx(1.0)
+        assert set(fb.medians) == set(fig10_breakdown.VARIANTS)
+        assert fig11_bins.render(r)
+
+
+class TestFig13:
+    def test_structure(self, tiny_fb):
+        r = fig13_deviation.run(workload=tiny_fb)
+        assert set(r.profiles) == {"aalo", "saath"}
+        assert 0.0 <= r.in_sync_fraction("saath") <= 1.0
+        assert fig13_deviation.render(r)
+
+
+class TestFig14:
+    def test_single_sweep_structure(self, tiny_fb):
+        r = fig14_sensitivity.run(workload=tiny_fb, sweeps=("E",))
+        assert set(r.sweeps) == {"E"}
+        medians = r.sweeps["E"].medians
+        assert set(medians) == set(fig14_sensitivity.EXPONENTS)
+        for vals in medians.values():
+            assert vals["saath"] > 0
+        assert fig14_sensitivity.render(r)
+
+    def test_deadline_sweep(self, tiny_fb):
+        r = fig14_sensitivity.run(workload=tiny_fb, sweeps=("d",))
+        assert set(r.sweeps["d"].medians) == set(
+            fig14_sensitivity.DEADLINE_FACTORS
+        )
+
+
+class TestFig15:
+    def test_structure(self, tiny_fb):
+        r = fig15_testbed.run(workload=tiny_fb)
+        assert 0.0 <= r.improved_fraction <= 1.0
+        assert r.summary.count == len(r.speedups)
+        assert fig15_testbed.render(r)
+
+
+class TestFig16:
+    def test_structure(self, tiny_fb):
+        r = fig16_jct.run(workload=tiny_fb)
+        assert "All" in r.buckets
+        assert r.all_jobs_mean > 0
+        assert fig16_jct.render(r)
+
+
+class TestTable2:
+    def test_structure(self, tiny_fb):
+        r = table2_overhead.run(workload=tiny_fb, rounds=3)
+        assert r.total_ms_avg > 0
+        assert r.ordering_ms_avg >= 0
+        assert 0 <= r.ordering_fraction <= 1
+        assert r.rounds == 3
+        assert table2_overhead.render(r)
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("exp_id", ["fig13", "table2"])
+    def test_run_and_render(self, exp_id):
+        text = run_and_render(exp_id, TINY)
+        assert len(text.splitlines()) > 3

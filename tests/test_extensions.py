@@ -1,0 +1,274 @@
+"""Extension baselines (Baraat FIFO-LM, Sincronia BSSI), pluggable length
+estimators, and the telemetry observer."""
+
+import math
+
+import pytest
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.analysis.telemetry import TelemetryRecorder
+from repro.core.estimators import (
+    CedarLikeEstimator,
+    MedianEstimator,
+    QuantileEstimator,
+    TrimmedMeanEstimator,
+    get_estimator,
+)
+from repro.core.saath import SaathScheduler
+from repro.errors import ConfigError
+from repro.schedulers.baraat import BaraatFifoLmScheduler
+from repro.schedulers.sincronia import SincroniaScheduler, bssi_order
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import clone_coflows, make_coflow
+from repro.simulator.state import ClusterState
+
+
+def _fabric(machines=8, rate=100.0):
+    return Fabric(num_machines=machines, port_rate=rate)
+
+
+def _cfg(**kw):
+    defaults = dict(port_rate=100.0, min_rate=1e-3)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestBaraat:
+    def test_multiplexes_up_to_level(self):
+        fab = _fabric()
+        baraat = BaraatFifoLmScheduler(_cfg(), multiplexing_level=2)
+        coflows = [
+            make_coflow(i, 0.01 * i, [(0, fab.receiver_port(1 + i), 100.0)],
+                        flow_id_start=10 * i)
+            for i in range(4)
+        ]
+        state = ClusterState(fabric=fab, active_coflows=coflows)
+        for c in coflows:
+            baraat.on_coflow_arrival(c, c.arrival_time)
+        alloc = baraat.schedule(state, 0.1)
+        # The first two arrivals share the sender; the rest get nothing.
+        assert alloc.rates[0] == pytest.approx(50.0)
+        assert alloc.rates[10] == pytest.approx(50.0)
+        assert 20 not in alloc.rates
+        assert 30 not in alloc.rates
+
+    def test_level_one_is_pure_fifo(self):
+        fab = _fabric()
+        baraat = BaraatFifoLmScheduler(_cfg(), multiplexing_level=1)
+        a = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(1, 0.1, [(0, fab.receiver_port(2), 100.0)],
+                        flow_id_start=10)
+        state = ClusterState(fabric=fab, active_coflows=[a, b])
+        baraat.on_coflow_arrival(a, 0.0)
+        baraat.on_coflow_arrival(b, 0.1)
+        alloc = baraat.schedule(state, 0.1)
+        assert alloc.rates[0] == pytest.approx(100.0)
+        assert 10 not in alloc.rates
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigError):
+            BaraatFifoLmScheduler(_cfg(), multiplexing_level=0)
+
+    def test_end_to_end_and_out_of_sync(self):
+        """Baraat inherits the out-of-sync problem: a two-port coflow can
+        be served at one port while multiplexed out at the other."""
+        fab = _fabric()
+        cfg = _cfg()
+        blockers = [
+            make_coflow(i, 0.0, [(0, fab.receiver_port(2 + i), 100.0)],
+                        flow_id_start=10 * i)
+            for i in range(2)
+        ]
+        victim = make_coflow(5, 0.1, [(0, fab.receiver_port(6), 100.0),
+                                      (1, fab.receiver_port(7), 100.0)],
+                             flow_id_start=100)
+        res = run_policy(
+            BaraatFifoLmScheduler(cfg, multiplexing_level=2),
+            [*blockers, victim], fab, cfg,
+        )
+        v = res.coflow(5)
+        fcts = [f.finish_time for f in v.flows]
+        assert fcts[0] != pytest.approx(fcts[1])  # desynchronised
+
+    def test_completes_random_workload(self):
+        from repro.workloads.synthetic import fb_like_spec, WorkloadGenerator
+
+        spec = fb_like_spec(num_machines=12, num_coflows=20)
+        coflows = WorkloadGenerator(spec, seed=2).generate_coflows()
+        cfg = SimulationConfig()
+        res = run_policy(BaraatFifoLmScheduler(cfg), coflows,
+                         spec.make_fabric(), cfg)
+        assert len(res.coflows) == 20
+
+
+class TestSincronia:
+    def test_bssi_orders_small_before_large(self):
+        fab = _fabric()
+        small = make_coflow(1, 0.0, [(0, fab.receiver_port(1), 50.0)],
+                            flow_id_start=0)
+        large = make_coflow(2, 0.0, [(0, fab.receiver_port(2), 500.0)],
+                            flow_id_start=10)
+        order = bssi_order([large, small])
+        assert [c.coflow_id for c in order] == [1, 2]
+
+    def test_bssi_accounts_for_spatial_load(self):
+        """A coflow huge on the bottleneck goes last even if another coflow
+        has larger total size spread thinly."""
+        fab = _fabric()
+        # 'wide' is big in total (3x60=180) but light per port.
+        wide = make_coflow(1, 0.0, [
+            (0, fab.receiver_port(3), 60.0),
+            (1, fab.receiver_port(4), 60.0),
+            (2, fab.receiver_port(5), 60.0),
+        ], flow_id_start=0)
+        # 'heavy' is 150 bytes all on port 0 — the bottleneck hog.
+        heavy = make_coflow(2, 0.0, [(0, fab.receiver_port(6), 150.0)],
+                            flow_id_start=10)
+        order = bssi_order([wide, heavy])
+        assert order[-1].coflow_id == 2
+
+    def test_bssi_handles_finished_flows(self):
+        fab = _fabric()
+        c = make_coflow(1, 0.0, [(0, fab.receiver_port(1), 50.0)],
+                        flow_id_start=0)
+        c.flows[0].bytes_sent = 50.0
+        c.flows[0].finish_time = 1.0
+        assert [x.coflow_id for x in bssi_order([c])] == [1]
+
+    def test_end_to_end_beats_uctcp(self):
+        from repro.schedulers.uctcp import UcTcpScheduler
+        from repro.workloads.synthetic import fb_like_spec, WorkloadGenerator
+
+        spec = fb_like_spec(num_machines=12, num_coflows=25)
+        coflows = WorkloadGenerator(spec, seed=4).generate_coflows()
+        cfg = SimulationConfig()
+        fab = spec.make_fabric()
+        sincronia = run_policy(SincroniaScheduler(cfg),
+                               clone_coflows(coflows), fab, cfg)
+        uctcp = run_policy(UcTcpScheduler(cfg),
+                           clone_coflows(coflows), fab, cfg)
+        assert sincronia.average_cct() < uctcp.average_cct()
+
+    def test_is_clairvoyant(self):
+        assert SincroniaScheduler.clairvoyant
+
+
+class TestEstimators:
+    SAMPLES = [10.0, 20.0, 30.0, 40.0, 1000.0]
+
+    def test_median(self):
+        assert MedianEstimator().estimate(self.SAMPLES) == 30.0
+
+    def test_trimmed_mean_resists_outlier(self):
+        plain_mean = sum(self.SAMPLES) / 5
+        trimmed = TrimmedMeanEstimator(trim=0.2).estimate(self.SAMPLES)
+        assert trimmed < plain_mean
+        assert trimmed == pytest.approx(30.0)
+
+    def test_trimmed_mean_validation(self):
+        with pytest.raises(ConfigError):
+            TrimmedMeanEstimator(trim=0.5)
+
+    def test_quantile_interpolates(self):
+        est = QuantileEstimator(0.5)
+        assert est.estimate([10.0, 20.0]) == pytest.approx(15.0)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigError):
+            QuantileEstimator(0.0)
+
+    def test_cedar_bonus_shrinks_with_samples(self):
+        est = CedarLikeEstimator(quantile=0.5, z=1.0)
+        few = est.estimate([10.0, 30.0])
+        many = est.estimate([10.0, 30.0] * 20)
+        assert few > many  # same spread, more samples -> smaller bonus
+
+    def test_cedar_single_sample_hedges_up(self):
+        est = CedarLikeEstimator(z=1.0)
+        assert est.estimate([100.0]) == pytest.approx(200.0)
+
+    def test_registry(self):
+        assert isinstance(get_estimator("median"), MedianEstimator)
+        with pytest.raises(ConfigError):
+            get_estimator("oracle")
+
+    def test_estimated_remaining_bottleneck(self):
+        c = make_coflow(1, 0.0, [(0, 10, 100.0), (1, 11, 100.0)])
+        c.flows[0].bytes_sent = 100.0
+        c.flows[0].finish_time = 1.0
+        c.flows[1].bytes_sent = 60.0
+        est = MedianEstimator()
+        assert est.estimated_remaining_bottleneck(c) == pytest.approx(40.0)
+
+    def test_saath_accepts_custom_estimator(self):
+        fab = _fabric()
+        cfg = _cfg(
+            queues=QueueConfig(num_queues=5, start_threshold=1000.0,
+                               growth_factor=10.0),
+            enable_dynamics_promotion=True,
+        )
+        saath = SaathScheduler(cfg, length_estimator=QuantileEstimator(0.75))
+        c = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 5000.0),
+                                 (1, fab.receiver_port(4), 5000.0)],
+                        flow_id_start=0)
+        state = ClusterState(fabric=fab, active_coflows=[c])
+        saath.on_coflow_arrival(c, 0.0)
+        saath.tracker.force_queue(c, 3, 0.0)
+        c.flows[0].bytes_sent = 5000.0
+        c.flows[0].finish_time = 1.0
+        c.flows[1].bytes_sent = 4900.0
+        saath.on_flow_completion(c.flows[0], c, 1.0)
+        assert saath.tracker.queue_of(c) == 0
+
+
+class TestTelemetry:
+    def test_records_samples_and_utilisation(self):
+        fab = _fabric()
+        cfg = _cfg()
+        recorder = TelemetryRecorder()
+        a = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(1, 0.0, [(0, fab.receiver_port(2), 100.0)],
+                        flow_id_start=10)
+        run_policy(SaathScheduler(cfg), [a, b], fab, cfg, observer=recorder)
+        assert recorder.samples
+        # Sender 0 is saturated from the start.
+        series = recorder.utilisation_series(0, capacity=100.0)
+        assert series[0] == pytest.approx(1.0)
+        assert recorder.peak_active_coflows() == 2
+        util = recorder.mean_utilisation([0], capacity=100.0)
+        assert 0.9 <= util <= 1.0 + 1e-9
+
+    def test_queue_population_series(self):
+        fab = _fabric()
+        cfg = _cfg(queues=QueueConfig(num_queues=4, start_threshold=30.0,
+                                      growth_factor=10.0))
+        recorder = TelemetryRecorder()
+        c = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)])
+        run_policy(SaathScheduler(cfg), [c], fab, cfg, observer=recorder)
+        q0 = recorder.queue_population_series(0)
+        q1 = recorder.queue_population_series(1)
+        assert q0[0] == 1  # starts in the top queue
+        assert q1.max() == 1  # crosses the 30-byte threshold mid-flight
+
+    def test_work_conservation_fraction(self):
+        fab = _fabric()
+        cfg = _cfg()
+        recorder = TelemetryRecorder()
+        # Guaranteed all-or-none miss: two coflows on one sender.
+        a = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0),
+                                 (1, fab.receiver_port(2), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(1, 0.01, [(1, fab.receiver_port(3), 100.0),
+                                  (2, fab.receiver_port(4), 100.0)],
+                        flow_id_start=10)
+        run_policy(SaathScheduler(cfg), [a, b], fab, cfg, observer=recorder)
+        assert 0.0 < recorder.work_conservation_fraction() <= 1.0
+
+    def test_empty_recorder_degrades_gracefully(self):
+        recorder = TelemetryRecorder()
+        assert recorder.mean_utilisation([0], 100.0) == 0.0
+        assert recorder.peak_active_coflows() == 0
+        assert recorder.work_conservation_fraction() == 0.0

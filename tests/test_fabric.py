@@ -1,0 +1,114 @@
+"""Fabric geometry and the port-capacity ledger."""
+
+import pytest
+
+from repro.errors import CapacityViolationError, ConfigError
+from repro.simulator.fabric import Fabric, PortLedger
+
+
+class TestFabricGeometry:
+    def test_port_id_scheme(self):
+        fab = Fabric(num_machines=4, port_rate=100.0)
+        assert fab.sender_port(0) == 0
+        assert fab.sender_port(3) == 3
+        assert fab.receiver_port(0) == 4
+        assert fab.receiver_port(3) == 7
+        assert fab.num_ports == 8
+
+    def test_port_direction_predicates(self):
+        fab = Fabric(num_machines=3, port_rate=1.0)
+        assert fab.is_sender_port(2)
+        assert not fab.is_sender_port(3)
+        assert fab.is_receiver_port(5)
+        assert not fab.is_receiver_port(2)
+
+    def test_machine_of_round_trip(self):
+        fab = Fabric(num_machines=5, port_rate=1.0)
+        for m in range(5):
+            assert fab.machine_of(fab.sender_port(m)) == m
+            assert fab.machine_of(fab.receiver_port(m)) == m
+
+    def test_machine_of_out_of_range(self):
+        fab = Fabric(num_machines=2, port_rate=1.0)
+        with pytest.raises(ConfigError):
+            fab.machine_of(4)
+
+    def test_capacity_uniform(self):
+        fab = Fabric(num_machines=3, port_rate=42.0)
+        assert all(fab.capacity(p) == 42.0 for p in fab.all_ports())
+
+    def test_too_few_machines(self):
+        with pytest.raises(ConfigError):
+            Fabric(num_machines=1, port_rate=1.0)
+
+    def test_bad_port_rate(self):
+        with pytest.raises(ConfigError):
+            Fabric(num_machines=2, port_rate=0.0)
+
+
+class TestPortLedger:
+    def test_residual_starts_at_capacity(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        assert ledger.residual(0) == 100.0
+
+    def test_commit_reserves_both_ends(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        ledger.commit(src=0, dst=3, rate=30.0)
+        assert ledger.residual(0) == pytest.approx(70.0)
+        assert ledger.residual(3) == pytest.approx(70.0)
+        assert ledger.residual(1) == 100.0
+
+    def test_overcommit_raises(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        ledger.commit(0, 3, 80.0)
+        with pytest.raises(CapacityViolationError):
+            ledger.commit(0, 2, 30.0)
+
+    def test_tiny_float_overshoot_tolerated(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        for _ in range(10):
+            ledger.commit(0, 3, 10.0 + 1e-13)
+        assert ledger.residual(0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_has_capacity(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        assert ledger.has_capacity(0, 100.0)
+        ledger.commit(0, 3, 99.5)
+        assert ledger.has_capacity(0, 0.5)
+        assert not ledger.has_capacity(0, 1.0)
+
+    def test_zero_rate_commit_is_noop(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        ledger.commit(0, 3, 0.0)
+        assert ledger.used(0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        with pytest.raises(ConfigError):
+            PortLedger(fab).commit(0, 3, -1.0)
+
+    def test_capacity_override(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab, capacity_override={0: 10.0})
+        assert ledger.residual(0) == 10.0
+        assert ledger.residual(1) == 100.0
+
+    def test_negative_override_rejected(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        with pytest.raises(ConfigError):
+            PortLedger(fab, capacity_override={0: -5.0})
+
+    def test_snapshot_residuals(self):
+        fab = Fabric(num_machines=2, port_rate=100.0)
+        ledger = PortLedger(fab)
+        ledger.commit(1, 2, 25.0)
+        snap = ledger.snapshot_residuals()
+        assert snap[1] == pytest.approx(75.0)
+        assert snap[0] == 100.0
+        assert len(snap) == fab.num_ports

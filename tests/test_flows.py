@@ -1,0 +1,160 @@
+"""Flow/CoFlow data model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator.flows import CoFlow, Flow, clone_coflows, make_coflow
+
+
+def _flow(fid=0, cid=0, src=0, dst=10, volume=100.0, **kw):
+    return Flow(flow_id=fid, coflow_id=cid, src=src, dst=dst,
+                volume=volume, **kw)
+
+
+class TestFlow:
+    def test_initial_state(self):
+        f = _flow()
+        assert f.remaining == 100.0
+        assert not f.finished
+        assert f.rate == 0.0
+
+    def test_advance_progresses_at_rate(self):
+        f = _flow(volume=100.0)
+        f.rate = 10.0
+        f.advance(3.0)
+        assert f.bytes_sent == pytest.approx(30.0)
+        assert f.remaining == pytest.approx(70.0)
+
+    def test_advance_caps_at_volume(self):
+        f = _flow(volume=10.0)
+        f.rate = 100.0
+        f.advance(1.0)
+        assert f.bytes_sent == 10.0
+
+    def test_advance_zero_rate_is_noop(self):
+        f = _flow()
+        f.advance(5.0)
+        assert f.bytes_sent == 0.0
+
+    def test_advance_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            _flow().advance(-1.0)
+
+    def test_time_to_completion(self):
+        f = _flow(volume=100.0)
+        f.rate = 25.0
+        assert f.time_to_completion() == pytest.approx(4.0)
+
+    def test_time_to_completion_idle_is_inf(self):
+        assert math.isinf(_flow().time_to_completion())
+
+    def test_fct_requires_finish(self):
+        f = _flow()
+        with pytest.raises(ValueError):
+            f.fct(0.0)
+        f.finish_time = 7.5
+        assert f.fct(2.5) == pytest.approx(5.0)
+
+    def test_same_src_dst_rejected(self):
+        with pytest.raises(ConfigError):
+            Flow(flow_id=0, coflow_id=0, src=3, dst=3, volume=1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ConfigError):
+            _flow(volume=-1.0)
+
+
+class TestCoFlow:
+    def _coflow(self):
+        return make_coflow(5, 1.0, [(0, 10, 100.0), (1, 11, 50.0),
+                                    (0, 12, 25.0)])
+
+    def test_width_and_volumes(self):
+        c = self._coflow()
+        assert c.width == 3
+        assert c.total_volume == pytest.approx(175.0)
+        assert c.max_flow_volume == pytest.approx(100.0)
+
+    def test_ports_are_union_of_senders_and_receivers(self):
+        c = self._coflow()
+        assert c.sender_ports() == {0, 1}
+        assert c.receiver_ports() == {10, 11, 12}
+        assert c.ports() == {0, 1, 10, 11, 12}
+
+    def test_flows_at_sender(self):
+        c = self._coflow()
+        assert len(c.flows_at_sender(0)) == 2
+        assert len(c.flows_at_sender(1)) == 1
+        assert c.flows_at_sender(9) == []
+
+    def test_progress_metrics(self):
+        c = self._coflow()
+        c.flows[0].bytes_sent = 40.0
+        c.flows[1].bytes_sent = 10.0
+        assert c.bytes_sent == pytest.approx(50.0)
+        assert c.max_flow_bytes_sent == pytest.approx(40.0)
+        assert c.remaining == pytest.approx(125.0)
+
+    def test_cct_requires_finish(self):
+        c = self._coflow()
+        with pytest.raises(ValueError):
+            c.cct()
+        c.finish_time = 4.0
+        assert c.cct() == pytest.approx(3.0)
+
+    def test_bottleneck_remaining_aggregates_per_port(self):
+        c = self._coflow()
+        # Sender 0 carries flows of 100 + 25 = 125 remaining bytes.
+        assert c.bottleneck_remaining_bytes() == pytest.approx(125.0)
+
+    def test_bottleneck_ignores_finished_flows(self):
+        c = self._coflow()
+        c.flows[0].bytes_sent = 100.0
+        c.flows[0].finish_time = 2.0
+        assert c.bottleneck_remaining_bytes() == pytest.approx(50.0)
+
+    def test_mismatched_flow_coflow_id_rejected(self):
+        flow = Flow(flow_id=0, coflow_id=99, src=0, dst=10, volume=1.0)
+        with pytest.raises(ConfigError):
+            CoFlow(coflow_id=5, arrival_time=0.0, flows=[flow])
+
+    def test_iteration_and_len(self):
+        c = self._coflow()
+        assert len(c) == 3
+        assert [f.flow_id for f in c] == [0, 1, 2]
+
+    def test_empty_coflow_rejected_by_make(self):
+        with pytest.raises(ConfigError):
+            make_coflow(0, 0.0, [])
+
+
+class TestCloneCoflows:
+    def test_clone_resets_dynamic_state(self):
+        c = make_coflow(1, 0.5, [(0, 10, 100.0)])
+        c.flows[0].bytes_sent = 60.0
+        c.flows[0].rate = 5.0
+        c.flows[0].finish_time = 9.0
+        c.finish_time = 9.0
+        (fresh,) = clone_coflows([c])
+        assert fresh.flows[0].bytes_sent == 0.0
+        assert fresh.flows[0].rate == 0.0
+        assert fresh.flows[0].finish_time is None
+        assert fresh.finish_time is None
+
+    def test_clone_preserves_static_description(self):
+        c = make_coflow(1, 0.5, [(0, 10, 100.0), (2, 11, 7.0)],
+                        depends_on=(), job_id=3)
+        (fresh,) = clone_coflows([c])
+        assert fresh.coflow_id == c.coflow_id
+        assert fresh.arrival_time == c.arrival_time
+        assert fresh.job_id == 3
+        assert [f.volume for f in fresh.flows] == [100.0, 7.0]
+        assert [f.flow_id for f in fresh.flows] == [0, 1]
+
+    def test_clone_is_independent(self):
+        c = make_coflow(1, 0.0, [(0, 10, 100.0)])
+        (fresh,) = clone_coflows([c])
+        fresh.flows[0].bytes_sent = 50.0
+        assert c.flows[0].bytes_sent == 0.0

@@ -1,0 +1,195 @@
+"""Cross-module integration scenarios.
+
+Each test exercises several subsystems together the way a downstream user
+would: trace files through the CLI-level pipeline, DAG jobs under sync-mode
+coordination with dynamics, determinism of entire experiment runs, and the
+policy-comparison workflow end to end.
+"""
+
+import pytest
+
+from repro import (
+    Fabric,
+    SimulationConfig,
+    clone_coflows,
+    make_scheduler,
+    run_policy,
+)
+from repro.analysis.metrics import per_coflow_speedups
+from repro.analysis.outofsync import out_of_sync_profile
+from repro.analysis.telemetry import TelemetryRecorder
+from repro.config import PAPER_SYNC_INTERVAL
+from repro.rng import make_rng
+from repro.simulator.dynamics import inject_failures, inject_stragglers
+from repro.workloads.dag import chain_stages, fan_in_stages
+from repro.workloads.synthetic import (
+    WorkloadGenerator,
+    fb_like_spec,
+    generate_fb_like,
+)
+from repro.workloads.traces import (
+    dump_trace,
+    load_trace,
+    save_trace,
+    trace_to_coflows,
+)
+
+
+class TestTracePipeline:
+    """Generate -> save -> load -> simulate, as a user would."""
+
+    def test_file_round_trip_preserves_simulation(self, tmp_path):
+        spec = fb_like_spec(num_machines=15, num_coflows=25)
+        gen = WorkloadGenerator(spec, seed=21)
+        trace = gen.generate_trace()
+        path = tmp_path / "workload.txt"
+        save_trace(trace, path)
+
+        fabric = spec.make_fabric()
+        cfg = SimulationConfig()
+        direct = run_policy(
+            make_scheduler("saath", cfg),
+            trace_to_coflows(trace, fabric), fabric, cfg,
+        )
+        reloaded = run_policy(
+            make_scheduler("saath", cfg),
+            trace_to_coflows(load_trace(path), fabric), fabric, cfg,
+        )
+        for cid, cct in direct.ccts().items():
+            assert reloaded.cct(cid) == pytest.approx(cct)
+
+
+class TestDeterminism:
+    def test_full_run_is_bit_deterministic(self):
+        fabric, coflows = generate_fb_like(seed=33, num_machines=15,
+                                           num_coflows=30)
+        cfg = SimulationConfig()
+        first = run_policy(make_scheduler("saath", cfg),
+                           clone_coflows(coflows), fabric, cfg)
+        second = run_policy(make_scheduler("saath", cfg),
+                            clone_coflows(coflows), fabric, cfg)
+        assert first.ccts() == second.ccts()
+        assert first.reschedules == second.reschedules
+
+    def test_policies_do_not_mutate_source_workload(self):
+        fabric, coflows = generate_fb_like(seed=34, num_machines=12,
+                                           num_coflows=15)
+        cfg = SimulationConfig()
+        run_policy(make_scheduler("aalo", cfg), clone_coflows(coflows),
+                   fabric, cfg)
+        assert all(f.bytes_sent == 0.0 for c in coflows for f in c.flows)
+        assert all(c.finish_time is None for c in coflows)
+
+
+class TestDagUnderRealConditions:
+    def test_dag_with_sync_mode_and_stragglers(self):
+        """A fan-in query survives δ-staleness plus injected stragglers."""
+        fabric = Fabric(num_machines=8, port_rate=1e8)
+        cfg = SimulationConfig(
+            port_rate=1e8,
+            sync_interval=PAPER_SYNC_INTERVAL,
+            enable_dynamics_promotion=True,
+        )
+        rcv = fabric.receiver_port
+        stages = fan_in_stages(
+            0, 0.0,
+            [
+                [(0, rcv(3), 5e7), (1, rcv(4), 5e7)],
+                [(2, rcv(5), 8e7)],
+            ],
+            [(3, rcv(6), 4e7)],
+        )
+        stragglers = inject_stragglers(stages, make_rng(2), fraction=0.2,
+                                       efficiency=0.5)
+        res = run_policy(make_scheduler("saath", cfg), stages, fabric, cfg,
+                         dynamics=stragglers)
+        final = res.coflow(len(stages) - 1)
+        # Final stage released only after both branches.
+        for branch_id in (0, 1):
+            assert final.arrival_time >= res.coflow(branch_id).finish_time - 1e-9
+
+    def test_two_jobs_of_chained_waves_interleave(self):
+        fabric = Fabric(num_machines=6, port_rate=1e8)
+        cfg = SimulationConfig(port_rate=1e8)
+        rcv = fabric.receiver_port
+        job_a = chain_stages(0, 0.0, [[(0, rcv(3), 5e7)], [(1, rcv(4), 5e7)]],
+                             flow_id_start=0, job_id=1)
+        job_b = chain_stages(10, 0.0, [[(0, rcv(4), 5e7)], [(2, rcv(5), 5e7)]],
+                             flow_id_start=100, job_id=2)
+        res = run_policy(make_scheduler("saath", cfg), job_a + job_b,
+                         fabric, cfg)
+        assert len(res.coflows) == 4
+        # Both jobs' second waves complete after their first waves.
+        assert res.coflow(1).finish_time > res.coflow(0).finish_time
+        assert res.coflow(11).finish_time > res.coflow(10).finish_time
+
+
+class TestFullComparisonWorkflow:
+    """The Fig. 9-style end-to-end workflow on one small workload."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        fabric, coflows = generate_fb_like(seed=55, num_machines=20,
+                                           num_coflows=50)
+        cfg = SimulationConfig()
+        ccts = {}
+        for policy in ("aalo", "saath", "varys-sebf"):
+            ccts[policy] = run_policy(
+                make_scheduler(policy, cfg), clone_coflows(coflows),
+                fabric, cfg,
+            ).ccts()
+        return coflows, ccts
+
+    def test_all_policies_complete_everything(self, outcome):
+        coflows, ccts = outcome
+        for policy, values in ccts.items():
+            assert len(values) == len(coflows)
+
+    def test_saath_beats_aalo_in_median(self, outcome):
+        import numpy as np
+
+        _, ccts = outcome
+        sp = list(per_coflow_speedups(ccts["aalo"], ccts["saath"]).values())
+        assert float(np.median(sp)) > 1.0
+
+    def test_offline_sebf_at_least_matches_online(self, outcome):
+        import numpy as np
+
+        _, ccts = outcome
+        assert (np.mean(list(ccts["varys-sebf"].values()))
+                <= np.mean(list(ccts["saath"].values())) * 1.1)
+
+
+class TestTelemetryAcrossPolicies:
+    def test_out_of_sync_and_telemetry_agree_on_saath_effect(self):
+        """Fig. 13's metric and telemetry computed from one pair of runs."""
+        fabric, coflows = generate_fb_like(seed=77, num_machines=15,
+                                           num_coflows=30)
+        cfg = SimulationConfig()
+        profiles = {}
+        recorders = {}
+        for policy in ("aalo", "saath"):
+            recorders[policy] = TelemetryRecorder()
+            result = run_policy(
+                make_scheduler(policy, cfg), clone_coflows(coflows),
+                fabric, cfg, observer=recorders[policy],
+            )
+            profiles[policy] = out_of_sync_profile(result.coflows)
+        # Saath keeps equal-length coflows tighter...
+        if profiles["aalo"].equal_length and profiles["saath"].equal_length:
+            import numpy as np
+
+            assert (np.median(profiles["saath"].equal_length)
+                    <= np.median(profiles["aalo"].equal_length) + 1e-9)
+        # ...and its backlog (peak active coflows) is no worse.
+        assert (recorders["saath"].peak_active_coflows()
+                <= recorders["aalo"].peak_active_coflows() + 3)
+
+    def test_failure_injection_with_promotion_full_stack(self):
+        fabric, coflows = generate_fb_like(seed=88, num_machines=12,
+                                           num_coflows=20)
+        failures = inject_failures(coflows, make_rng(88), fraction=0.05)
+        cfg = SimulationConfig(enable_dynamics_promotion=True)
+        res = run_policy(make_scheduler("saath", cfg), coflows, fabric, cfg,
+                         dynamics=failures)
+        assert len(res.coflows) == 20

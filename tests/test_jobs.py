@@ -1,0 +1,102 @@
+"""JCT accounting with shuffle fractions (Fig. 16 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.jobs import (
+    SHUFFLE_BUCKETS,
+    JobOutcome,
+    bucket_speedups,
+    job_outcomes,
+    sample_shuffle_fractions,
+)
+
+
+class TestSampleFractions:
+    def test_deterministic(self):
+        a = sample_shuffle_fractions(100, seed=1)
+        b = sample_shuffle_fractions(100, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_range(self):
+        fr = sample_shuffle_fractions(500, seed=2)
+        assert fr.min() >= 0.01
+        assert fr.max() <= 0.99
+
+    def test_all_buckets_populated(self):
+        fr = sample_shuffle_fractions(400, seed=3)
+        for _, lo, hi in SHUFFLE_BUCKETS:
+            assert ((fr >= lo) & (fr < hi)).any()
+
+
+class TestJobOutcomes:
+    def test_speedup_diluted_by_compute(self):
+        base = {1: 10.0}
+        cand = {1: 5.0}  # CCT speedup = 2x
+        outcomes = job_outcomes(base, cand, [0.5])
+        (o,) = outcomes
+        # compute = 10 * (1-0.5)/0.5 = 10; JCTs 20 vs 15 -> 1.33x.
+        assert o.compute_time == pytest.approx(10.0)
+        assert o.speedup == pytest.approx(20.0 / 15.0)
+
+    def test_shuffle_heavy_jobs_keep_more_speedup(self):
+        base = {1: 10.0, 2: 10.0}
+        cand = {1: 5.0, 2: 5.0}
+        light, heavy = job_outcomes(base, cand, [0.1, 0.9])
+        assert heavy.speedup > light.speedup
+
+    def test_full_shuffle_equals_cct_speedup(self):
+        base = {1: 8.0}
+        cand = {1: 2.0}
+        (o,) = job_outcomes(base, cand, [0.99])
+        assert o.speedup == pytest.approx(4.0, rel=0.05)
+
+    def test_zero_cct_jobs_skipped(self):
+        outcomes = job_outcomes({1: 0.0, 2: 4.0}, {1: 0.0, 2: 2.0},
+                                [0.5, 0.5])
+        assert len(outcomes) == 1
+        assert outcomes[0].job_id == 2
+
+    def test_missing_candidate_raises(self):
+        with pytest.raises(ConfigError):
+            job_outcomes({1: 1.0}, {}, [0.5])
+
+    def test_insufficient_fractions_raises(self):
+        with pytest.raises(ConfigError):
+            job_outcomes({1: 1.0, 2: 1.0}, {1: 1.0, 2: 1.0}, [0.5])
+
+    def test_fraction_assignment_by_sorted_id(self):
+        base = {5: 10.0, 3: 10.0}
+        cand = {5: 5.0, 3: 5.0}
+        outcomes = job_outcomes(base, cand, [0.2, 0.8])
+        by_id = {o.job_id: o for o in outcomes}
+        assert by_id[3].shuffle_fraction == pytest.approx(0.2)
+        assert by_id[5].shuffle_fraction == pytest.approx(0.8)
+
+
+class TestBuckets:
+    def test_bucket_labels(self):
+        o = JobOutcome(job_id=1, shuffle_fraction=0.3, compute_time=1.0,
+                       jct_baseline=2.0, jct_candidate=1.0)
+        assert o.bucket == "25-50%"
+        o2 = JobOutcome(job_id=2, shuffle_fraction=0.8, compute_time=1.0,
+                        jct_baseline=2.0, jct_candidate=1.0)
+        assert o2.bucket == ">=75%"
+
+    def test_bucket_speedups_includes_all(self):
+        outcomes = [
+            JobOutcome(job_id=i, shuffle_fraction=f, compute_time=1.0,
+                       jct_baseline=2.0, jct_candidate=1.0)
+            for i, f in enumerate([0.1, 0.3, 0.6, 0.9])
+        ]
+        grouped = bucket_speedups(outcomes)
+        assert len(grouped["All"]) == 4
+        for label, _, _ in SHUFFLE_BUCKETS:
+            assert len(grouped[label]) == 1
+
+    def test_non_positive_jct_rejected(self):
+        o = JobOutcome(job_id=1, shuffle_fraction=0.5, compute_time=1.0,
+                       jct_baseline=2.0, jct_candidate=0.0)
+        with pytest.raises(ConfigError):
+            _ = o.speedup

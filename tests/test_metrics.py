@@ -1,0 +1,92 @@
+"""Analysis metrics: speedups, summaries, CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    DistributionSummary,
+    cdf_points,
+    fraction_at_least,
+    fraction_below,
+    overall_cct_speedup,
+    per_coflow_speedups,
+    speedup_summary,
+)
+from repro.errors import ConfigError
+
+
+class TestDistributionSummary:
+    def test_basic_percentiles(self):
+        values = list(range(1, 101))
+        s = DistributionSummary.of(values)
+        assert s.count == 100
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p10 == pytest.approx(10.9)
+        assert s.p90 == pytest.approx(90.1)
+        assert s.minimum == 1 and s.maximum == 100
+
+    def test_single_value(self):
+        s = DistributionSummary.of([3.0])
+        assert s.p10 == s.p50 == s.p90 == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            DistributionSummary.of([])
+
+
+class TestPerCoflowSpeedups:
+    def test_ratio_direction(self):
+        base = {1: 10.0, 2: 4.0}
+        cand = {1: 5.0, 2: 8.0}
+        s = per_coflow_speedups(base, cand)
+        assert s[1] == pytest.approx(2.0)  # candidate 2x faster
+        assert s[2] == pytest.approx(0.5)  # candidate 2x slower
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            per_coflow_speedups({1: 1.0}, {2: 1.0})
+
+    def test_zero_cct_on_both_sides_skipped(self):
+        s = per_coflow_speedups({1: 0.0, 2: 2.0}, {1: 0.0, 2: 1.0})
+        assert 1 not in s
+        assert s[2] == pytest.approx(2.0)
+
+    def test_zero_on_one_side_raises(self):
+        with pytest.raises(ConfigError):
+            per_coflow_speedups({1: 0.0}, {1: 1.0})
+
+    def test_summary_wrapper(self):
+        base = {i: 2.0 for i in range(10)}
+        cand = {i: 1.0 for i in range(10)}
+        s = speedup_summary(base, cand)
+        assert s.p50 == pytest.approx(2.0)
+
+
+class TestOverallSpeedup:
+    def test_average_ratio(self):
+        base = {1: 2.0, 2: 4.0}  # mean 3
+        cand = {1: 1.0, 2: 2.0}  # mean 1.5
+        assert overall_cct_speedup(base, cand) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            overall_cct_speedup({}, {})
+
+
+class TestCdfHelpers:
+    def test_cdf_points_monotone(self):
+        xs, ys = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_fraction_at_least(self):
+        assert fraction_at_least([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            cdf_points([])
+        with pytest.raises(ConfigError):
+            fraction_below([], 1.0)

@@ -1,0 +1,199 @@
+"""Varys SEBF, SCF, SRTF, LWTF and UC-TCP baselines."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.schedulers.offline import (
+    LwtfScheduler,
+    ScfScheduler,
+    SrtfScheduler,
+)
+from repro.schedulers.uctcp import UcTcpScheduler
+from repro.schedulers.varys import VarysSebfScheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import clone_coflows, make_coflow
+from repro.simulator.state import ClusterState
+
+
+def _fabric(machines=8, rate=100.0):
+    return Fabric(num_machines=machines, port_rate=rate)
+
+
+def _cfg(**kw):
+    defaults = dict(port_rate=100.0, min_rate=1e-3)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestVarysSebf:
+    def test_smallest_bottleneck_first(self):
+        fab = _fabric()
+        cfg = _cfg()
+        big = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 300.0)],
+                          flow_id_start=0)
+        small = make_coflow(2, 0.0, [(0, fab.receiver_port(4), 100.0)],
+                            flow_id_start=10)
+        res = run_policy(VarysSebfScheduler(cfg), [big, small], fab, cfg)
+        assert res.cct(2) == pytest.approx(1.0)
+        assert res.cct(1) == pytest.approx(4.0)
+
+    def test_madd_synchronises_flows(self):
+        fab = _fabric()
+        cfg = _cfg()
+        c = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 200.0),
+                                 (0, fab.receiver_port(4), 100.0)],
+                        flow_id_start=0)
+        res = run_policy(VarysSebfScheduler(cfg), [c], fab, cfg)
+        fcts = [f.finish_time for f in res.coflow(1).flows]
+        assert fcts[0] == pytest.approx(fcts[1])
+        assert res.cct(1) == pytest.approx(3.0)  # 300 bytes on sender 0
+
+    def test_backfill_uses_leftovers(self):
+        fab = _fabric()
+        cfg = _cfg()
+        sebf = VarysSebfScheduler(cfg)
+        # Coflow 1 bottlenecked at receiver 3 it shares with nothing else;
+        # its sender 0 has slack that coflow 2 (also on sender 0) can use
+        # only via its own MADD on residuals.
+        a = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(2, 0.0, [(0, fab.receiver_port(4), 100.0)],
+                        flow_id_start=10)
+        state = ClusterState(fabric=fab, active_coflows=[a, b])
+        alloc = sebf.schedule(state, 0.0)
+        # a gets full rate (gamma 1s); b squeezed out entirely at sender 0.
+        assert alloc.rates[0] == pytest.approx(100.0)
+        assert alloc.rates.get(10, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_is_clairvoyant(self):
+        assert VarysSebfScheduler.clairvoyant
+
+
+class TestOrderingPolicies:
+    def _race(self, scheduler_cls):
+        """Two coflows compete on one sender; return (cct_small, cct_big)."""
+        fab = _fabric()
+        cfg = _cfg()
+        big = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 300.0)],
+                          flow_id_start=0)
+        small = make_coflow(2, 0.0, [(0, fab.receiver_port(4), 100.0)],
+                            flow_id_start=10)
+        res = run_policy(scheduler_cls(cfg), [big, small], fab, cfg)
+        return res.cct(2), res.cct(1)
+
+    def test_scf_prefers_small_total(self):
+        small, big = self._race(ScfScheduler)
+        assert small == pytest.approx(1.0)
+        assert big == pytest.approx(4.0)
+
+    def test_srtf_prefers_small_remaining(self):
+        small, big = self._race(SrtfScheduler)
+        assert small == pytest.approx(1.0)
+
+    def test_srtf_preempts_on_remaining(self):
+        """SRTF switches to a newly-arrived shorter coflow mid-flight."""
+        fab = _fabric()
+        cfg = _cfg()
+        long = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 300.0)],
+                           flow_id_start=0)
+        newcomer = make_coflow(2, 1.0, [(0, fab.receiver_port(4), 100.0)],
+                               flow_id_start=10)
+        res = run_policy(SrtfScheduler(cfg), [long, newcomer], fab, cfg)
+        # At t=1 long has 200 left; newcomer has 100 -> newcomer preempts.
+        assert res.cct(2) == pytest.approx(1.0)
+        assert res.cct(1) == pytest.approx(4.0)
+
+    def test_scf_does_not_preempt_on_remaining(self):
+        """SCF keys on static size: at t=1 the long coflow (300 total) still
+        outranks... actually the newcomer (100) wins on static size too.
+        Distinguish with sizes where remaining < newcomer < total."""
+        fab = _fabric()
+        cfg = _cfg()
+        long = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 300.0)],
+                           flow_id_start=0)
+        # At t=2.5, long's remaining = 50 < newcomer's 100; SRTF would stay
+        # with long... SCF compares 300 vs 100 and switches.
+        newcomer = make_coflow(2, 2.5, [(0, fab.receiver_port(4), 100.0)],
+                               flow_id_start=10)
+        scf = run_policy(ScfScheduler(cfg),
+                         [long, newcomer], fab, cfg)
+        assert scf.cct(2) == pytest.approx(1.0)  # SCF prefers newcomer
+        fab2 = _fabric()
+        long2 = make_coflow(1, 0.0, [(0, fab2.receiver_port(3), 300.0)],
+                            flow_id_start=0)
+        newcomer2 = make_coflow(2, 2.5, [(0, fab2.receiver_port(4), 100.0)],
+                                flow_id_start=10)
+        srtf = run_policy(SrtfScheduler(cfg), [long2, newcomer2], fab2, cfg)
+        # SRTF keeps the long coflow (50 remaining < 100).
+        assert srtf.cct(1) == pytest.approx(3.0)
+        assert srtf.cct(2) == pytest.approx(1.5)
+
+    def test_lwtf_prefers_low_contention(self):
+        """Fig. 17: C1 (5t, blocks 2) vs C2 (6t) + C3 (7t) each blocking 1.
+
+        SCF runs C1 first (total 10t < 6t? no — C1 total = 10 units...).
+        We check LWTF ranks by t*k: C1 key = 5*2=10; C2 = 6*1; C3 = 7*1,
+        so LWTF runs C2/C3 before C1, giving the optimal average CCT.
+        """
+        fab = _fabric()
+        cfg = _cfg()
+
+        def build():
+            c1 = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 500.0),
+                                      (1, fab.receiver_port(4), 500.0)],
+                             flow_id_start=0)
+            c2 = make_coflow(2, 0.0, [(0, fab.receiver_port(5), 600.0)],
+                             flow_id_start=10)
+            c3 = make_coflow(3, 0.0, [(1, fab.receiver_port(6), 700.0)],
+                             flow_id_start=20)
+            return [c1, c2, c3]
+
+        lwtf = run_policy(LwtfScheduler(cfg), build(), fab, cfg)
+        assert lwtf.cct(2) == pytest.approx(6.0)
+        assert lwtf.cct(3) == pytest.approx(7.0)
+        assert lwtf.cct(1) == pytest.approx(12.0)
+        # Note: SCF keyed on *total bytes* also defers C1 here (its total,
+        # 1000, is the largest), so the toy example only shows LWTF is no
+        # worse; the statistical LWTF-beats-SCF claim is the Fig. 3
+        # experiment (see benchmarks/test_bench_fig3.py).
+        scf = run_policy(ScfScheduler(cfg), build(), fab, cfg)
+        assert lwtf.average_cct() <= scf.average_cct() + 1e-9
+
+
+class TestUcTcp:
+    def test_all_flows_share_fairly(self):
+        fab = _fabric()
+        cfg = _cfg()
+        uctcp = UcTcpScheduler(cfg)
+        a = make_coflow(1, 0.0, [(0, fab.receiver_port(3), 100.0)],
+                        flow_id_start=0)
+        b = make_coflow(2, 0.0, [(0, fab.receiver_port(4), 100.0)],
+                        flow_id_start=10)
+        state = ClusterState(fabric=fab, active_coflows=[a, b])
+        alloc = uctcp.schedule(state, 0.0)
+        assert alloc.rates[0] == pytest.approx(50.0)
+        assert alloc.rates[10] == pytest.approx(50.0)
+
+    def test_fair_sharing_inflates_cct_vs_serial(self):
+        """Sharing is the worst strategy for average CCT (the 154x gap)."""
+        fab = _fabric()
+        cfg = _cfg()
+
+        def build():
+            return [
+                make_coflow(i, 0.0, [(0, fab.receiver_port(i + 1), 100.0)],
+                            flow_id_start=10 * i)
+                for i in range(4)
+            ]
+
+        fair = run_policy(UcTcpScheduler(cfg), build(), fab, cfg)
+        serial = run_policy(ScfScheduler(cfg), build(), fab, cfg)
+        assert fair.average_cct() > serial.average_cct()
+        # All four equal coflows sharing finish together at 4s.
+        assert fair.average_cct() == pytest.approx(4.0)
+        # Serial: 1+2+3+4 / 4 = 2.5s.
+        assert serial.average_cct() == pytest.approx(2.5)
+
+    def test_not_clairvoyant(self):
+        assert not UcTcpScheduler.clairvoyant

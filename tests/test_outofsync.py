@@ -1,0 +1,101 @@
+"""Out-of-sync metrics: normalised FCT deviation, equal-length detection."""
+
+import pytest
+
+from repro.analysis.outofsync import (
+    flow_lengths_equal,
+    normalized_fct_deviation,
+    normalized_length_deviation,
+    out_of_sync_profile,
+    width_distribution,
+)
+from repro.errors import ConfigError
+from repro.simulator.flows import make_coflow
+
+
+def _finished_coflow(cid, fct_list, volumes=None, arrival=0.0):
+    volumes = volumes or [100.0] * len(fct_list)
+    transfers = [(i, 50 + i, v) for i, v in enumerate(volumes)]
+    c = make_coflow(cid, arrival, transfers, flow_id_start=cid * 100)
+    for f, fct in zip(c.flows, fct_list):
+        f.bytes_sent = f.volume
+        f.finish_time = arrival + fct
+    c.finish_time = arrival + max(fct_list)
+    return c
+
+
+class TestEqualLengthDetection:
+    def test_equal(self):
+        c = _finished_coflow(1, [1.0, 1.0], volumes=[5.0, 5.0])
+        assert flow_lengths_equal(c)
+
+    def test_unequal(self):
+        c = _finished_coflow(1, [1.0, 1.0], volumes=[5.0, 10.0])
+        assert not flow_lengths_equal(c)
+
+    def test_single_flow_counts_as_equal(self):
+        c = _finished_coflow(1, [1.0], volumes=[5.0])
+        assert flow_lengths_equal(c)
+
+    def test_zero_volume_coflow(self):
+        c = make_coflow(1, 0.0, [(0, 50, 0.0), (1, 51, 0.0)])
+        assert flow_lengths_equal(c)
+
+    def test_length_deviation_value(self):
+        c = _finished_coflow(1, [1.0, 1.0], volumes=[10.0, 30.0])
+        # std([10,30]) = 10, mean = 20 -> 0.5
+        assert normalized_length_deviation(c) == pytest.approx(0.5)
+
+
+class TestFctDeviation:
+    def test_synchronised_flows_have_zero_deviation(self):
+        c = _finished_coflow(1, [2.0, 2.0, 2.0])
+        assert normalized_fct_deviation(c) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        c = _finished_coflow(1, [1.0, 3.0])
+        # std = 1, mean = 2 -> 0.5
+        assert normalized_fct_deviation(c) == pytest.approx(0.5)
+
+    def test_measured_from_coflow_arrival(self):
+        c = _finished_coflow(1, [1.0, 3.0], arrival=10.0)
+        assert normalized_fct_deviation(c) == pytest.approx(0.5)
+
+    def test_unfinished_rejected(self):
+        c = make_coflow(1, 0.0, [(0, 50, 10.0)])
+        with pytest.raises(ConfigError):
+            normalized_fct_deviation(c)
+
+
+class TestProfile:
+    def test_populations_split(self):
+        coflows = [
+            _finished_coflow(1, [1.0, 1.0], volumes=[5.0, 5.0]),  # equal
+            _finished_coflow(2, [1.0, 2.0], volumes=[5.0, 9.0]),  # unequal
+            _finished_coflow(3, [1.0], volumes=[5.0]),  # single
+        ]
+        profile = out_of_sync_profile(coflows)
+        assert len(profile.equal_length) == 1
+        assert len(profile.unequal_length) == 1
+        assert profile.single_flow_fraction == pytest.approx(1 / 3)
+
+    def test_fraction_over(self):
+        coflows = [
+            _finished_coflow(1, [1.0, 1.0], volumes=[5.0, 5.0]),
+            _finished_coflow(2, [1.0, 3.0], volumes=[5.0, 5.0]),
+        ]
+        profile = out_of_sync_profile(coflows)
+        assert profile.equal_fraction_over(0.1) == pytest.approx(0.5)
+        assert profile.equal_fraction_at_zero() == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            out_of_sync_profile([])
+
+    def test_width_distribution(self):
+        coflows = [
+            _finished_coflow(1, [1.0]),
+            _finished_coflow(2, [1.0, 1.0, 1.0]),
+        ]
+        widths = width_distribution(coflows)
+        assert sorted(widths.tolist()) == [1, 3]

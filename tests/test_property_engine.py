@@ -1,0 +1,103 @@
+"""Property-based end-to-end invariants of the simulator + schedulers.
+
+For random small workloads and every registered policy:
+
+* the simulation terminates and every coflow finishes;
+* no flow finishes before the physics lower bound (volume / port rate);
+* a coflow never finishes before its arrival;
+* total delivered bytes equal the workload's bytes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.schedulers.registry import available_policies, make_scheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import clone_coflows, make_coflow
+
+MACHINES = 5
+RATE = 100.0
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    coflows = []
+    fid = 0
+    for cid in range(n):
+        arrival = draw(st.floats(min_value=0.0, max_value=5.0,
+                                 allow_nan=False))
+        width = draw(st.integers(min_value=1, max_value=4))
+        transfers = []
+        for _ in range(width):
+            src = draw(st.integers(min_value=0, max_value=MACHINES - 1))
+            dst = draw(st.integers(min_value=0, max_value=MACHINES - 1))
+            vol = draw(st.floats(min_value=1.0, max_value=500.0,
+                                 allow_nan=False))
+            transfers.append((src, dst + MACHINES, vol))
+        coflows.append(
+            make_coflow(cid, arrival, transfers, flow_id_start=fid)
+        )
+        fid += width
+    return coflows
+
+
+def _cfg():
+    return SimulationConfig(
+        port_rate=RATE,
+        queues=QueueConfig(num_queues=4, start_threshold=200.0,
+                           growth_factor=4.0),
+        min_rate=1e-6,
+    )
+
+
+POLICIES = available_policies()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(coflows=workloads())
+@settings(max_examples=15, deadline=None)
+def test_policy_invariants(policy, coflows):
+    fab = Fabric(num_machines=MACHINES, port_rate=RATE)
+    cfg = _cfg()
+    work = clone_coflows(coflows)
+    result = run_policy(make_scheduler(policy, cfg), work, fab, cfg)
+
+    assert len(result.coflows) == len(coflows)
+    for c in result.coflows:
+        assert c.finish_time is not None
+        assert c.finish_time >= c.arrival_time - 1e-9
+        for f in c.flows:
+            assert f.finished
+            assert f.bytes_sent == pytest.approx(f.volume)
+            # Physics: a flow can't beat dedicated line rate from arrival.
+            min_time = f.volume / RATE
+            assert f.finish_time >= c.arrival_time + min_time - 1e-6
+
+
+@pytest.mark.parametrize("policy", ["saath", "aalo"])
+@given(coflows=workloads())
+@settings(max_examples=10, deadline=None)
+def test_sync_mode_terminates_and_stays_physical(policy, coflows):
+    """δ-staleness keeps the simulation terminating and physical.
+
+    (Staleness can occasionally *shorten* the makespan of a non-optimal
+    scheduler by perturbing its ordering, so no monotonicity is asserted —
+    the statistical degradation is the Fig. 14(c) experiment.)
+    """
+    fab = Fabric(num_machines=MACHINES, port_rate=RATE)
+    ideal_cfg = _cfg()
+    sync_cfg = ideal_cfg.with_updates(sync_interval=0.25)
+    ideal = run_policy(make_scheduler(policy, ideal_cfg),
+                       clone_coflows(coflows), fab, ideal_cfg)
+    stale = run_policy(make_scheduler(policy, sync_cfg),
+                       clone_coflows(coflows), fab, sync_cfg)
+    assert len(stale.coflows) == len(ideal.coflows)
+    for c in stale.coflows:
+        for f in c.flows:
+            assert f.finished
+            # A stale schedule may only start a flow at/after a δ boundary
+            # following its coflow's arrival; it can never beat physics.
+            assert f.finish_time >= c.arrival_time + f.volume / RATE - 1e-6

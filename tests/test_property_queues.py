@@ -1,0 +1,91 @@
+"""Property-based tests on queue geometry and tracker invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.schedulers.queues import QueueTracker
+from repro.simulator.flows import make_coflow
+
+queue_configs = st.builds(
+    QueueConfig,
+    num_queues=st.integers(min_value=1, max_value=15),
+    start_threshold=st.floats(min_value=1.0, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+    growth_factor=st.floats(min_value=1.1, max_value=64.0,
+                            allow_nan=False, allow_infinity=False),
+)
+
+byte_values = st.floats(min_value=0.0, max_value=1e15,
+                        allow_nan=False, allow_infinity=False)
+
+
+class TestQueueGeometry:
+    @given(queue_configs, byte_values)
+    @settings(max_examples=200, deadline=None)
+    def test_queue_for_bytes_in_range(self, qcfg, b):
+        idx = qcfg.queue_for_bytes(b)
+        assert 0 <= idx < qcfg.num_queues
+        assert qcfg.lo_threshold(idx) <= b or idx == 0
+        assert b < qcfg.hi_threshold(idx) or idx == qcfg.num_queues - 1
+
+    @given(queue_configs, byte_values, byte_values)
+    @settings(max_examples=200, deadline=None)
+    def test_queue_assignment_monotone(self, qcfg, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert qcfg.queue_for_bytes(lo) <= qcfg.queue_for_bytes(hi)
+
+    @given(queue_configs, byte_values,
+           st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_per_flow_rule_matches_scaled_total(self, qcfg, b, width):
+        assert (qcfg.queue_for_per_flow_bytes(b, width)
+                == qcfg.queue_for_bytes(min(b * width, 1e308)))
+
+    @given(queue_configs)
+    @settings(max_examples=100, deadline=None)
+    def test_thresholds_strictly_increasing(self, qcfg):
+        for i in range(qcfg.num_queues - 1):
+            assert qcfg.hi_threshold(i) > qcfg.lo_threshold(i)
+            if i + 1 < qcfg.num_queues:
+                assert qcfg.hi_threshold(i + 1) > qcfg.hi_threshold(i)
+
+    @given(queue_configs, st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=100, deadline=None)
+    def test_min_residency_positive_and_finite(self, qcfg, rate):
+        for q in range(qcfg.num_queues):
+            t = qcfg.min_residency_time(q, rate)
+            assert t > 0
+            assert math.isfinite(t)
+
+
+class TestTrackerInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),  # width
+                st.floats(min_value=0.0, max_value=1e12),  # progress
+            ),
+            min_size=1, max_size=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_refresh_is_idempotent_and_demotion_only(self, shapes):
+        cfg = SimulationConfig()
+        tracker = QueueTracker(cfg, metric="perflow")
+        for cid, (width, progress) in enumerate(shapes):
+            c = make_coflow(
+                cid, 0.0,
+                [(i, 100 + i, 1e15) for i in range(width)],
+                flow_id_start=cid * 100,
+            )
+            tracker.admit(c, 0.0)
+            c.flows[0].bytes_sent = progress
+            first = tracker.refresh(c, 1.0)
+            q1 = tracker.queue_of(c)
+            second = tracker.refresh(c, 2.0)
+            q2 = tracker.queue_of(c)
+            assert q2 == q1  # idempotent
+            assert not second or not first  # no repeated move
+            assert q1 >= 0

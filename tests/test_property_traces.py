@@ -1,0 +1,119 @@
+"""Property-based tests for trace I/O and the synthetic generators."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.fabric import Fabric
+from repro.units import MB
+from repro.workloads.traces import (
+    Trace,
+    TraceCoflow,
+    coflows_to_trace,
+    dump_trace,
+    parse_trace,
+    trace_to_coflows,
+)
+
+NUM_PORTS = 12
+
+
+@st.composite
+def trace_coflows(draw, cid):
+    n_mappers = draw(st.integers(min_value=1, max_value=4))
+    mappers = draw(
+        st.lists(st.integers(min_value=0, max_value=NUM_PORTS - 1),
+                 min_size=n_mappers, max_size=n_mappers, unique=True)
+    )
+    n_reducers = draw(st.integers(min_value=1, max_value=4))
+    reducer_machines = draw(
+        st.lists(st.integers(min_value=0, max_value=NUM_PORTS - 1),
+                 min_size=n_reducers, max_size=n_reducers, unique=True)
+    )
+    sizes = draw(
+        st.lists(st.floats(min_value=0.001, max_value=1e4, allow_nan=False),
+                 min_size=n_reducers, max_size=n_reducers)
+    )
+    arrival = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    return TraceCoflow(
+        coflow_id=cid,
+        arrival_ms=arrival,
+        mappers=tuple(mappers),
+        reducers=tuple(
+            (m, s * MB) for m, s in zip(reducer_machines, sizes)
+        ),
+    )
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    coflows = tuple(draw(trace_coflows(cid)) for cid in range(n))
+    return Trace(num_ports=NUM_PORTS, coflows=coflows)
+
+
+class TestTraceRoundTrip:
+    @given(traces())
+    @settings(max_examples=80, deadline=None)
+    def test_dump_parse_identity(self, trace):
+        assert parse_trace(dump_trace(trace)) == trace
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_flow_expansion_conserves_bytes(self, trace):
+        fabric = Fabric(num_machines=NUM_PORTS, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        for tc, c in zip(trace.coflows, coflows):
+            assert math.isclose(c.total_volume, tc.total_bytes,
+                                rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_width_is_mappers_times_reducers(self, trace):
+        fabric = Fabric(num_machines=NUM_PORTS, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        for tc, c in zip(trace.coflows, coflows):
+            nonzero_reducers = sum(
+                1 for _, size in tc.reducers if size > 0
+            )
+            expected = len(tc.mappers) * nonzero_reducers
+            assert c.width == max(expected, 1)
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_mapping_preserves_reducer_totals(self, trace):
+        fabric = Fabric(num_machines=NUM_PORTS, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        back = coflows_to_trace(coflows, fabric)
+        for original, restored in zip(trace.coflows, back.coflows):
+            orig_by_machine: dict[int, float] = {}
+            for machine, size in original.reducers:
+                orig_by_machine[machine] = (
+                    orig_by_machine.get(machine, 0.0) + size
+                )
+            restored_by_machine = dict(restored.reducers)
+            for machine, size in orig_by_machine.items():
+                if size <= 0:
+                    continue
+                assert math.isclose(
+                    restored_by_machine[machine], size,
+                    rel_tol=1e-9, abs_tol=1e-6,
+                )
+
+
+class TestGeneratorProperties:
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_any_size_and_seed_generates_valid_workload(self, n, seed):
+        from repro.workloads.synthetic import WorkloadGenerator, fb_like_spec
+        from repro.workloads.dag import validate_dag
+
+        spec = fb_like_spec(num_machines=10, num_coflows=n)
+        coflows = WorkloadGenerator(spec, seed=seed).generate_coflows()
+        assert len(coflows) == n
+        validate_dag(coflows)
+        ids = [f.flow_id for c in coflows for f in c.flows]
+        assert len(ids) == len(set(ids))
+        arrivals = [c.arrival_time for c in coflows]
+        assert arrivals == sorted(arrivals)

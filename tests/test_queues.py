@@ -1,0 +1,216 @@
+"""QueueTracker: transitions, deadlines, wakeup computation."""
+
+import math
+
+import pytest
+
+from repro.config import QueueConfig, SimulationConfig
+from repro.errors import SchedulerError
+from repro.schedulers.queues import QueueTracker
+from repro.simulator.flows import make_coflow
+
+
+def _cfg(**kw):
+    defaults = dict(
+        port_rate=100.0,
+        queues=QueueConfig(num_queues=5, start_threshold=100.0,
+                           growth_factor=10.0),
+        min_rate=1e-3,
+    )
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+def _coflow(width=2, volume=1000.0, cid=0):
+    transfers = [(i, 100 + i, volume) for i in range(width)]
+    return make_coflow(cid, 0.0, transfers, flow_id_start=cid * 100)
+
+
+class TestAdmissionAndRemoval:
+    def test_admit_places_in_queue_zero(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, now=1.0)
+        assert tracker.queue_of(c) == 0
+        assert c.queue == 0
+        assert c.queue_entry_time == 1.0
+
+    def test_untracked_coflow_raises(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        with pytest.raises(SchedulerError):
+            tracker.queue_of(_coflow())
+
+    def test_remove_forgets(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        tracker.remove(c)
+        with pytest.raises(SchedulerError):
+            tracker.queue_of(c)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SchedulerError):
+            QueueTracker(_cfg(), metric="bogus")
+
+    def test_population_counts(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        cs = [_coflow(cid=i) for i in range(3)]
+        for c in cs:
+            tracker.admit(c, 0.0)
+        assert tracker.population(0) == 3
+        assert tracker.population(1) == 0
+
+
+class TestTotalBytesTransitions:
+    def test_refresh_demotes_on_total_bytes(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow(width=2)
+        tracker.admit(c, 0.0)
+        c.flows[0].bytes_sent = 60.0
+        c.flows[1].bytes_sent = 50.0  # total 110 >= 100
+        assert tracker.refresh(c, now=1.0)
+        assert tracker.queue_of(c) == 1
+
+    def test_refresh_no_change_below_threshold(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        c.flows[0].bytes_sent = 99.0
+        assert not tracker.refresh(c, 1.0)
+        assert tracker.queue_of(c) == 0
+
+    def test_refresh_never_promotes(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        tracker.force_queue(c, 3, 0.0)
+        c.flows[0].bytes_sent = 50.0  # target would be queue 0
+        assert not tracker.refresh(c, 1.0)
+        assert tracker.queue_of(c) == 3
+
+    def test_next_transition_time_total(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow(width=2)
+        tracker.admit(c, 0.0)
+        rates = {c.flows[0].flow_id: 10.0, c.flows[1].flow_id: 10.0}
+        # 100 bytes to threshold at combined 20 B/s -> 5 seconds.
+        assert tracker.next_transition_time(c, rates) == pytest.approx(5.0)
+
+    def test_next_transition_inf_when_idle(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        assert math.isinf(tracker.next_transition_time(c, {}))
+
+    def test_next_transition_inf_in_last_queue(self):
+        tracker = QueueTracker(_cfg(), metric="total")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        tracker.force_queue(c, 4, 0.0)
+        rates = {f.flow_id: 100.0 for f in c.flows}
+        assert math.isinf(tracker.next_transition_time(c, rates))
+
+
+class TestPerFlowTransitions:
+    def test_refresh_uses_max_flow_bytes(self):
+        tracker = QueueTracker(_cfg(), metric="perflow")
+        c = _coflow(width=4)  # per-flow share of Q0: 100/4 = 25
+        tracker.admit(c, 0.0)
+        c.flows[0].bytes_sent = 26.0
+        assert tracker.refresh(c, 1.0)
+        assert tracker.queue_of(c) == 1
+
+    def test_wide_coflow_demotes_faster_than_total(self):
+        total = QueueTracker(_cfg(), metric="total")
+        perflow = QueueTracker(_cfg(), metric="perflow")
+        c1, c2 = _coflow(width=10, cid=1), _coflow(width=10, cid=2)
+        total.admit(c1, 0.0)
+        perflow.admit(c2, 0.0)
+        for c in (c1, c2):
+            c.flows[0].bytes_sent = 15.0  # one flow crossed 100/10 = 10
+        assert not total.refresh(c1, 1.0)  # total 15 < 100
+        assert perflow.refresh(c2, 1.0)
+
+    def test_next_transition_time_perflow(self):
+        tracker = QueueTracker(_cfg(), metric="perflow")
+        c = _coflow(width=2, volume=1000.0)  # per-flow share 50
+        tracker.admit(c, 0.0)
+        rates = {c.flows[0].flow_id: 10.0}
+        assert tracker.next_transition_time(c, rates) == pytest.approx(5.0)
+
+    def test_transition_unreachable_when_flows_too_short(self):
+        tracker = QueueTracker(_cfg(), metric="perflow")
+        c = _coflow(width=2, volume=30.0)  # flows end before 50-byte share
+        tracker.admit(c, 0.0)
+        rates = {f.flow_id: 10.0 for f in c.flows}
+        assert math.isinf(tracker.next_transition_time(c, rates))
+
+    def test_immediate_transition_returns_zero(self):
+        tracker = QueueTracker(_cfg(), metric="perflow")
+        c = _coflow(width=2, volume=1000.0)
+        tracker.admit(c, 0.0)
+        c.flows[0].bytes_sent = 55.0  # already past share
+        rates = {c.flows[0].flow_id: 10.0}
+        assert tracker.next_transition_time(c, rates) == 0.0
+
+
+class TestDeadlines:
+    def test_deadline_set_on_admit(self):
+        cfg = _cfg(deadline_factor=2.0)
+        tracker = QueueTracker(cfg, metric="perflow")
+        c = _coflow()
+        tracker.admit(c, now=10.0)
+        # Queue 0 span 100 bytes at 100 B/s -> t_q = 1; one resident coflow.
+        assert tracker.deadline_of(c) == pytest.approx(10.0 + 2.0 * 1 * 1.0)
+
+    def test_deadline_scales_with_population(self):
+        cfg = _cfg(deadline_factor=2.0)
+        tracker = QueueTracker(cfg, metric="perflow")
+        first = _coflow(cid=1)
+        second = _coflow(cid=2)
+        tracker.admit(first, 0.0)
+        tracker.admit(second, 0.0)
+        # Second admission sees population 2.
+        assert tracker.deadline_of(second) == pytest.approx(4.0)
+
+    def test_starving_after_deadline(self):
+        tracker = QueueTracker(_cfg(deadline_factor=1.0), metric="perflow")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        assert not tracker.starving(c, now=0.5)
+        assert tracker.starving(c, now=1.1)
+
+    def test_no_deadline_when_disabled(self):
+        tracker = QueueTracker(_cfg(deadline_factor=None), metric="perflow")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        assert math.isinf(tracker.deadline_of(c))
+        assert not tracker.starving(c, now=1e9)
+
+    def test_queue_change_resets_deadline(self):
+        tracker = QueueTracker(_cfg(deadline_factor=2.0), metric="perflow")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        d0 = tracker.deadline_of(c)
+        tracker.force_queue(c, 1, now=5.0)
+        d1 = tracker.deadline_of(c)
+        assert d1 > d0
+        # Queue 1 spans 1000-100=900 bytes -> t_q = 9s; d=2, pop=1.
+        assert d1 == pytest.approx(5.0 + 18.0)
+
+    def test_next_deadline_after(self):
+        tracker = QueueTracker(_cfg(deadline_factor=1.0), metric="perflow")
+        a, b = _coflow(cid=1), _coflow(cid=2)
+        tracker.admit(a, 0.0)  # deadline 1.0
+        tracker.admit(b, 0.0)  # deadline 2.0
+        assert tracker.next_deadline_after(0.5) == pytest.approx(1.0)
+        assert tracker.next_deadline_after(1.5) == pytest.approx(2.0)
+        assert math.isinf(tracker.next_deadline_after(10.0))
+
+    def test_force_queue_same_queue_is_noop(self):
+        tracker = QueueTracker(_cfg(), metric="perflow")
+        c = _coflow()
+        tracker.admit(c, 0.0)
+        d0 = tracker.deadline_of(c)
+        assert not tracker.force_queue(c, 0, now=0.7)
+        assert tracker.deadline_of(c) == d0

@@ -1,0 +1,74 @@
+"""Scheduler and experiment registries."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ReproError, UnknownPolicyError
+from repro.experiments.registry import (
+    available_experiments,
+    get_experiment,
+)
+from repro.schedulers.base import Allocation, Scheduler
+from repro.schedulers.registry import (
+    available_policies,
+    make_scheduler,
+    register_policy,
+)
+
+
+class TestSchedulerRegistry:
+    def test_all_paper_policies_present(self):
+        names = available_policies()
+        for expected in ["saath", "aalo", "varys-sebf", "scf", "srtf",
+                         "lwtf", "uc-tcp", "an-fifo", "an-pf-fifo"]:
+            assert expected in names
+
+    def test_make_scheduler_instantiates(self):
+        cfg = SimulationConfig()
+        for name in available_policies():
+            scheduler = make_scheduler(name, cfg)
+            assert scheduler.name == name
+            assert scheduler.config is cfg
+
+    def test_unknown_policy_raises_with_suggestions(self):
+        with pytest.raises(UnknownPolicyError) as exc:
+            make_scheduler("sjf", SimulationConfig())
+        assert "saath" in str(exc.value)
+
+    def test_register_custom_policy(self):
+        class Custom(Scheduler):
+            name = "custom-test-policy"
+
+            def schedule(self, state, now):
+                return Allocation()
+
+        register_policy("custom-test-policy", Custom)
+        try:
+            s = make_scheduler("custom-test-policy", SimulationConfig())
+            assert isinstance(s, Custom)
+            with pytest.raises(ValueError):
+                register_policy("custom-test-policy", Custom)
+            register_policy("custom-test-policy", Custom, overwrite=True)
+        finally:
+            # Clean up so test order doesn't matter.
+            from repro.schedulers import registry as reg
+
+            reg._REGISTRY.pop("custom-test-policy", None)
+
+
+class TestExperimentRegistry:
+    def test_every_figure_registered(self):
+        exp_ids = available_experiments()
+        for expected in ["fig2", "fig3", "fig9", "fig10", "fig11", "fig13",
+                         "fig14", "fig15", "fig16", "table2"]:
+            assert expected in exp_ids
+
+    def test_get_experiment(self):
+        exp = get_experiment("fig9")
+        assert callable(exp.run)
+        assert callable(exp.render)
+        assert "speedup" in exp.description.lower() or exp.description
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")

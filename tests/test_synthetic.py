@@ -1,0 +1,173 @@
+"""Synthetic workload generators: marginals and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import MB
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    WorkloadGenerator,
+    fb_like_spec,
+    generate_fb_like,
+    generate_osp_like,
+    osp_like_spec,
+    scale_arrivals,
+)
+from repro.analysis.bins import bin_fractions
+from repro.workloads.traces import dump_trace, parse_trace
+
+
+class TestSpecValidation:
+    def test_bin_probs_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", num_machines=10, num_coflows=10,
+                          bin_probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_load_bounds(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", num_machines=10, num_coflows=10, load=0.0)
+
+    def test_placement_skew_bounds(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", num_machines=10, num_coflows=10,
+                          placement_skew=1.5)
+
+    def test_minimum_dimensions(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", num_machines=1, num_coflows=10)
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", num_machines=10, num_coflows=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        spec = fb_like_spec(num_machines=20, num_coflows=30)
+        a = WorkloadGenerator(spec, seed=5).generate_trace()
+        b = WorkloadGenerator(spec, seed=5).generate_trace()
+        assert a == b
+
+    def test_different_seed_different_workload(self):
+        spec = fb_like_spec(num_machines=20, num_coflows=30)
+        a = WorkloadGenerator(spec, seed=5).generate_trace()
+        b = WorkloadGenerator(spec, seed=6).generate_trace()
+        assert a != b
+
+
+class TestStructuralInvariants:
+    @pytest.fixture(scope="class")
+    def coflows(self):
+        _, cfs = generate_fb_like(seed=2, num_machines=40, num_coflows=200)
+        return cfs
+
+    def test_count(self, coflows):
+        assert len(coflows) == 200
+
+    def test_arrivals_sorted_and_nonnegative(self, coflows):
+        arrivals = [c.arrival_time for c in coflows]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0
+
+    def test_every_coflow_has_flows(self, coflows):
+        assert all(c.width >= 1 for c in coflows)
+
+    def test_flow_ids_unique(self, coflows):
+        ids = [f.flow_id for c in coflows for f in c.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_ports_within_fabric(self, coflows):
+        for c in coflows:
+            for f in c.flows:
+                assert 0 <= f.src < 40
+                assert 40 <= f.dst < 80
+
+    def test_volumes_positive(self, coflows):
+        for c in coflows:
+            assert c.total_volume > 0
+
+
+class TestMarginals:
+    """Distribution targets from Fig. 2 and Table 1 (tolerances are loose:
+    n=400 samples)."""
+
+    @pytest.fixture(scope="class")
+    def coflows(self):
+        _, cfs = generate_fb_like(seed=11, num_machines=60, num_coflows=400)
+        return cfs
+
+    def test_single_flow_fraction_near_23pct(self, coflows):
+        frac = sum(1 for c in coflows if c.width == 1) / len(coflows)
+        assert 0.13 <= frac <= 0.33
+
+    def test_bin_fractions_near_table1(self, coflows):
+        fracs = bin_fractions(coflows)
+        assert 0.40 <= fracs["bin-1"] <= 0.68  # paper 0.54
+        assert 0.05 <= fracs["bin-2"] <= 0.25  # paper 0.14
+        assert 0.04 <= fracs["bin-3"] <= 0.22  # paper 0.12
+        assert 0.10 <= fracs["bin-4"] <= 0.32  # paper 0.20
+
+    def test_narrow_bins_respect_width_boundary(self, coflows):
+        for c in coflows:
+            if c.total_volume <= 100 * MB and c.width <= 10:
+                continue  # bin-1 fine
+        widths = [c.width for c in coflows]
+        assert max(widths) > 10  # wide coflows exist
+        assert min(widths) == 1
+
+    def test_skewed_coflows_exist(self, coflows):
+        from repro.analysis.outofsync import flow_lengths_equal
+
+        multi = [c for c in coflows if c.width > 1]
+        skewed = [c for c in multi if not flow_lengths_equal(c)]
+        assert 0.10 <= len(skewed) / len(coflows) <= 0.45  # paper 0.27
+
+
+class TestOspFamily:
+    def test_osp_spec_has_placement_skew(self):
+        assert osp_like_spec().placement_skew > 0
+        assert fb_like_spec().placement_skew == 0
+
+    def test_osp_generates(self):
+        fabric, cfs = generate_osp_like(seed=1, num_machines=30,
+                                        num_coflows=100)
+        assert len(cfs) == 100
+        assert fabric.num_machines == 30
+
+    def test_osp_port_occupancy_more_concentrated(self):
+        """OSP's hot subset should put more flows on the busiest port."""
+        _, fb = generate_fb_like(seed=4, num_machines=30, num_coflows=150)
+        _, osp = generate_osp_like(seed=4, num_machines=30, num_coflows=150)
+
+        def top_port_share(cfs):
+            counts = {}
+            total = 0
+            for c in cfs:
+                for f in c.flows:
+                    counts[f.src] = counts.get(f.src, 0) + 1
+                    total += 1
+            return max(counts.values()) / total
+
+        assert top_port_share(osp) > top_port_share(fb)
+
+
+class TestTraceEmission:
+    def test_generated_trace_round_trips_text_format(self):
+        spec = fb_like_spec(num_machines=20, num_coflows=25)
+        trace = WorkloadGenerator(spec, seed=9).generate_trace()
+        assert parse_trace(dump_trace(trace)) == trace
+
+
+class TestScaleArrivals:
+    def test_factor_speeds_up(self):
+        _, cfs = generate_fb_like(seed=1, num_machines=20, num_coflows=10)
+        original = [c.arrival_time for c in cfs]
+        scale_arrivals(cfs, 2.0)
+        assert all(
+            c.arrival_time == pytest.approx(t / 2.0)
+            for c, t in zip(cfs, original)
+        )
+
+    def test_bad_factor_rejected(self):
+        _, cfs = generate_fb_like(seed=1, num_machines=20, num_coflows=5)
+        with pytest.raises(ConfigError):
+            scale_arrivals(cfs, 0.0)

@@ -1,0 +1,75 @@
+"""Testbed mode: rate jitter and the δ-enabled config."""
+
+import pytest
+
+from repro.config import PAPER_SYNC_INTERVAL, SimulationConfig
+from repro.core.saath import SaathScheduler
+from repro.errors import ConfigError
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import Flow, make_coflow
+from repro.simulator.testbed import RateJitter
+from repro.simulator.testbed import testbed_config as make_testbed_config
+
+
+class TestRateJitter:
+    def _flow(self):
+        return Flow(flow_id=0, coflow_id=0, src=0, dst=5, volume=100.0)
+
+    def test_never_exceeds_allocation(self):
+        jitter = RateJitter(seed=1)
+        f = self._flow()
+        for _ in range(500):
+            assert jitter(f, 100.0) <= 100.0 + 1e-9
+
+    def test_never_below_floor(self):
+        jitter = RateJitter(mean_efficiency=0.9, sigma=0.3, floor=0.6, seed=2)
+        f = self._flow()
+        for _ in range(500):
+            assert jitter(f, 100.0) >= 60.0 - 1e-9
+
+    def test_mean_near_target(self):
+        jitter = RateJitter(mean_efficiency=0.9, sigma=0.05, seed=3)
+        f = self._flow()
+        samples = [jitter(f, 100.0) for _ in range(2000)]
+        assert 85.0 <= sum(samples) / len(samples) <= 92.0
+
+    def test_deterministic_under_seed(self):
+        a = RateJitter(seed=9)
+        b = RateJitter(seed=9)
+        f = self._flow()
+        assert [a(f, 10.0) for _ in range(10)] == [b(f, 10.0) for _ in range(10)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RateJitter(mean_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            RateJitter(mean_efficiency=0.9, floor=0.95)
+
+
+class TestTestbedConfig:
+    def test_enables_paper_delta(self):
+        cfg = make_testbed_config()
+        assert cfg.sync_interval == PAPER_SYNC_INTERVAL
+
+    def test_preserves_base_settings(self):
+        base = SimulationConfig(deadline_factor=None)
+        cfg = make_testbed_config(base)
+        assert cfg.deadline_factor is None
+        assert cfg.sync_interval == PAPER_SYNC_INTERVAL
+
+
+class TestTestbedEndToEnd:
+    def test_jitter_slows_but_completes(self):
+        fab = Fabric(num_machines=4, port_rate=100.0)
+        cfg = SimulationConfig(port_rate=100.0, min_rate=1e-3)
+        c = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)])
+        ideal = run_policy(SaathScheduler(cfg), [c], fab, cfg)
+
+        c2 = make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)])
+        noisy = run_policy(
+            SaathScheduler(cfg), [c2], fab, cfg,
+            rate_perturbation=RateJitter(seed=4),
+        )
+        assert noisy.cct(0) >= ideal.cct(0)
+        assert len(noisy.coflows) == 1

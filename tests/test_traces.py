@@ -1,0 +1,140 @@
+"""coflow-benchmark trace format I/O."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.simulator.fabric import Fabric
+from repro.units import MB
+from repro.workloads.traces import (
+    Trace,
+    TraceCoflow,
+    coflows_to_trace,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+    trace_to_coflows,
+)
+
+SAMPLE = """\
+4 2
+1 0 2 0 1 2 2:10 3:20
+2 100 1 3 1 0:5
+"""
+
+
+class TestParsing:
+    def test_parse_header(self):
+        trace = parse_trace(SAMPLE)
+        assert trace.num_ports == 4
+        assert len(trace) == 2
+
+    def test_parse_mappers_and_reducers(self):
+        trace = parse_trace(SAMPLE)
+        c = trace.coflows[0]
+        assert c.coflow_id == 1
+        assert c.arrival_ms == 0
+        assert c.mappers == (0, 1)
+        assert c.reducers == ((2, 10 * MB), (3, 20 * MB))
+
+    def test_width_is_mappers_times_reducers(self):
+        trace = parse_trace(SAMPLE)
+        assert trace.coflows[0].width == 4
+        assert trace.coflows[1].width == 1
+
+    def test_total_bytes(self):
+        trace = parse_trace(SAMPLE)
+        assert trace.coflows[0].total_bytes == pytest.approx(30 * MB)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("4\n")
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("4 3\n1 0 1 0 1 1:5\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("4 1\n1 0 2 0 1 1 2:x\n")
+
+    def test_mapper_out_of_range_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("2 1\n1 0 1 5 1 0:5\n")
+
+    def test_reducer_out_of_range_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("2 1\n1 0 1 0 1 9:5\n")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("4 1\n1 0 1 0 1 2:5 junk\n")
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("4 1\n1 -5 1 0 1 2:5\n")
+
+
+class TestRoundTrip:
+    def test_dump_then_parse_identical(self):
+        trace = parse_trace(SAMPLE)
+        assert parse_trace(dump_trace(trace)) == trace
+
+    def test_save_and_load(self, tmp_path):
+        trace = parse_trace(SAMPLE)
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+
+class TestFlowExpansion:
+    def test_reducer_bytes_split_over_mappers(self):
+        trace = parse_trace(SAMPLE)
+        fabric = Fabric(num_machines=4, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        c = coflows[0]
+        assert c.width == 4
+        to_r2 = [f for f in c.flows if f.dst == fabric.receiver_port(2)]
+        assert len(to_r2) == 2
+        assert sum(f.volume for f in to_r2) == pytest.approx(10 * MB)
+        assert to_r2[0].volume == pytest.approx(5 * MB)
+
+    def test_arrival_converted_to_seconds(self):
+        trace = parse_trace(SAMPLE)
+        fabric = Fabric(num_machines=4, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        assert coflows[1].arrival_time == pytest.approx(0.1)
+
+    def test_fabric_too_small_rejected(self):
+        trace = parse_trace(SAMPLE)
+        with pytest.raises(TraceFormatError):
+            trace_to_coflows(trace, Fabric(num_machines=2, port_rate=1e8))
+
+    def test_flow_ids_globally_unique(self):
+        trace = parse_trace(SAMPLE)
+        fabric = Fabric(num_machines=4, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        ids = [f.flow_id for c in coflows for f in c.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_zero_size_coflow_still_materialises(self):
+        trace = parse_trace("4 1\n1 0 1 0 1 2:0\n")
+        fabric = Fabric(num_machines=4, port_rate=1e8)
+        (c,) = trace_to_coflows(trace, fabric)
+        assert c.width == 1
+        assert c.total_volume == 0.0
+
+
+class TestInverse:
+    def test_coflows_to_trace_round_trip_structure(self):
+        trace = parse_trace(SAMPLE)
+        fabric = Fabric(num_machines=4, port_rate=1e8)
+        coflows = trace_to_coflows(trace, fabric)
+        back = coflows_to_trace(coflows, fabric)
+        assert back.num_ports == 4
+        assert back.coflows[0].mappers == (0, 1)
+        assert dict(back.coflows[0].reducers)[2] == pytest.approx(10 * MB)

@@ -1,0 +1,61 @@
+"""Unit conversions and helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_mb_is_1024_squared(self):
+        assert units.MB == 1024.0 * 1024.0
+
+    def test_gb_is_1024_mb(self):
+        assert units.GB == 1024.0 * units.MB
+
+    def test_tb_is_1024_gb(self):
+        assert units.TB == 1024.0 * units.GB
+
+    def test_gbps_in_bytes_per_second(self):
+        assert units.GBPS == pytest.approx(1.25e8)
+
+
+class TestConversions:
+    def test_mb_round_trip(self):
+        assert units.bytes_to_mb(units.mb(37.5)) == pytest.approx(37.5)
+
+    def test_msec(self):
+        assert units.msec(8.0) == pytest.approx(0.008)
+
+    def test_seconds_to_msec(self):
+        assert units.seconds_to_msec(0.5) == pytest.approx(500.0)
+
+    def test_gbps_scaling(self):
+        assert units.gbps(10.0) == pytest.approx(10 * units.GBPS)
+
+    def test_gb_helper(self):
+        assert units.gb(2.0) == 2.0 * units.GB
+
+
+class TestTransferTime:
+    def test_one_mb_at_one_gbps_is_about_8ms(self):
+        t = units.transfer_time(units.mb(1), units.gbps(1))
+        assert t == pytest.approx(0.00839, rel=1e-2)
+
+    def test_zero_size_is_instant(self):
+        assert units.transfer_time(0.0, units.gbps(1)) == 0.0
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(units.mb(1), 0.0)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(units.mb(1), -1.0)
+
+    def test_time_scales_linearly(self):
+        t1 = units.transfer_time(units.mb(10), units.gbps(1))
+        t2 = units.transfer_time(units.mb(20), units.gbps(1))
+        assert t2 == pytest.approx(2 * t1)
+        assert math.isfinite(t2)
