@@ -1,6 +1,22 @@
-"""Legacy setup shim: this offline environment lacks the `wheel` package, so
-PEP 660 editable installs fail; `setup.py develop` works with plain
-setuptools. Configuration lives in pyproject.toml."""
-from setuptools import setup
+"""Packaging for the Saath (CoNEXT 2017) reproduction.
 
-setup()
+Kept as a classic ``setup.py`` on purpose: this project is developed in
+offline environments where the ``wheel`` package (and hence PEP 660
+editable installs) may be unavailable, while ``setup.py develop`` works
+with plain setuptools. ``PYTHONPATH=src`` is an equally supported way to
+run everything — see README.md.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="saath-repro",
+    version="0.1.0",
+    description="Reproduction of Saath (CoNEXT 2017) coflow scheduling",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["saath-repro = repro.cli:main"],
+    },
+)

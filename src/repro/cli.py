@@ -5,9 +5,13 @@ Sub-commands:
 * ``policies`` — list the registered scheduling policies.
 * ``experiments`` — list the reproducible paper tables/figures.
 * ``run-experiment <id>`` — run one experiment and print its rendering
-  (``--scale tiny|small|paper``).
+  (``--scale tiny|small|paper``; ``--jobs``/``--cache-dir`` configure the
+  sweep runner's process fan-out and result cache).
 * ``simulate`` — run one policy on a trace file or a synthetic workload and
-  print CCT statistics (``--policy``, ``--trace``/``--synthetic``).
+  print CCT statistics (``--policy``, ``--trace``/``--synthetic``;
+  ``--no-incremental`` selects the full-recompute scheduling path).
+* ``sweep`` — run a policy × seed grid through the parallel sweep runner
+  and print per-run mean/median CCTs plus cache statistics.
 * ``gen-trace`` — emit a synthetic workload in coflow-benchmark format.
 """
 
@@ -20,12 +24,14 @@ from pathlib import Path
 from .analysis.metrics import DistributionSummary
 from .config import SimulationConfig
 from .errors import ReproError
+from .experiments import runner as sweep_runner
 from .experiments.common import ExperimentScale
 from .experiments.registry import (
     available_experiments,
     get_experiment,
     run_and_render,
 )
+from .experiments.runner import RunSpec, WorkloadSpec
 from .schedulers.registry import available_policies, make_scheduler
 from .simulator.engine import run_policy
 from .units import MSEC
@@ -53,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=[s.value for s in ExperimentScale],
         default=ExperimentScale.SMALL.value,
     )
+    run_exp.add_argument("--jobs", type=int, default=None,
+                         help="parallel worker processes for the sweep "
+                              "runner (default: REPRO_RUNNER_JOBS or 1)")
+    run_exp.add_argument("--cache-dir", type=Path, default=None,
+                         help="directory for per-run result caching")
 
     simulate = sub.add_parser("simulate", help="run one policy on a workload")
     simulate.add_argument("--policy", default="saath",
@@ -66,6 +77,27 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--coflows", type=int, default=150)
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument("--sync-interval-ms", type=float, default=0.0)
+    simulate.add_argument("--no-incremental", action="store_true",
+                          help="use the full-recompute scheduling path "
+                               "(slower; results are identical)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a policy x seed grid through the sweep runner"
+    )
+    sweep.add_argument("--policy", nargs="+", default=["saath"],
+                       choices=available_policies())
+    sweep.add_argument("--family", choices=["fb-like", "osp-like"],
+                       default="fb-like")
+    sweep.add_argument("--machines", type=int, default=50)
+    sweep.add_argument("--coflows", type=int, default=150)
+    sweep.add_argument("--seed", type=int, default=7,
+                       help="first workload seed")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="number of seeds to fan out (seed, seed+1, ...)")
+    sweep.add_argument("--sync-interval-ms", type=float, default=0.0)
+    sweep.add_argument("--jobs", type=int, default=None)
+    sweep.add_argument("--cache-dir", type=Path, default=None)
+    sweep.add_argument("--no-incremental", action="store_true")
 
     gen = sub.add_parser("gen-trace", help="emit a synthetic trace")
     gen.add_argument("--family", choices=["fb-like", "osp-like"],
@@ -77,8 +109,45 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    config = SimulationConfig(
+        sync_interval=args.sync_interval_ms * MSEC,
+        incremental=not args.no_incremental,
+    )
+    runner = sweep_runner.configure(jobs=args.jobs, cache_dir=args.cache_dir)
+    base = WorkloadSpec(family=args.family, machines=args.machines,
+                        coflows=args.coflows, seed=args.seed)
+    specs = [
+        spec
+        for policy in args.policy
+        for spec in sweep_runner.fan_out_seeds(
+            RunSpec(policy=policy, workload=base, config=config),
+            range(args.seed, args.seed + args.seeds),
+        )
+    ]
+    outcomes = runner.run(specs)
+    lines = [f"{'policy':>14s} {'seed':>6s} {'mean CCT':>10s} "
+             f"{'P50 CCT':>10s} {'makespan':>10s} {'cached':>6s}"]
+    for out in outcomes:
+        summary = DistributionSummary.of(list(out.ccts.values()))
+        lines.append(
+            f"{out.spec.policy:>14s} {out.spec.workload.seed:>6d} "
+            f"{summary.mean:>10.4f} {summary.p50:>10.4f} "
+            f"{out.makespan:>10.4f} {'yes' if out.from_cache else 'no':>6s}"
+        )
+    if runner.cache is not None:
+        lines.append(
+            f"cache: {runner.cache.hits} hits, {runner.cache.misses} misses "
+            f"({runner.cache.directory})"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
-    config = SimulationConfig(sync_interval=args.sync_interval_ms * MSEC)
+    config = SimulationConfig(
+        sync_interval=args.sync_interval_ms * MSEC,
+        incremental=not args.no_incremental,
+    )
     if args.trace is not None:
         trace = load_trace(args.trace)
         from .simulator.fabric import Fabric
@@ -128,9 +197,14 @@ def main(argv: list[str] | None = None) -> int:
             for exp_id in available_experiments():
                 print(f"{exp_id}: {get_experiment(exp_id).description}")
         elif args.command == "run-experiment":
+            if args.jobs is not None or args.cache_dir is not None:
+                sweep_runner.configure(jobs=args.jobs,
+                                       cache_dir=args.cache_dir)
             print(run_and_render(args.exp_id, ExperimentScale(args.scale)))
         elif args.command == "simulate":
             print(_cmd_simulate(args))
+        elif args.command == "sweep":
+            print(_cmd_sweep(args))
         elif args.command == "gen-trace":
             print(_cmd_gen_trace(args))
     except ReproError as exc:

@@ -136,6 +136,15 @@ class SimulationConfig:
       count as "available" in all-or-none admission.
     * ``epsilon_bytes`` — tolerance below which a flow's remaining volume is
       treated as zero (fluid-simulation rounding guard).
+    * ``incremental`` — maintain scheduler bookkeeping (queue placement,
+      contention counts, residual-capacity ledgers) incrementally from the
+      per-event :class:`~repro.simulator.state.SchedulingDelta` instead of
+      rebuilding it from scratch every round. The two paths are exactly
+      equivalent (asserted by the equivalence test-suite); ``False``
+      restores the original full-recompute path (CLI ``--no-incremental``).
+    * ``validate_incremental`` — debug mode: run the incremental *and* the
+      full-recompute bookkeeping every round and assert they agree. Slower
+      than either path alone; used by the equivalence tests.
     """
 
     port_rate: float = GBPS
@@ -147,6 +156,8 @@ class SimulationConfig:
     min_rate: float = 1.0
     epsilon_bytes: float = 1e-6
     max_sim_time: float = 1e7
+    incremental: bool = True
+    validate_incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.port_rate <= 0:

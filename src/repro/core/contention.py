@@ -73,6 +73,175 @@ def contention_counts(
     return counts
 
 
+class ContentionTracker:
+    """Incrementally-maintained contention counts ``k_c``.
+
+    Equivalent to calling :func:`contention_counts` every round, but driven
+    by the engine's :class:`~repro.simulator.state.SchedulingDelta`: the
+    port → occupants index is patched for arrived / completed / shrunk
+    coflows, and only coflows whose count can actually have changed (the
+    coflow itself plus the occupants of every port whose membership
+    changed) are recounted. In steady state one flow completion dirties a
+    handful of coflows instead of the whole active set.
+
+    With ``scope="queue"`` the owner must report queue moves through
+    :meth:`note_queue_change` (a queue move changes which sharers count)
+    and pass the current ``queue_of`` mapping to :meth:`counts`.
+    """
+
+    def __init__(self, scope: str = "all"):
+        if scope not in ("all", "queue"):
+            raise ValueError(f"unknown contention scope {scope!r}")
+        self.scope = scope
+        #: port -> ids of coflows with an unfinished flow on the port.
+        self._occupants: dict[int, set[int]] = {}
+        #: coflow_id -> ports currently occupied.
+        self._ports: dict[int, set[int]] = {}
+        self._coflows: dict[int, CoFlow] = {}
+        self._counts: dict[int, int] = {}
+        #: Coflow ids whose cached count may be stale.
+        self._dirty: set[int] = set()
+
+    # ---- maintenance ------------------------------------------------------
+
+    def rebuild(self, coflows: Iterable[CoFlow]) -> None:
+        """Re-index from scratch (first round, or after a dynamics event)."""
+        self._occupants.clear()
+        self._ports.clear()
+        self._coflows.clear()
+        self._counts.clear()
+        self._dirty.clear()
+        for c in coflows:
+            self.add(c)
+
+    def add(self, coflow: CoFlow) -> None:
+        """Index a newly-active coflow."""
+        ports = ports_in_use(coflow)
+        cid = coflow.coflow_id
+        self._coflows[cid] = coflow
+        self._ports[cid] = ports
+        occupants = self._occupants
+        dirty = self._dirty
+        for p in ports:
+            members = occupants.get(p)
+            if members is None:
+                occupants[p] = {cid}
+            else:
+                dirty |= members
+                members.add(cid)
+        dirty.add(cid)
+
+    def remove(self, coflow_id: int) -> None:
+        """Drop a completed coflow; no-op if it was never indexed."""
+        ports = self._ports.pop(coflow_id, None)
+        if ports is None:
+            return
+        self._coflows.pop(coflow_id, None)
+        self._counts.pop(coflow_id, None)
+        self._dirty.discard(coflow_id)
+        occupants = self._occupants
+        for p in ports:
+            members = occupants.get(p)
+            if members is None:
+                continue
+            members.discard(coflow_id)
+            if members:
+                self._dirty |= members
+            else:
+                del occupants[p]
+
+    def refresh_ports(self, coflow: CoFlow) -> None:
+        """Re-derive a coflow's port footprint after some flows finished."""
+        cid = coflow.coflow_id
+        old = self._ports.get(cid)
+        if old is None:
+            self.add(coflow)
+            return
+        new = ports_in_use(coflow)
+        if new == old:
+            return
+        occupants = self._occupants
+        dirty = self._dirty
+        for p in old - new:
+            members = occupants.get(p)
+            if members is None:
+                continue
+            members.discard(cid)
+            if members:
+                dirty |= members
+            else:
+                del occupants[p]
+        for p in new - old:
+            members = occupants.get(p)
+            if members is None:
+                occupants[p] = {cid}
+            else:
+                dirty |= members
+                members.add(cid)
+        self._ports[cid] = new
+        dirty.add(cid)
+
+    def note_queue_change(self, coflow_id: int) -> None:
+        """A coflow moved queue: its sharers' queue-scoped counts change."""
+        if self.scope != "queue":
+            return
+        ports = self._ports.get(coflow_id)
+        if ports is None:
+            return
+        occupants = self._occupants
+        for p in ports:
+            members = occupants.get(p)
+            if members:
+                self._dirty |= members
+        self._dirty.add(coflow_id)
+
+    # ---- queries ----------------------------------------------------------
+
+    def counts(self, queue_of: Mapping[int, int] | None = None
+               ) -> dict[int, int]:
+        """Current ``coflow_id -> k_c`` map, recounting only dirty coflows."""
+        if self.scope == "queue" and queue_of is None:
+            raise ValueError("scope='queue' requires queue_of mapping")
+        if self._dirty:
+            occupants = self._occupants
+            counts = self._counts
+            for cid in self._dirty:
+                ports = self._ports.get(cid)
+                if ports is None:
+                    continue
+                blocked: set[int] = set()
+                for p in ports:
+                    members = occupants.get(p)
+                    if members:
+                        blocked |= members
+                blocked.discard(cid)
+                if self.scope == "queue":
+                    assert queue_of is not None
+                    mine = queue_of.get(cid)
+                    blocked = {b for b in blocked if queue_of.get(b) == mine}
+                counts[cid] = len(blocked)
+            self._dirty.clear()
+        return self._counts
+
+    def assert_matches_full(
+        self, coflows: Iterable[CoFlow],
+        queue_of: Mapping[int, int] | None = None,
+    ) -> None:
+        """Equivalence assertion: incremental counts == full recompute.
+
+        Used by the ``validate_incremental`` debug mode and the equivalence
+        tests; raises ``AssertionError`` with the differing entries.
+        """
+        full = contention_counts(
+            coflows, scope=self.scope, queue_of=queue_of
+        )
+        mine = self.counts(queue_of)
+        assert mine == full, (
+            "incremental contention diverged from full recompute: "
+            f"{ {k: (mine.get(k), full.get(k)) for k in set(mine) | set(full) if mine.get(k) != full.get(k)} }"
+        )
+
+
 def waiting_time_increase(
     coflow: CoFlow, contention: Mapping[int, int], port_rate: float
 ) -> float:

@@ -32,7 +32,7 @@ from ..schedulers.queues import QueueTracker
 from ..simulator.flows import CoFlow, Flow
 from ..simulator.ratealloc import equal_rate_for_coflow, greedy_residual_rates
 from ..simulator.state import ClusterState
-from .contention import contention_counts
+from .contention import ContentionTracker, contention_counts
 from .dynamics import promotion_queue
 
 
@@ -67,6 +67,12 @@ class SaathScheduler(Scheduler):
         self.length_estimator = length_estimator
         metric = "perflow" if use_perflow_threshold else "total"
         self.tracker = QueueTracker(config, metric=metric)
+        #: Incrementally-maintained contention index (LCoF only). Rebuilt
+        #: whenever the engine flags a full resync; config.incremental=False
+        #: ignores it and recomputes contention from scratch every round.
+        self._contention = (
+            ContentionTracker(config.contention_scope) if use_lcof else None
+        )
         #: Coflows governed by the §4.3 SRTF approximation (some flows done).
         self._dynamics_mode: set[int] = set()
         #: Diagnostics: how often the starvation path admitted a coflow.
@@ -85,17 +91,25 @@ class SaathScheduler(Scheduler):
         if not self.config.enable_dynamics_promotion:
             return
         self._dynamics_mode.add(coflow.coflow_id)
-        self._apply_promotion(coflow, now)
+        if self._apply_promotion(coflow, now) and self._contention is not None:
+            # Queue-scoped contention counts depend on queue membership;
+            # dirty the sharers now so the next incremental round recounts.
+            self._contention.note_queue_change(coflow.coflow_id)
 
     # ---- the scheduling round (Fig. 7) ------------------------------------------
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
-        self._assign_queues(state, now)
-        order = self._scheduling_order(state, now)
+        # Incremental rounds consume the engine's dirty set; full rounds
+        # (first round, dynamics, or incremental=False) rebuild everything.
+        incremental = self.config.incremental and not state.delta.full
+        queue_moves = self._assign_queues(state, now, incremental)
+        order = self._scheduling_order(state, now, incremental, queue_moves)
 
-        ledger = state.make_ledger()
+        ledger = self._round_ledger(state)
         allocation = Allocation()
-        missed: list[CoFlow] = []
+        #: Missed coflows with their (already gathered) schedulable flows,
+        #: so work conservation does not re-derive the same lists.
+        missed: list[list[Flow]] = []
 
         for coflow in order:
             flows = state.schedulable_flows(coflow, now)
@@ -107,17 +121,28 @@ class SaathScheduler(Scheduler):
                     allocation.rates.update(rates)
                     allocation.scheduled_coflows.add(coflow.coflow_id)
                     continue
-            missed.append(coflow)
+            missed.append(flows)
 
         if self.work_conservation and missed:
-            self._work_conserve(missed, state, ledger, allocation, now)
+            self._work_conserve(missed, ledger, allocation)
         return allocation
 
     def next_wakeup(self, state: ClusterState, allocation: Allocation,
                     now: float) -> float | None:
         """Queue-threshold crossings and starvation-deadline expiries."""
+        if self.config.incremental:
+            # Only coflows that received rate this round can cross a
+            # threshold before the next event; everyone else sits still
+            # (zero rate on every flow ⇒ infinite transition time).
+            candidates = [
+                state.coflow(cid)
+                for cid in (allocation.scheduled_coflows
+                            | allocation.work_conserved_coflows)
+            ]
+        else:
+            candidates = state.active_coflows
         best = math.inf
-        for coflow in state.active_coflows:
+        for coflow in candidates:
             dt = self.tracker.next_transition_time(coflow, allocation.rates)
             if dt < math.inf:
                 best = min(best, now + max(dt, 0.0))
@@ -133,22 +158,45 @@ class SaathScheduler(Scheduler):
 
     # ---- pieces ------------------------------------------------------------------
 
-    def _assign_queues(self, state: ClusterState, now: float) -> None:
-        """AssignQueue (Fig. 7 line 15): demotions plus §4.3 promotions."""
-        for coflow in state.active_coflows:
-            if coflow.coflow_id in self._dynamics_mode:
-                self._apply_promotion(coflow, now)
-            else:
-                self.tracker.refresh(coflow, now)
+    def _assign_queues(self, state: ClusterState, now: float,
+                       incremental: bool) -> set[int]:
+        """AssignQueue (Fig. 7 line 15): demotions plus §4.3 promotions.
 
-    def _apply_promotion(self, coflow: CoFlow, now: float) -> None:
+        Returns the ids of coflows whose queue changed this round. In
+        incremental mode only coflows whose progress metric can have moved
+        (arrived, progressed, or lost a flow since the last round) are
+        revisited — for everyone else the demotion-only rule guarantees the
+        target queue is unchanged, so skipping them is exact.
+        """
+        moved: set[int] = set()
+        if incremental:
+            delta = state.delta
+            dirty = delta.arrived | delta.progressed | delta.flow_completed
+            # Walk in active order, not set order: deadline assignment
+            # depends on queue populations at placement time, so the visit
+            # order must match the full-recompute path exactly.
+            coflows = [c for c in state.active_coflows
+                       if c.coflow_id in dirty]
+        else:
+            coflows = state.active_coflows
+        for coflow in coflows:
+            if coflow.coflow_id in self._dynamics_mode:
+                if self._apply_promotion(coflow, now):
+                    moved.add(coflow.coflow_id)
+            elif self.tracker.refresh(coflow, now):
+                moved.add(coflow.coflow_id)
+        return moved
+
+    def _apply_promotion(self, coflow: CoFlow, now: float) -> bool:
         target = promotion_queue(coflow, self.config.queues,
                                  estimator=self.length_estimator)
         if target is not None:
-            self.tracker.force_queue(coflow, target, now)
+            return self.tracker.force_queue(coflow, target, now)
+        return False
 
-    def _scheduling_order(self, state: ClusterState,
-                          now: float) -> list[CoFlow]:
+    def _scheduling_order(self, state: ClusterState, now: float,
+                          incremental: bool,
+                          queue_moves: set[int]) -> list[CoFlow]:
         """Starved coflows first, then queues top-down, LCoF within each."""
         starving: list[CoFlow] = []
         per_queue: dict[int, list[CoFlow]] = {}
@@ -167,15 +215,8 @@ class SaathScheduler(Scheduler):
         order = starving
         contention = None
         if self.use_lcof:
-            queue_of = {
-                c.coflow_id: self.tracker.queue_of(c)
-                for c in state.active_coflows
-            }
-            contention = contention_counts(
-                state.active_coflows,
-                scope=self.config.contention_scope,
-                queue_of=queue_of,
-            )
+            contention = self._contention_counts(state, incremental,
+                                                 queue_moves)
         for queue in sorted(per_queue):
             members = per_queue[queue]
             if self.use_lcof:
@@ -189,6 +230,46 @@ class SaathScheduler(Scheduler):
             order.extend(members)
         return order
 
+    def _contention_counts(self, state: ClusterState, incremental: bool,
+                           queue_moves: set[int]) -> dict[int, int]:
+        """Current LCoF contention map ``k_c`` for every active coflow.
+
+        ``config.incremental=False`` keeps the original full recompute;
+        otherwise the :class:`ContentionTracker` is patched from the
+        engine's delta (rebuilt from scratch on full-resync rounds). The
+        ``validate_incremental`` debug mode runs both and asserts equality.
+        """
+        queue_of: dict[int, int] | None = None
+        if self.config.contention_scope == "queue":
+            queue_of = {
+                c.coflow_id: self.tracker.queue_of(c)
+                for c in state.active_coflows
+            }
+        if not self.config.incremental:
+            return contention_counts(
+                state.active_coflows,
+                scope=self.config.contention_scope,
+                queue_of=queue_of,
+            )
+
+        tracker = self._contention
+        assert tracker is not None  # use_lcof guards construction
+        if not incremental:
+            tracker.rebuild(state.active_coflows)
+        else:
+            delta = state.delta
+            for cid in delta.completed:
+                tracker.remove(cid)
+            for cid in delta.arrived:
+                tracker.add(state.coflow(cid))
+            for cid in delta.flow_completed - delta.arrived:
+                tracker.refresh_ports(state.coflow(cid))
+            for cid in queue_moves:
+                tracker.note_queue_change(cid)
+        if self.config.validate_incremental:
+            tracker.assert_matches_full(state.active_coflows, queue_of)
+        return tracker.counts(queue_of)
+
     def _all_or_none_admissible(self, flows: list[Flow],
                                 ledger) -> bool:
         """True if every port the flows touch has ≥ min_rate residual."""
@@ -197,14 +278,15 @@ class SaathScheduler(Scheduler):
         for f in flows:
             ports.add(f.src)
             ports.add(f.dst)
-        return all(ledger.has_capacity(p, min_rate) for p in ports)
+        residual = ledger.residual
+        return all(residual(p) >= min_rate for p in ports)
 
-    def _work_conserve(self, missed: list[CoFlow], state: ClusterState,
-                       ledger, allocation: Allocation, now: float) -> None:
+    def _work_conserve(self, missed: list[list[Flow]],
+                       ledger, allocation: Allocation) -> None:
         """Fig. 7 lines 18–23: fill leftover capacity in scheduling order."""
         wc_flows: list[Flow] = []
-        for coflow in missed:
-            wc_flows.extend(state.schedulable_flows(coflow, now))
+        for flows in missed:
+            wc_flows.extend(flows)
         rates = greedy_residual_rates(wc_flows, ledger)
         if rates:
             allocation.rates.update(rates)

@@ -1,4 +1,8 @@
-"""Shared experiment machinery.
+"""Shared experiment machinery behind every figure/table reproduction.
+
+Implements the paper's §6 evaluation setup that Figs. 2–16 and Table 2 all
+build on: the two workloads (FB-like and OSP-like, §6.1) and the default
+simulation configuration (δ = 8 ms coordinator sync, §5/§6 Setup).
 
 Every experiment module exposes a ``run(scale=...) -> <Result dataclass>``
 plus a ``render(result) -> str`` that prints the paper's rows/series. The
@@ -6,6 +10,12 @@ plus a ``render(result) -> str`` that prints the paper's rows/series. The
 default to ``SMALL`` so the whole harness finishes in minutes on a laptop;
 ``PAPER`` reproduces the full trace dimensions (150 machines / 526 coflows
 FB-like, 100 machines / 1000 coflows OSP-like).
+
+Simulation runs are dispatched through the sweep runner
+(:mod:`repro.experiments.runner`) whenever the workload carries a
+rebuildable :class:`~repro.experiments.runner.WorkloadSpec` provenance —
+enabling process fan-out and per-run caching with byte-identical results.
+Workloads built by hand (no provenance) fall back to inline execution.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from ..workloads.synthetic import (
     fb_like_spec,
     osp_like_spec,
 )
+from .runner import RunSpec, WorkloadSpec, run_specs
 
 
 class ExperimentScale(enum.Enum):
@@ -59,12 +70,18 @@ def osp_spec_for(scale: ExperimentScale) -> SyntheticSpec:
 
 @dataclass
 class Workload:
-    """A reusable workload: fabric + pristine coflows + provenance."""
+    """A reusable workload: fabric + pristine coflows + provenance.
+
+    ``spec`` is the sweep-runner provenance: when set, worker processes can
+    regenerate the exact same coflows from it, so runs over this workload
+    are eligible for process fan-out and caching.
+    """
 
     name: str
     fabric: Fabric
     coflows: list[CoFlow]
     seed: int
+    spec: WorkloadSpec | None = None
 
     def fresh_coflows(self) -> list[CoFlow]:
         """A fresh, unmutated copy for one simulation run."""
@@ -74,9 +91,21 @@ class Workload:
 def build_workload(spec: SyntheticSpec, seed: int = 7) -> Workload:
     gen = WorkloadGenerator(spec, seed=seed)
     fabric = spec.make_fabric()
+    runner_spec = None
+    if spec.name in ("fb-like", "osp-like"):
+        candidate = WorkloadSpec(
+            family=spec.name, machines=spec.num_machines,
+            coflows=spec.num_coflows, seed=seed,
+        )
+        # Provenance is only valid if a worker rebuilding from the compact
+        # recipe gets *exactly* this spec — a caller that customised any
+        # other knob (load, skew, …) must not be silently rebuilt with
+        # defaults, so such workloads stay on the inline path.
+        if candidate.synthetic_spec() == spec:
+            runner_spec = candidate
     return Workload(
         name=spec.name, fabric=fabric,
-        coflows=gen.generate_coflows(fabric), seed=seed,
+        coflows=gen.generate_coflows(fabric), seed=seed, spec=runner_spec,
     )
 
 
@@ -88,6 +117,16 @@ def fb_workload(scale: ExperimentScale = ExperimentScale.SMALL,
 def osp_workload(scale: ExperimentScale = ExperimentScale.SMALL,
                  seed: int = 11) -> Workload:
     return build_workload(osp_spec_for(scale), seed=seed)
+
+
+def workload_spec_for(family: str, scale: ExperimentScale,
+                      seed: int) -> WorkloadSpec:
+    """Sweep-runner workload spec matching :func:`fb_workload` /
+    :func:`osp_workload` at the given scale."""
+    dims = _FB_DIMENSIONS if family == "fb-like" else _OSP_DIMENSIONS
+    machines, coflows = dims[scale]
+    return WorkloadSpec(family=family, machines=machines,
+                        coflows=coflows, seed=seed)
 
 
 def default_experiment_config() -> SimulationConfig:
@@ -121,7 +160,19 @@ def ccts_under(
     policies: list[str],
     config: SimulationConfig | None = None,
 ) -> dict[str, dict[int, float]]:
-    """CCT maps for several policies on the same workload."""
+    """CCT maps for several policies on the same workload.
+
+    Dispatched through the sweep runner (fan-out + caching) when the
+    workload carries a :class:`WorkloadSpec` provenance; results are
+    identical to running each policy inline.
+    """
+    config = config or default_experiment_config()
+    if workload.spec is not None:
+        outcomes = run_specs([
+            RunSpec(policy=p, workload=workload.spec, config=config)
+            for p in policies
+        ])
+        return {p: o.ccts for p, o in zip(policies, outcomes)}
     return {
         policy: run_policy_on(workload, policy, config).ccts()
         for policy in policies

@@ -17,11 +17,10 @@ from ..analysis.metrics import DistributionSummary, per_coflow_speedups
 from ..analysis.report import format_table
 from .common import (
     ExperimentScale,
-    Workload,
-    ccts_under,
-    fb_workload,
-    osp_workload,
+    default_experiment_config,
+    workload_spec_for,
 )
+from .runner import RunSpec, run_specs
 
 BASELINES = ("varys-sebf", "aalo", "uc-tcp")
 
@@ -32,26 +31,32 @@ class Fig9Result:
     summaries: dict[str, dict[str, DistributionSummary]]
 
 
-def _speedups_for(workload: Workload,
-                  baselines: tuple[str, ...]) -> dict[str, DistributionSummary]:
-    ccts = ccts_under(workload, ["saath", *baselines])
-    return {
-        b: DistributionSummary.of(
-            list(per_coflow_speedups(ccts[b], ccts["saath"]).values())
-        )
-        for b in baselines
-    }
-
-
 def run(scale: ExperimentScale = ExperimentScale.SMALL,
         *,
         include_osp: bool = True,
         baselines: tuple[str, ...] = BASELINES,
         seed: int = 7) -> Fig9Result:
-    summaries = {"fb-like": _speedups_for(fb_workload(scale, seed=seed),
-                                          baselines)}
+    # One sweep-runner batch covering every (trace, policy) pair, so the
+    # whole figure fans out at once when parallel jobs are available.
+    traces = {"fb-like": workload_spec_for("fb-like", scale, seed)}
     if include_osp:
-        summaries["osp-like"] = _speedups_for(osp_workload(scale), baselines)
+        traces["osp-like"] = workload_spec_for("osp-like", scale, 11)
+    policies = ["saath", *baselines]
+    config = default_experiment_config()
+    specs = [
+        RunSpec(policy=p, workload=w, config=config)
+        for w in traces.values() for p in policies
+    ]
+    outcomes = iter(run_specs(specs))
+    summaries: dict[str, dict[str, DistributionSummary]] = {}
+    for trace in traces:
+        ccts = {p: next(outcomes).ccts for p in policies}
+        summaries[trace] = {
+            b: DistributionSummary.of(
+                list(per_coflow_speedups(ccts[b], ccts["saath"]).values())
+            )
+            for b in baselines
+        }
     return Fig9Result(summaries=summaries)
 
 

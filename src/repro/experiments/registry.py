@@ -1,8 +1,11 @@
 """Experiment registry: every paper table/figure, runnable by name.
 
-Each entry maps an experiment id (``fig2`` … ``table2``) to its module's
-``run``/``render`` pair. Used by the CLI (``saath-repro run-experiment``)
-and by the benchmark harness.
+Each entry maps an experiment id to its module's ``run``/``render`` pair:
+Fig. 2 (§2.3 out-of-sync), Fig. 3 (§2.4 offline policies), Fig. 9 (§6.1
+headline speedups), Figs. 10–13 (§6.2 design breakdown), Fig. 14 (§6.3
+sensitivity), Figs. 15–16 (§7 testbed/JCT) and Table 2 (§7.3 overhead).
+Used by the CLI (``saath-repro run-experiment``) and the benchmark harness;
+see ``docs/EXPERIMENTS.md`` for the full figure-to-module table.
 """
 
 from __future__ import annotations

@@ -1,0 +1,269 @@
+"""Parallel sweep runner: process-pool fan-out with per-run result caching.
+
+Every experiment is, at heart, a bag of independent *(workload, policy,
+config)* simulation runs followed by cheap analysis. This module makes that
+bag a first-class object:
+
+* :class:`WorkloadSpec` — a picklable recipe for a synthetic workload
+  (family, dimensions, seed) that any worker process can rebuild
+  bit-identically, because generation is fully seeded;
+* :class:`RunSpec` — one simulation run: a workload spec, a policy name, a
+  :class:`~repro.config.SimulationConfig` and an optional arrival-time
+  scaling (the Fig. 14d knob);
+* :class:`SweepRunner` — executes a list of specs, deduplicating repeats,
+  fanning out over a ``ProcessPoolExecutor`` when more than one job is
+  allowed, and consulting an optional on-disk :class:`ResultCache` first;
+* :func:`fan_out_seeds` — expands specs across seeds for replicated sweeps.
+
+Determinism: a run's outcome is a pure function of its spec (workload
+generation and the simulator are seeded and event-ordered), so results are
+identical whether a spec runs inline, in a worker process, or comes out of
+the cache — the invariant the runner test-suite asserts. Experiment outputs
+are therefore byte-identical to the sequential path this replaces.
+
+The CLI wires ``--jobs`` / ``--cache-dir`` to :func:`configure`; the
+``REPRO_RUNNER_JOBS`` and ``REPRO_RUNNER_CACHE`` environment variables set
+process-wide defaults. Parallelism and caching are strictly opt-in: with
+both unset the runner executes inline with one job and no cache, so
+benchmark timings measure the simulator rather than process fan-out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ReproError
+from ..schedulers.registry import make_scheduler
+from ..simulator.engine import run_policy
+from ..workloads.synthetic import (
+    SyntheticSpec,
+    WorkloadGenerator,
+    fb_like_spec,
+    osp_like_spec,
+    scale_arrivals,
+)
+
+#: Bump when simulation semantics change, invalidating every cached result.
+CACHE_VERSION = 1
+
+_FAMILIES = {
+    "fb-like": fb_like_spec,
+    "osp-like": osp_like_spec,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Recipe for a synthetic workload any process can rebuild identically."""
+
+    family: str  # "fb-like" | "osp-like"
+    machines: int
+    coflows: int
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.family not in _FAMILIES:
+            raise ReproError(
+                f"unknown workload family {self.family!r}; "
+                f"known: {sorted(_FAMILIES)}"
+            )
+
+    def synthetic_spec(self) -> SyntheticSpec:
+        return _FAMILIES[self.family](
+            num_machines=self.machines, num_coflows=self.coflows
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run: workload × policy × config (× arrival scaling)."""
+
+    policy: str
+    workload: WorkloadSpec
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    arrival_scale: float = 1.0
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this run across processes."""
+        payload = json.dumps(
+            {
+                "v": CACHE_VERSION,
+                "policy": self.policy,
+                "workload": asdict(self.workload),
+                "config": asdict(self.config),
+                "arrival_scale": self.arrival_scale,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class RunOutcome:
+    """Result of one run, reduced to what experiments consume."""
+
+    spec: RunSpec
+    #: coflow_id -> coflow completion time (seconds).
+    ccts: dict[int, float]
+    makespan: float
+    reschedules: int
+    from_cache: bool = False
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Run one spec to completion in this process (the worker entry point)."""
+    synth = spec.workload.synthetic_spec()
+    fabric = synth.make_fabric()
+    coflows = WorkloadGenerator(
+        synth, seed=spec.workload.seed
+    ).generate_coflows(fabric)
+    if spec.arrival_scale != 1.0:
+        scale_arrivals(coflows, spec.arrival_scale)
+    scheduler = make_scheduler(spec.policy, spec.config)
+    result = run_policy(scheduler, coflows, fabric, spec.config)
+    return RunOutcome(
+        spec=spec,
+        ccts=result.ccts(),
+        makespan=result.makespan,
+        reschedules=result.reschedules,
+    )
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of :class:`RunOutcome` payloads.
+
+    One JSON file per run keyed by :meth:`RunSpec.cache_key`. Floats
+    round-trip exactly through JSON (shortest-repr), so cached CCTs equal
+    freshly-computed ones bit for bit.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunOutcome | None:
+        path = self._path(spec.cache_key())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunOutcome(
+            spec=spec,
+            ccts={int(k): v for k, v in payload["ccts"].items()},
+            makespan=payload["makespan"],
+            reschedules=payload["reschedules"],
+            from_cache=True,
+        )
+
+    def put(self, outcome: RunOutcome) -> None:
+        path = self._path(outcome.spec.cache_key())
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({
+            "ccts": {str(k): v for k, v in outcome.ccts.items()},
+            "makespan": outcome.makespan,
+            "reschedules": outcome.reschedules,
+        }))
+        tmp.replace(path)
+
+
+class SweepRunner:
+    """Executes batches of :class:`RunSpec`, in parallel when allowed.
+
+    ``jobs=1`` (the default on single-core hosts) runs inline with zero
+    process overhead; ``jobs>1`` fans pending specs out over a process
+    pool. Identical specs within a batch are computed once. Results come
+    back in input order regardless of completion order.
+    """
+
+    def __init__(self, *, jobs: int | None = None,
+                 cache_dir: str | Path | None = None):
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
+        unique: dict[RunSpec, RunOutcome | None] = {}
+        for spec in specs:
+            if spec not in unique:
+                unique[spec] = self.cache.get(spec) if self.cache else None
+
+        pending = [spec for spec, out in unique.items() if out is None]
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    computed = list(pool.map(execute_spec, pending))
+            else:
+                computed = [execute_spec(spec) for spec in pending]
+            for outcome in computed:
+                unique[outcome.spec] = outcome
+                if self.cache:
+                    self.cache.put(outcome)
+
+        return [unique[spec] for spec in specs]  # type: ignore[misc]
+
+
+def fan_out_seeds(spec: RunSpec, seeds: Iterable[int]) -> list[RunSpec]:
+    """Replicate one spec across workload seeds (replicated experiments)."""
+    from dataclasses import replace
+
+    return [
+        replace(spec, workload=replace(spec.workload, seed=s)) for s in seeds
+    ]
+
+
+# ---- process-wide default runner (wired to the CLI) -----------------------
+
+_default_runner: SweepRunner | None = None
+
+
+def default_jobs() -> int:
+    """``REPRO_RUNNER_JOBS`` if set, else 1.
+
+    Parallelism is strictly opt-in (CLI ``--jobs`` or the environment
+    variable): the default stays sequential so benchmark timings measure
+    the simulator, not process fan-out, and stay comparable across hosts.
+    """
+    env = os.environ.get("REPRO_RUNNER_JOBS")
+    if env:
+        return max(int(env), 1)
+    return 1
+
+
+def configure(*, jobs: int | None = None,
+              cache_dir: str | Path | None = None) -> SweepRunner:
+    """Install the process-wide runner used by :func:`run_specs`."""
+    global _default_runner
+    _default_runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    return _default_runner
+
+
+def get_runner() -> SweepRunner:
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner(
+            cache_dir=os.environ.get("REPRO_RUNNER_CACHE") or None
+        )
+    return _default_runner
+
+
+def run_specs(specs: Sequence[RunSpec]) -> list[RunOutcome]:
+    """Run a batch through the process-wide runner."""
+    return get_runner().run(specs)

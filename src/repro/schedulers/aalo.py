@@ -54,6 +54,10 @@ class AaloScheduler(Scheduler):
         #: coflow_id -> arrival order index, the FIFO key at every port.
         self._arrival_order: dict[int, int] = {}
         self._arrival_counter = 0
+        #: coflow_id -> True when its flow list already carries ascending
+        #: flow ids (always the case for generated workloads); checked once
+        #: at arrival so the per-round gather can skip re-sorting.
+        self._id_sorted: dict[int, bool] = {}
 
     # ---- lifecycle ------------------------------------------------------------
 
@@ -61,82 +65,133 @@ class AaloScheduler(Scheduler):
         self.tracker.admit(coflow, now)
         self._arrival_order[coflow.coflow_id] = self._arrival_counter
         self._arrival_counter += 1
+        flows = coflow.flows
+        self._id_sorted[coflow.coflow_id] = all(
+            flows[i].flow_id <= flows[i + 1].flow_id
+            for i in range(len(flows) - 1)
+        )
 
     def on_coflow_completion(self, coflow: CoFlow, now: float) -> None:
         self.tracker.remove(coflow)
         self._arrival_order.pop(coflow.coflow_id, None)
+        self._id_sorted.pop(coflow.coflow_id, None)
 
     # ---- scheduling -------------------------------------------------------------
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
-        for coflow in state.active_coflows:
-            self.tracker.refresh(coflow, now)
+        # Total-bytes demotions only fire when a coflow moved bytes, so
+        # incremental rounds revisit just the engine's dirty set; full
+        # rounds (first round, dynamics, incremental=False) rescan.
+        if self.config.incremental and not state.delta.full:
+            delta = state.delta
+            dirty = delta.arrived | delta.progressed | delta.flow_completed
+            # Visit in active order so deadline bookkeeping (which reads
+            # queue populations at placement time) matches the full path.
+            for coflow in state.active_coflows:
+                if coflow.coflow_id in dirty:
+                    self.tracker.refresh(coflow, now)
+        else:
+            for coflow in state.active_coflows:
+                self.tracker.refresh(coflow, now)
 
-        # Gather schedulable flows per sender port.
-        per_sender: dict[int, list[tuple[tuple, Flow]]] = defaultdict(list)
-        for coflow in state.active_coflows:
+        # Gather schedulable flows per sender port, already in local
+        # priority order: sorting the *coflows* once by (queue, FIFO) and
+        # emitting their flows in flow-id order yields exactly the per-port
+        # (queue, fifo, flow_id) order the ports serve in — each coflow has
+        # a unique FIFO index and its flows carry ascending ids — without
+        # building or sorting a key tuple per flow.
+        ordered = sorted(
+            state.active_coflows,
+            key=lambda c: (self.tracker.queue_of(c),
+                           self._arrival_order[c.coflow_id]),
+        )
+        per_sender: dict[int, list[tuple[int, Flow]]] = defaultdict(list)
+        for coflow in ordered:
             queue = self.tracker.queue_of(coflow)
-            fifo = self._arrival_order[coflow.coflow_id]
-            for f in state.schedulable_flows(coflow, now):
-                # Local priority: queue first, FIFO (arrival) within queue,
-                # flow id as the final deterministic tie-break.
-                per_sender[f.src].append(((queue, fifo, f.flow_id), f))
+            flows = state.schedulable_flows(coflow, now)
+            if not self._id_sorted.get(coflow.coflow_id, True):
+                flows.sort(key=lambda f: f.flow_id)
+            for f in flows:
+                per_sender[f.src].append((queue, f))
 
-        ledger = state.make_ledger()
+        ledger = self._round_ledger(state)
         allocation = Allocation()
         # Ports act independently; a deterministic port order stands in for
         # the real system's races on receiver capacity.
         for port in sorted(per_sender):
-            queue_flows = sorted(per_sender[port], key=lambda kv: kv[0])
-            self._allocate_port(port, queue_flows, ledger, allocation)
+            self._allocate_port(port, per_sender[port], ledger, allocation)
         return allocation
 
     def _allocate_port(self, port: int,
-                       queue_flows: list[tuple[tuple, Flow]],
+                       queue_flows: list[tuple[int, Flow]],
                        ledger, allocation: Allocation) -> None:
         """Weighted queue shares at one sender port, then a spill pass."""
-        occupied = sorted({key[0] for key, _ in queue_flows})
         port_capacity = ledger.residual(port)
         if port_capacity <= 0:
             return
-        weights = {q: self.queue_weight_decay ** (-q) for q in occupied}
+        # ``queue_flows`` arrives sorted by (queue, fifo, flow_id); slice it
+        # into runs of equal queue so each queue's FIFO pass walks only its
+        # own flows instead of rescanning the whole port.
+        runs: list[tuple[int, list[Flow]]] = []
+        for queue, flow in queue_flows:
+            if not runs or runs[-1][0] != queue:
+                runs.append((queue, []))
+            runs[-1][1].append(flow)
+        weights = {q: self.queue_weight_decay ** (-q) for q, _ in runs}
         total_weight = sum(weights.values())
 
+        residual = ledger.residual
+        commit = ledger.commit
+        rates = allocation.rates
+        scheduled = allocation.scheduled_coflows
+
+        # Every flow here sends from ``port``, so once the port's residual
+        # hits zero no later flow (in either pass) can receive a rate —
+        # bail out instead of scanning the remaining no-op iterations.
+
         # Pass 1: each occupied queue spends its weighted share, FIFO.
-        for q in occupied:
+        for q, run in runs:
             budget = port_capacity * weights[q] / total_weight
-            for (queue, _, _), flow in queue_flows:
-                if queue != q or budget <= 0:
-                    continue
-                rate = min(budget, ledger.residual(flow.src),
-                           ledger.residual(flow.dst))
+            for flow in run:
+                if budget <= 0:
+                    break
+                port_left = residual(port)
+                if port_left <= 0:
+                    return
+                rate = min(budget, port_left, residual(flow.dst))
                 if rate <= 0:
                     continue
-                ledger.commit(flow.src, flow.dst, rate)
+                commit(flow.src, flow.dst, rate)
                 budget -= rate
-                allocation.rates[flow.flow_id] = (
-                    allocation.rates.get(flow.flow_id, 0.0) + rate
-                )
-                allocation.scheduled_coflows.add(flow.coflow_id)
+                rates[flow.flow_id] = rates.get(flow.flow_id, 0.0) + rate
+                scheduled.add(flow.coflow_id)
 
         # Pass 2 (work conservation): spill leftover capacity in strict
         # priority+FIFO order, e.g. when a queue's share outruns its flows'
         # receiver capacity.
         for _, flow in queue_flows:
-            rate = min(ledger.residual(flow.src), ledger.residual(flow.dst))
+            port_left = residual(port)
+            if port_left <= 0:
+                return
+            rate = min(port_left, residual(flow.dst))
             if rate <= 0:
                 continue
-            ledger.commit(flow.src, flow.dst, rate)
-            allocation.rates[flow.flow_id] = (
-                allocation.rates.get(flow.flow_id, 0.0) + rate
-            )
-            allocation.scheduled_coflows.add(flow.coflow_id)
+            commit(flow.src, flow.dst, rate)
+            rates[flow.flow_id] = rates.get(flow.flow_id, 0.0) + rate
+            scheduled.add(flow.coflow_id)
 
     def next_wakeup(self, state: ClusterState, allocation: Allocation,
                     now: float) -> float | None:
         """Wake at the next total-bytes queue-threshold crossing."""
+        if self.config.incremental:
+            # Zero-rate coflows cannot cross a total-bytes threshold.
+            candidates = [
+                state.coflow(cid) for cid in allocation.scheduled_coflows
+            ]
+        else:
+            candidates = state.active_coflows
         best = math.inf
-        for coflow in state.active_coflows:
+        for coflow in candidates:
             dt = self.tracker.next_transition_time(coflow, allocation.rates)
             if dt < math.inf:
                 best = min(best, now + max(dt, 1e-9))

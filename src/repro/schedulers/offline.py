@@ -48,7 +48,7 @@ class OrderedClairvoyantScheduler(Scheduler):
             key=lambda c: (self.priority_key(c, state),
                            c.arrival_time, c.coflow_id),
         )
-        ledger = state.make_ledger()
+        ledger = self._round_ledger(state)
         allocation = Allocation()
         skipped: list[CoFlow] = []
         for coflow in order:

@@ -36,6 +36,9 @@ class QueueTracker:
         self._entered: dict[int, float] = {}
         #: coflow_id -> absolute starvation deadline
         self._deadline: dict[int, float] = {}
+        #: queue index -> number of resident coflows (kept incrementally so
+        #: deadline assignment is O(1) instead of an O(coflows) scan).
+        self._population: dict[int, int] = {}
 
     # ---- membership ---------------------------------------------------------
 
@@ -44,7 +47,9 @@ class QueueTracker:
         self._place(coflow, 0, now)
 
     def remove(self, coflow: CoFlow) -> None:
-        self._queue.pop(coflow.coflow_id, None)
+        queue = self._queue.pop(coflow.coflow_id, None)
+        if queue is not None:
+            self._population[queue] -= 1
         self._entered.pop(coflow.coflow_id, None)
         self._deadline.pop(coflow.coflow_id, None)
 
@@ -65,7 +70,7 @@ class QueueTracker:
 
     def population(self, queue: int) -> int:
         """Number of tracked coflows currently in ``queue``."""
-        return sum(1 for q in self._queue.values() if q == queue)
+        return self._population.get(queue, 0)
 
     # ---- transitions ----------------------------------------------------------
 
@@ -126,8 +131,10 @@ class QueueTracker:
             return math.inf
         hi = qcfg.hi_threshold(current)
         if self.metric == "total":
+            rates_get = rates.get
             total_rate = sum(
-                rates.get(f.flow_id, 0.0) for f in coflow.flows if not f.finished
+                rates_get(f.flow_id, 0.0) for f in coflow.flows
+                if f.finish_time is None
             )
             if total_rate <= 0:
                 return math.inf
@@ -137,7 +144,7 @@ class QueueTracker:
         per_flow_hi = hi / coflow.width
         best = math.inf
         for f in coflow.flows:
-            if f.finished:
+            if f.finish_time is not None:
                 continue
             rate = rates.get(f.flow_id, 0.0)
             if rate <= 0:
@@ -187,6 +194,11 @@ class QueueTracker:
     # ---- internal -------------------------------------------------------------
 
     def _place(self, coflow: CoFlow, queue: int, now: float) -> None:
+        previous = self._queue.get(coflow.coflow_id)
+        if previous != queue:
+            if previous is not None:
+                self._population[previous] -= 1
+            self._population[queue] = self._population.get(queue, 0) + 1
         self._queue[coflow.coflow_id] = queue
         self._entered[coflow.coflow_id] = now
         coflow.queue = queue

@@ -98,7 +98,7 @@ class SincroniaScheduler(Scheduler):
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
         order = bssi_order(list(state.active_coflows))
-        ledger = state.make_ledger()
+        ledger = self._round_ledger(state)
         allocation = Allocation()
         skipped: list[CoFlow] = []
         for coflow in order:

@@ -30,12 +30,15 @@ class UcTcpScheduler(Scheduler):
         flows: list[Flow] = []
         for coflow in state.active_coflows:
             flows.extend(state.schedulable_flows(coflow, now))
-        ledger = state.make_ledger()
-        rates = max_min_fair(flows, ledger)
-        allocation = Allocation(
-            rates={fid: r for fid, r in rates.items() if r > 0}
-        )
-        allocation.scheduled_coflows = {
-            f.coflow_id for f in flows if rates.get(f.flow_id, 0.0) > 0
-        }
+        ledger = self._round_ledger(state)
+        rates = max_min_fair(flows, ledger, commit=False)
+        allocation = Allocation()
+        positive = allocation.rates
+        scheduled = allocation.scheduled_coflows
+        rates_get = rates.get
+        for f in flows:
+            rate = rates_get(f.flow_id, 0.0)
+            if rate > 0:
+                positive[f.flow_id] = rate
+                scheduled.add(f.coflow_id)
         return allocation

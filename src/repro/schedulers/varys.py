@@ -40,7 +40,7 @@ class VarysSebfScheduler(Scheduler):
             state.active_coflows,
             key=lambda c: (self._gamma(c, state), c.arrival_time, c.coflow_id),
         )
-        ledger = state.make_ledger()
+        ledger = self._round_ledger(state)
         allocation = Allocation()
         skipped: list[CoFlow] = []
         for coflow in order:
@@ -69,11 +69,15 @@ class VarysSebfScheduler(Scheduler):
     def _gamma(self, coflow: CoFlow, state: ClusterState) -> float:
         """Effective bottleneck completion time at full port capacity."""
         load: dict[int, float] = {}
-        for f in coflow.flows:
-            if f.finished:
+        get = load.get
+        for f in state.pending_flows(coflow):
+            if f.finish_time is not None:
                 continue
-            load[f.src] = load.get(f.src, 0.0) + f.remaining
-            load[f.dst] = load.get(f.dst, 0.0) + f.remaining
+            remaining = f.volume - f.bytes_sent
+            if remaining < 0.0:
+                remaining = 0.0
+            load[f.src] = get(f.src, 0.0) + remaining
+            load[f.dst] = get(f.dst, 0.0) + remaining
         gamma = 0.0
         for port, volume in load.items():
             cap = state.port_capacity(port)

@@ -128,8 +128,25 @@ class Simulator:
         #: Only these can change state between events — keeping the hot
         #: loops off the full active set is the engine's main optimisation.
         self._running: list[Flow] = []
+        #: Coflow ids with at least one running flow, precomputed at
+        #: allocation time so time advancement can mark "progressed"
+        #: coflows in the scheduling delta with one set union.
+        self._running_cids: frozenset[int] = frozenset()
         self._maybe_done: list[tuple[Flow, CoFlow]] = []
         self._coflow_of: dict[int, CoFlow] = {}
+        #: Lower bound (absolute time) before which no running flow can
+        #: satisfy the completion predicate; lets _process_completions skip
+        #: its scan on pure arrival / sync steps. Maintained by
+        #: _earliest_completion; -inf means "unknown, always scan".
+        self._no_completion_before: float = -math.inf
+        #: Flows whose completion predicate fired during the last time
+        #: advance (collected while moving bytes, so the completion pass
+        #: walks only these instead of rescanning every running flow).
+        self._completion_candidates: list[Flow] = []
+        #: True when the current step advanced time, i.e. the candidate
+        #: list above is authoritative. Zero-width steps (several events at
+        #: one instant) and dynamics fall back to the full scan.
+        self._advanced_this_step = False
 
     # ---- public API -----------------------------------------------------------
 
@@ -207,34 +224,96 @@ class Simulator:
 
     def _earliest_completion(self) -> float | None:
         if self._maybe_done:
+            self._no_completion_before = self._now
             return self._now
+        # Inlined _flow_complete: this scan runs for every running flow at
+        # every event, so attribute/method dispatch overhead is material.
+        eps = self.config.epsilon_bytes
         best = math.inf
+        pred_min = math.inf
+        now = self._now
         for f in self._running:
-            if f.finished:
+            if f.finish_time is not None:
                 continue
-            if self._flow_complete(f):
-                return self._now
-            ttc = (f.volume - f.bytes_sent) / f.rate if f.rate > 0 else math.inf
-            if ttc < best:
-                best = ttc
-        return self._now + best if math.isfinite(best) else None
+            remaining = f.volume - f.bytes_sent
+            rate = f.rate
+            if remaining <= eps or (rate > 0 and remaining <= rate * 1e-8):
+                self._no_completion_before = now
+                return now
+            if rate > 0:
+                ttc = remaining / rate
+                if ttc < best:
+                    best = ttc
+                # Earliest instant the completion predicate can start
+                # firing for this flow: its tolerance window opens
+                # max(eps, rate*1e-8) bytes before the exact finish.
+                slack = eps if eps > rate * 1e-8 else rate * 1e-8
+                pred = (remaining - slack) / rate
+                if pred < pred_min:
+                    pred_min = pred
+        # Conservative margin (a few ulps) so float noise can only make us
+        # scan unnecessarily, never miss a completion.
+        self._no_completion_before = (
+            now + pred_min - abs(pred_min) * 1e-12 - 1e-15
+            if math.isfinite(pred_min) else math.inf
+        )
+        return now + best if math.isfinite(best) else None
 
     def _advance_to(self, t: float) -> None:
         dt = t - self._now
         if dt < 0:
             raise SimulationError(f"time went backwards: {self._now} -> {t}")
         if dt > 0:
+            # Inlined Flow.advance for the hot loop (same semantics),
+            # collecting flows whose completion predicate fires so the
+            # completion pass needn't rescan the whole running set.
+            eps = self.config.epsilon_bytes
+            candidates = self._completion_candidates
+            candidates.clear()
             for f in self._running:
-                f.advance(dt)
+                rate = f.rate
+                if rate > 0 and f.finish_time is None:
+                    volume = f.volume
+                    sent = f.bytes_sent + rate * dt
+                    if sent > volume:
+                        sent = volume
+                    f.bytes_sent = sent
+                    remaining = volume - sent
+                    if remaining <= eps or remaining <= rate * 1e-8:
+                        candidates.append(f)
+            self.state.delta.progressed |= self._running_cids
+            self._advanced_this_step = True
+        else:
+            self._advanced_this_step = False
         self._now = t
 
     # ---- event processing ---------------------------------------------------------
 
     def _process_completions(self) -> bool:
+        if not self._maybe_done and self._now < self._no_completion_before:
+            # The pre-advance scan proved no flow can have completed yet
+            # (this step stops strictly before any completion window).
+            return False
         candidates: list[tuple[Flow, CoFlow]] = []
-        for f in self._running:
-            if not f.finished and self._flow_complete(f):
+        if self._advanced_this_step:
+            # The advance loop already found every flow whose completion
+            # predicate fired; no second scan over the running set needed.
+            for f in self._completion_candidates:
                 candidates.append((f, self._coflow_of[f.coflow_id]))
+            self._completion_candidates = []
+        else:
+            # Zero-width step (events piling up at one instant): rates may
+            # have changed since the last advance, so scan everything —
+            # exactly what the original per-event pass did.
+            eps = self.config.epsilon_bytes
+            for f in self._running:
+                # Inlined _flow_complete (see _earliest_completion).
+                if f.finish_time is not None:
+                    continue
+                remaining = f.volume - f.bytes_sent
+                if remaining <= eps or (
+                        f.rate > 0 and remaining <= f.rate * 1e-8):
+                    candidates.append((f, self._coflow_of[f.coflow_id]))
         if self._maybe_done:
             candidates.extend(self._maybe_done)
             self._maybe_done = []
@@ -246,6 +325,7 @@ class Simulator:
             f.bytes_sent = f.volume
             f.rate = 0.0
             f.finish_time = self._now
+            self.state.note_flow_finished(f)
             self.scheduler.on_flow_completion(f, coflow, self._now)
             touched[coflow.coflow_id] = coflow
         if not touched:
@@ -266,6 +346,7 @@ class Simulator:
                 if c.coflow_id not in done
             ]
             for coflow_id in done:
+                self.state.note_coflow_finished(coflow_id)
                 self._release_dependents_of(coflow_id)
         return True
 
@@ -281,6 +362,12 @@ class Simulator:
                 changed = True
             elif event.kind is EventKind.DYNAMICS:
                 event.payload.apply(self, self._now)
+                if not isinstance(event.payload, _DataAvailable):
+                    # Arbitrary mutation (restarts, capacity changes, …):
+                    # incremental bookkeeping must rebuild from scratch.
+                    # Data-availability wakeups change nothing the delta
+                    # vocabulary tracks, so they stay incremental.
+                    self.state.note_dynamics()
                 changed = True
             else:  # SYNC markers never enter the external queue
                 raise SimulationError(f"unexpected event kind {event.kind}")
@@ -297,6 +384,7 @@ class Simulator:
         # DAG-released stages start counting CCT from their release instant.
         coflow.arrival_time = max(coflow.arrival_time, self._now)
         self.state.active_coflows.append(coflow)
+        self.state.note_activated(coflow)
         self._coflow_of[coflow.coflow_id] = coflow
         self.scheduler.on_coflow_arrival(coflow, self._now)
         for f in coflow.flows:
@@ -332,6 +420,7 @@ class Simulator:
     def _recompute_schedule(self) -> None:
         self._next_sync = None
         allocation = self.scheduler.schedule(self.state, self._now)
+        self.state.delta.clear()
         self._apply_allocation(allocation)
         self._result.reschedules += 1
         if self._observer is not None:
@@ -343,16 +432,20 @@ class Simulator:
             self._request_resync(wakeup)
 
     def _apply_allocation(self, allocation: Allocation) -> None:
-        self._running = []
-        rates = allocation.rates
+        running: list[Flow] = []
+        running_cids: set[int] = set()
+        rates_get = allocation.rates.get
         efficiency = self.flow_efficiency
-        for coflow in self.state.active_coflows:
-            for f in coflow.flows:
-                if f.finished:
+        perturb = self._rate_perturbation
+        state = self.state
+        now = self._now
+        for coflow in state.active_coflows:
+            for f in state.pending_flows(coflow):
+                if f.finish_time is not None:
                     continue
-                rate = rates.get(f.flow_id, 0.0)
+                rate = rates_get(f.flow_id, 0.0)
                 if rate > 0:
-                    if f.available_time > self._now:
+                    if f.available_time > now:
                         # §4.3: data not yet produced cannot be sent. A
                         # scheduler that allocates here (availability-
                         # oblivious) has reserved the ports for nothing —
@@ -361,13 +454,16 @@ class Simulator:
                         rate = 0.0
                     elif efficiency:
                         rate *= efficiency.get(f.flow_id, 1.0)
-                    if rate > 0 and self._rate_perturbation is not None:
-                        rate = self._rate_perturbation(f, rate)
-                f.rate = max(rate, 0.0)
+                    if rate > 0 and perturb is not None:
+                        rate = perturb(f, rate)
+                f.rate = rate if rate > 0.0 else 0.0
                 if f.rate > 0:
-                    self._running.append(f)
+                    running.append(f)
+                    running_cids.add(f.coflow_id)
                     if f.start_time is None:
-                        f.start_time = self._now
+                        f.start_time = now
+        self._running = running
+        self._running_cids = frozenset(running_cids)
 
     # ---- diagnostics --------------------------------------------------------------------
 

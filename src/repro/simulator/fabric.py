@@ -95,7 +95,14 @@ class PortLedger:
     commit flow rates; the ledger centralises that arithmetic and raises
     :class:`CapacityViolationError` on over-commit, which turns subtle
     scheduler bugs into loud failures.
+
+    The ledger records the set of ports touched since the last
+    :meth:`reset`, so clearing it between scheduling rounds costs
+    O(changed ports) rather than O(all ports) — the basis of the
+    :meth:`~repro.simulator.state.ClusterState.acquire_ledger` reuse path.
     """
+
+    __slots__ = ("_fabric", "_capacity", "_used", "_touched")
 
     def __init__(self, fabric: Fabric,
                  capacity_override: dict[int, float] | None = None):
@@ -111,6 +118,8 @@ class PortLedger:
                     )
                 self._capacity[port] = cap
         self._used: dict[int, float] = {p: 0.0 for p in fabric.all_ports()}
+        #: Ports with a non-zero commitment since the last reset.
+        self._touched: set[int] = set()
 
     @property
     def fabric(self) -> Fabric:
@@ -136,13 +145,56 @@ class PortLedger:
             raise ConfigError(f"rate must be >= 0, got {rate}")
         if rate == 0:
             return
-        for port in (src, dst):
-            new_used = self._used[port] + rate
-            if new_used > self._capacity[port] * _CAPACITY_TOLERANCE:
-                raise CapacityViolationError(
-                    str(port), new_used, self._capacity[port]
-                )
-            self._used[port] = min(new_used, self._capacity[port])
+        used = self._used
+        capacity = self._capacity
+        touched = self._touched
+        touched.add(src)
+        touched.add(dst)
+        # Unrolled src/dst update: this is the hottest ledger operation.
+        cap = capacity[src]
+        new_used = used[src] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(src), new_used, cap)
+        used[src] = new_used if new_used < cap else cap
+        cap = capacity[dst]
+        new_used = used[dst] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(dst), new_used, cap)
+        used[dst] = new_used if new_used < cap else cap
+
+    def fill(self, src: int, dst: int) -> float:
+        """Commit and return ``min(residual(src), residual(dst))``.
+
+        The greedy work-conservation primitive: grants whatever the tighter
+        of the two ports still has. Returns 0.0 (committing nothing) when
+        either port is exhausted. Cannot over-commit by construction, so it
+        skips :meth:`commit`'s violation check.
+        """
+        used = self._used
+        capacity = self._capacity
+        rate = capacity[src] - used[src]
+        rate_dst = capacity[dst] - used[dst]
+        if rate_dst < rate:
+            rate = rate_dst
+        if rate <= 0:
+            return 0.0
+        used[src] += rate
+        used[dst] += rate
+        self._touched.add(src)
+        self._touched.add(dst)
+        return rate
+
+    def reset(self) -> None:
+        """Release every commitment in O(ports touched since last reset).
+
+        Only ports named in a :meth:`commit` since the previous reset can
+        have non-zero usage, so zeroing exactly those restores a pristine
+        ledger without walking the whole fabric.
+        """
+        used = self._used
+        for port in self._touched:
+            used[port] = 0.0
+        self._touched.clear()
 
     def snapshot_residuals(self) -> dict[int, float]:
         """Copy of per-port residual capacity (for diagnostics/tests)."""

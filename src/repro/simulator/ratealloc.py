@@ -31,6 +31,7 @@ def max_min_fair(
     ledger: PortLedger,
     *,
     rate_cap: float | None = None,
+    commit: bool = True,
 ) -> dict[int, float]:
     """Max-min fair rates for ``flows`` over the ledger's residual capacity.
 
@@ -41,7 +42,10 @@ def max_min_fair(
 
     Returns a mapping ``flow_id -> rate``; rates of all flows are committed
     to the ledger. ``rate_cap`` optionally bounds every flow's rate (used to
-    model per-flow demand limits).
+    model per-flow demand limits). ``commit=False`` skips the final ledger
+    commits — for callers that discard the ledger after the round (UC-TCP),
+    where the per-flow bookkeeping is pure overhead; the rates themselves
+    respect every port capacity either way.
     """
     active: dict[int, Flow] = {f.flow_id: f for f in flows if not f.finished}
     rates: dict[int, float] = {fid: 0.0 for fid in active}
@@ -50,11 +54,17 @@ def max_min_fair(
 
     residual: dict[int, float] = {}
     port_flows: dict[int, set[int]] = defaultdict(set)
+    #: port -> number of not-yet-frozen flows, kept incrementally so each
+    #: filling iteration scans ports in O(ports) instead of rebuilding the
+    #: per-port live-flow lists (the former quadratic hot spot).
+    live_count: dict[int, int] = {}
     for f in active.values():
         for port in (f.src, f.dst):
             if port not in residual:
                 residual[port] = ledger.residual(port)
+                live_count[port] = 0
             port_flows[port].add(f.flow_id)
+            live_count[port] += 1
 
     frozen: set[int] = set()
     # Flows capped below the fair share freeze at the cap first.
@@ -65,11 +75,10 @@ def max_min_fair(
         # Tightest port among those with unfrozen flows.
         best_port = None
         best_share = math.inf
-        for port, fids in port_flows.items():
-            live = [fid for fid in fids if fid not in frozen]
-            if not live:
+        for port, count in live_count.items():
+            if count == 0:
                 continue
-            share = residual[port] / len(live)
+            share = residual[port] / count
             if share < best_share:
                 best_share = share
                 best_port = port
@@ -84,26 +93,39 @@ def max_min_fair(
                 flow = active[fid]
                 residual[flow.src] -= rate_cap
                 residual[flow.dst] -= rate_cap
+                live_count[flow.src] -= 1
+                live_count[flow.dst] -= 1
                 frozen.add(fid)
             break
 
         # Freeze the flows on the bottleneck port at the fair share.
         newly = [fid for fid in port_flows[best_port] if fid not in frozen]
+        drained: set[int] = {best_port}
         for fid in newly:
             rates[fid] = best_share
             flow = active[fid]
             residual[flow.src] -= best_share
             residual[flow.dst] -= best_share
+            live_count[flow.src] -= 1
+            live_count[flow.dst] -= 1
+            drained.add(flow.src)
+            drained.add(flow.dst)
             frozen.add(fid)
+        # Drop ports with no unfrozen flows left from the scan set; the
+        # insertion order of the survivors — the tie-break — is unaffected.
+        for port in drained:
+            if live_count.get(port) == 0:
+                del live_count[port]
         # Numerical guard: residuals can dip a hair below zero.
         for port in residual:
             if residual[port] < 0:
                 residual[port] = 0.0
 
-    for fid, rate in rates.items():
-        if rate > 0:
-            flow = active[fid]
-            ledger.commit(flow.src, flow.dst, rate)
+    if commit:
+        for fid, rate in rates.items():
+            if rate > 0:
+                flow = active[fid]
+                ledger.commit(flow.src, flow.dst, rate)
     return rates
 
 
@@ -167,7 +189,7 @@ def equal_rate_for_coflow(
     Returns ``{}`` if the equal rate would be zero.
     """
     todo = [f for f in (flows if flows is not None else coflow.flows)
-            if not f.finished]
+            if f.finish_time is None]
     if not todo:
         return {}
 
@@ -176,17 +198,19 @@ def equal_rate_for_coflow(
         count_at_port[f.src] += 1
         count_at_port[f.dst] += 1
 
+    residual = ledger.residual
     rate = math.inf
     for f in todo:
-        cap_src = ledger.residual(f.src) / count_at_port[f.src]
-        cap_dst = ledger.residual(f.dst) / count_at_port[f.dst]
+        cap_src = residual(f.src) / count_at_port[f.src]
+        cap_dst = residual(f.dst) / count_at_port[f.dst]
         rate = min(rate, cap_src, cap_dst)
     if not math.isfinite(rate) or rate <= 0:
         return {}
 
     rates = {f.flow_id: rate for f in todo}
+    commit = ledger.commit
     for f in todo:
-        ledger.commit(f.src, f.dst, rate)
+        commit(f.src, f.dst, rate)
     return rates
 
 
@@ -202,11 +226,11 @@ def greedy_residual_rates(
     is the scheduling priority order.
     """
     rates: dict[int, float] = {}
+    fill = ledger.fill
     for f in flows:
-        if f.finished:
+        if f.finish_time is not None:
             continue
-        rate = min(ledger.residual(f.src), ledger.residual(f.dst))
+        rate = fill(f.src, f.dst)
         if rate > 0:
-            ledger.commit(f.src, f.dst, rate)
             rates[f.flow_id] = rate
     return rates

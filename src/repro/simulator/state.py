@@ -6,6 +6,17 @@ per-port capacity overrides from dynamics. Online schedulers must not touch
 ``Flow.volume`` / ``Flow.remaining`` — the clairvoyant baselines (Varys, SCF,
 SRTF, LWTF) are explicitly allowed to, and are marked as offline in their
 docstrings.
+
+Incremental scheduling support lives here too:
+
+* :class:`SchedulingDelta` — the dirty set accumulated by the engine between
+  scheduler invocations (arrived / completed / progressed coflows), so
+  schedulers can update their bookkeeping from the change instead of
+  rescanning the world every round;
+* per-coflow *pending flow* caches, so per-round flow gathering walks only
+  unfinished flows instead of every flow ever submitted;
+* a reusable :class:`~repro.simulator.fabric.PortLedger` cleared in
+  O(changed ports) per round via :meth:`ClusterState.acquire_ledger`.
 """
 
 from __future__ import annotations
@@ -14,6 +25,42 @@ from dataclasses import dataclass, field
 
 from .fabric import Fabric, PortLedger
 from .flows import CoFlow, Flow
+
+
+@dataclass
+class SchedulingDelta:
+    """What changed since the scheduler last ran (the engine's dirty set).
+
+    ``full`` forces a from-scratch rebuild of any incremental bookkeeping:
+    it is set for the very first round and whenever a dynamics action
+    mutates state in ways the delta cannot describe (flow restarts, port
+    capacity changes, …). The remaining fields are coflow-id sets:
+
+    * ``arrived`` — became active (arrival or DAG release);
+    * ``completed`` — finished entirely and left ``active_coflows``;
+    * ``flow_completed`` — still active but lost at least one flow, so
+      their port footprint may have shrunk;
+    * ``progressed`` — had at least one flow moving bytes, so their queue
+      metrics (total / max per-flow bytes sent) may have grown.
+    """
+
+    full: bool = True
+    arrived: set[int] = field(default_factory=set)
+    completed: set[int] = field(default_factory=set)
+    flow_completed: set[int] = field(default_factory=set)
+    progressed: set[int] = field(default_factory=set)
+
+    def clear(self) -> None:
+        """Reset after a scheduler consumed the delta."""
+        self.full = False
+        self.arrived.clear()
+        self.completed.clear()
+        self.flow_completed.clear()
+        self.progressed.clear()
+
+    def mark_full(self) -> None:
+        """Request a from-scratch rebuild on the next scheduling round."""
+        self.full = True
 
 
 @dataclass
@@ -32,10 +79,41 @@ class ClusterState:
     #: no data to send (the §4.3 counterfactual; the engine still refuses
     #: to move unavailable bytes).
     respect_availability: bool = True
+    #: Changes since the last scheduling round (maintained by the engine).
+    delta: SchedulingDelta = field(default_factory=SchedulingDelta)
+
+    # Internal caches; never part of the public snapshot semantics.
+    _by_id: dict[int, CoFlow] = field(default_factory=dict, repr=False)
+    _pending: dict[int, list[Flow]] = field(default_factory=dict, repr=False)
+    _cached_ledger: PortLedger | None = field(default=None, repr=False)
+    _cached_override: dict[int, float] | None = field(default=None, repr=False)
+
+    # ---- ledgers ----------------------------------------------------------
 
     def make_ledger(self) -> PortLedger:
         """Fresh residual-capacity ledger honouring dynamic overrides."""
         return PortLedger(self.fabric, capacity_override=self.capacity_override)
+
+    def acquire_ledger(self) -> PortLedger:
+        """A pristine ledger, reusing the previous round's in O(changed ports).
+
+        Equivalent to :meth:`make_ledger` but clears the cached ledger's
+        commitments instead of rebuilding the per-port tables. The cache is
+        discarded whenever ``capacity_override`` changed since it was built
+        (dynamics events), so overrides are always honoured.
+        """
+        ledger = self._cached_ledger
+        if ledger is None or self._cached_override != self.capacity_override:
+            ledger = PortLedger(
+                self.fabric, capacity_override=self.capacity_override
+            )
+            self._cached_ledger = ledger
+            self._cached_override = dict(self.capacity_override)
+        else:
+            ledger.reset()
+        return ledger
+
+    # ---- flow queries -----------------------------------------------------
 
     def schedulable_flows(self, coflow: CoFlow, now: float) -> list[Flow]:
         """Unfinished flows of ``coflow`` whose data is available at ``now``.
@@ -44,17 +122,85 @@ class ClusterState:
         schedules flows that have accumulated data to send (local agents
         piggyback availability onto their periodic flow statistics).
         """
+        pending = self.pending_flows(coflow)
         if not self.respect_availability:
-            return [f for f in coflow.flows if not f.finished]
+            return [f for f in pending if f.finish_time is None]
         return [
-            f for f in coflow.flows
-            if not f.finished and f.available_time <= now
+            f for f in pending
+            if f.finish_time is None and f.available_time <= now
         ]
+
+    def pending_flows(self, coflow: CoFlow) -> list[Flow]:
+        """Cached list of the coflow's not-yet-finished flows.
+
+        Maintained by the engine's completion notifications; entries are a
+        *superset* of the truly unfinished flows (callers still filter on
+        ``finish_time``), so a stale cache can only cost time, never
+        correctness — hand-built states that bypass the notifications keep
+        working.
+        """
+        cached = self._pending.get(coflow.coflow_id)
+        if cached is None:
+            cached = [f for f in coflow.flows if f.finish_time is None]
+            self._pending[coflow.coflow_id] = cached
+        return cached
 
     def active_flow_count(self) -> int:
         return sum(
             len(c.unfinished_flows()) for c in self.active_coflows
         )
 
+    def coflow(self, coflow_id: int) -> CoFlow:
+        """Active coflow by id (maintained by the engine notifications)."""
+        try:
+            return self._by_id[coflow_id]
+        except KeyError:
+            for c in self.active_coflows:  # hand-built states
+                if c.coflow_id == coflow_id:
+                    return c
+            raise
+
     def port_capacity(self, port: int) -> float:
         return self.capacity_override.get(port, self.fabric.capacity(port))
+
+    # ---- engine notifications --------------------------------------------
+
+    def note_activated(self, coflow: CoFlow) -> None:
+        """A coflow joined ``active_coflows`` (arrival or DAG release)."""
+        self._by_id[coflow.coflow_id] = coflow
+        self._pending[coflow.coflow_id] = [
+            f for f in coflow.flows if f.finish_time is None
+        ]
+        self.delta.arrived.add(coflow.coflow_id)
+
+    def note_flow_finished(self, flow: Flow) -> None:
+        """One flow of an active coflow completed."""
+        pending = self._pending.get(flow.coflow_id)
+        if pending is not None:
+            try:
+                pending.remove(flow)
+            except ValueError:
+                pass
+        self.delta.flow_completed.add(flow.coflow_id)
+
+    def note_coflow_finished(self, coflow_id: int) -> None:
+        """A coflow completed entirely and left ``active_coflows``."""
+        self._by_id.pop(coflow_id, None)
+        self._pending.pop(coflow_id, None)
+        self.delta.completed.add(coflow_id)
+        self.delta.flow_completed.discard(coflow_id)
+        self.delta.arrived.discard(coflow_id)
+        self.delta.progressed.discard(coflow_id)
+
+    def note_dynamics(self) -> None:
+        """A dynamics action mutated state arbitrarily: rebuild everything.
+
+        Dynamics may restart flows (reverting progress), move a flow to a
+        new receiver, or change port capacities — none of which the delta
+        vocabulary describes, so incremental consumers start over. Pending
+        caches stay valid (dynamics never resurrect a *finished* flow), but
+        the cached ledger is dropped in case capacities changed.
+        """
+        self.delta.mark_full()
+        self._cached_ledger = None
+        self._cached_override = None

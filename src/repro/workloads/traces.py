@@ -1,7 +1,9 @@
-"""Trace I/O in the public ``coflow-benchmark`` format.
+"""Trace I/O in the public ``coflow-benchmark`` format (§6.1 traces).
 
-The paper's FB trace is published at github.com/coflow/coflow-benchmark in a
-line-oriented text format:
+Feeds the trace-driven side of every §6 experiment: the paper evaluates on
+the Facebook Hive/MapReduce trace (526 coflows, 150 ports) and an OSP trace
+(O(1000) jobs, O(100) ports). The FB trace is published at
+github.com/coflow/coflow-benchmark in a line-oriented text format:
 
 .. code-block:: text
 

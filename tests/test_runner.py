@@ -1,0 +1,162 @@
+"""Sweep-runner tests: determinism under process fan-out, caching, dedup.
+
+The runner's contract is that a :class:`RunSpec` fully determines its
+outcome: inline execution, process-pool execution and cache replay must all
+yield bit-identical CCT maps. These tests pin that contract, plus the cache
+round-trip and the CLI-facing helpers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import runner as runner_mod
+from repro.experiments.common import (
+    ExperimentScale,
+    ccts_under,
+    fb_workload,
+    run_policy_on,
+)
+from repro.experiments.runner import (
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    WorkloadSpec,
+    execute_spec,
+    fan_out_seeds,
+)
+from repro.errors import ReproError
+
+SMALL_WORKLOAD = WorkloadSpec(family="fb-like", machines=10, coflows=20,
+                              seed=3)
+
+
+def _spec(policy="saath", **kw) -> RunSpec:
+    return RunSpec(policy=policy, workload=SMALL_WORKLOAD, **kw)
+
+
+def test_execute_spec_is_deterministic():
+    a = execute_spec(_spec())
+    b = execute_spec(_spec())
+    assert a.ccts == b.ccts
+    assert a.makespan == b.makespan
+    assert a.reschedules == b.reschedules
+
+
+def test_process_fanout_matches_inline():
+    specs = [_spec("saath"), _spec("aalo"), _spec("uc-tcp")]
+    inline = SweepRunner(jobs=1).run(specs)
+    fanned = SweepRunner(jobs=2).run(specs)
+    for i, f in zip(inline, fanned):
+        assert i.spec == f.spec
+        assert i.ccts == f.ccts
+        assert i.makespan == f.makespan
+        assert i.reschedules == f.reschedules
+
+
+def test_results_return_in_input_order():
+    specs = [_spec("aalo"), _spec("saath"), _spec("aalo")]
+    outcomes = SweepRunner(jobs=2).run(specs)
+    assert [o.spec.policy for o in outcomes] == ["aalo", "saath", "aalo"]
+
+
+def test_duplicate_specs_computed_once(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+    outcomes = runner.run([_spec(), _spec(), _spec()])
+    assert len({id(o) for o in outcomes}) == 1  # one shared outcome
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_cache_round_trip(tmp_path):
+    first = SweepRunner(jobs=1, cache_dir=tmp_path).run([_spec()])[0]
+    assert not first.from_cache
+    replay_runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+    replay = replay_runner.run([_spec()])[0]
+    assert replay.from_cache
+    assert replay_runner.cache.hits == 1
+    assert replay.ccts == first.ccts  # bit-identical through JSON
+    assert replay.makespan == first.makespan
+    assert replay.reschedules == first.reschedules
+
+
+def test_cache_key_distinguishes_runs():
+    base = _spec()
+    assert base.cache_key() == _spec().cache_key()
+    assert base.cache_key() != _spec("aalo").cache_key()
+    assert base.cache_key() != _spec(
+        config=SimulationConfig(sync_interval=0.008)
+    ).cache_key()
+    assert base.cache_key() != _spec(arrival_scale=2.0).cache_key()
+    reseeded = fan_out_seeds(base, [99])[0]
+    assert base.cache_key() != reseeded.cache_key()
+
+
+def test_corrupt_cache_entry_recomputes(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path)
+    good = runner.run([_spec()])[0]
+    path = tmp_path / f"{_spec().cache_key()}.json"
+    path.write_text("{not json")
+    again = SweepRunner(jobs=1, cache_dir=tmp_path).run([_spec()])[0]
+    assert not again.from_cache
+    assert again.ccts == good.ccts
+    # The recompute repaired the cache entry.
+    assert json.loads(path.read_text())["reschedules"] == good.reschedules
+
+
+def test_fan_out_seeds():
+    specs = fan_out_seeds(_spec(), range(5, 8))
+    assert [s.workload.seed for s in specs] == [5, 6, 7]
+    assert all(s.policy == "saath" for s in specs)
+    outcomes = SweepRunner(jobs=1).run(specs)
+    # Different seeds generate different workloads.
+    assert outcomes[0].ccts != outcomes[1].ccts
+
+
+def test_ccts_under_uses_runner_and_matches_inline():
+    workload = fb_workload(ExperimentScale.TINY, seed=3)
+    assert workload.spec is not None
+    via_runner = ccts_under(workload, ["saath", "aalo"])
+    inline = {
+        p: run_policy_on(workload, p).ccts() for p in ["saath", "aalo"]
+    }
+    assert via_runner == inline
+
+
+def test_customised_spec_gets_no_provenance():
+    """A workload with non-default knobs must NOT be rebuilt from the
+    compact (family, machines, coflows, seed) recipe — the runner would
+    silently substitute default knobs."""
+    from repro.experiments.common import build_workload
+    from repro.workloads.synthetic import fb_like_spec
+
+    canonical = build_workload(fb_like_spec(num_machines=10, num_coflows=20))
+    assert canonical.spec is not None
+    customised = build_workload(
+        fb_like_spec(num_machines=10, num_coflows=20, load=0.9)
+    )
+    assert customised.spec is None  # stays on the inline path
+
+
+def test_default_jobs_is_sequential(monkeypatch):
+    monkeypatch.delenv("REPRO_RUNNER_JOBS", raising=False)
+    assert runner_mod.default_jobs() == 1
+    monkeypatch.setenv("REPRO_RUNNER_JOBS", "3")
+    assert runner_mod.default_jobs() == 3
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ReproError):
+        WorkloadSpec(family="nope", machines=4, coflows=4)
+    with pytest.raises(ReproError):
+        SweepRunner(jobs=0)
+
+
+def test_result_cache_survives_missing_dir(tmp_path):
+    cache = ResultCache(tmp_path / "deep" / "nested")
+    assert cache.get(_spec()) is None
+    outcome = execute_spec(_spec())
+    cache.put(outcome)
+    assert cache.get(_spec()).ccts == outcome.ccts

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Documentation lint: markdown link targets + module docstring policy.
+
+Run from the repository root (CI does):
+
+    python tools/check_docs.py
+
+Checks:
+
+1. Every relative markdown link in README.md and docs/*.md points at a
+   file or directory that exists (external http(s) links are skipped).
+2. Every module under src/repro/ has a module docstring, and modules in
+   the experiments/ and workloads/ packages state which paper artifact
+   they serve (a "Fig.", "§" or "Table" reference), matching the style of
+   engine.py / saath.py.
+
+Exits non-zero with a summary of violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+#: Packages whose modules must cite the paper artifact they reproduce.
+PAPER_REF_PACKAGES = ("src/repro/experiments", "src/repro/workloads")
+PAPER_REF_RE = re.compile(r"Fig\.?\s*\d|§\s*\d|Table\s*\d")
+
+
+def check_markdown_links() -> list[str]:
+    errors = []
+    for md in [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]:
+        if not md.exists():
+            errors.append(f"{md.relative_to(ROOT)}: file missing")
+            continue
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                target = target.split("#", 1)[0].strip()
+                if not target or target.startswith(("http://", "https://",
+                                                    "mailto:")):
+                    continue
+                resolved = (md.parent / target).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(ROOT)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    return errors
+
+
+def check_module_docstrings() -> list[str]:
+    errors = []
+    for py in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        rel = py.relative_to(ROOT)
+        doc = ast.get_docstring(ast.parse(py.read_text()))
+        if not doc:
+            errors.append(f"{rel}: missing module docstring")
+            continue
+        needs_ref = (
+            any(str(rel).startswith(pkg) for pkg in PAPER_REF_PACKAGES)
+            and py.name != "__init__.py"
+        )
+        if needs_ref and not PAPER_REF_RE.search(doc):
+            errors.append(
+                f"{rel}: module docstring should state the paper "
+                f"figure/section it reproduces (no Fig./§/Table reference)"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links() + check_module_docstrings()
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} documentation problem(s)")
+        return 1
+    print("docs lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
