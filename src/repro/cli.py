@@ -80,6 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-incremental", action="store_true",
                           help="use the full-recompute scheduling path "
                                "(slower; results are identical)")
+    simulate.add_argument("--no-epochs", action="store_true",
+                          help="disable the engine's allocation-epoch path "
+                               "(slower; results are identical)")
 
     sweep = sub.add_parser(
         "sweep", help="run a policy x seed grid through the sweep runner"
@@ -98,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=None)
     sweep.add_argument("--cache-dir", type=Path, default=None)
     sweep.add_argument("--no-incremental", action="store_true")
+    sweep.add_argument("--no-epochs", action="store_true")
 
     gen = sub.add_parser("gen-trace", help="emit a synthetic trace")
     gen.add_argument("--family", choices=["fb-like", "osp-like"],
@@ -113,6 +117,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     config = SimulationConfig(
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
+        epochs=not args.no_epochs,
     )
     runner = sweep_runner.configure(jobs=args.jobs, cache_dir=args.cache_dir)
     base = WorkloadSpec(family=args.family, machines=args.machines,
@@ -147,6 +152,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     config = SimulationConfig(
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
+        epochs=not args.no_epochs,
     )
     if args.trace is not None:
         trace = load_trace(args.trace)

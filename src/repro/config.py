@@ -16,6 +16,7 @@ Paper defaults (§6 Setup): ``S = 10 MB``, ``E = 10``, ``K = 10``,
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
@@ -46,6 +47,14 @@ class QueueConfig:
             raise ConfigError(
                 f"growth_factor must be > 1, got {self.growth_factor}"
             )
+        # Finite upper thresholds Q_hi(0..K-2), precomputed so the hot
+        # queue lookup is one bisect (the dataclass is frozen, hence the
+        # object.__setattr__; the cache is derived state, not a field).
+        object.__setattr__(
+            self, "_finite_hi",
+            [self.start_threshold * self.growth_factor**q
+             for q in range(self.num_queues - 1)],
+        )
 
     def hi_threshold(self, queue: int) -> float:
         """Upper byte threshold ``Q_hi`` of ``queue`` (inf for the last)."""
@@ -71,16 +80,11 @@ class QueueConfig:
             raise ConfigError(f"sent_bytes must be >= 0, got {sent_bytes}")
         if sent_bytes < self.start_threshold:
             return 0
-        # Queue q has hi = S * E**q, so b < S * E**q  =>  q > log_E(b / S).
-        q = int(math.floor(math.log(sent_bytes / self.start_threshold,
-                                    self.growth_factor))) + 1
-        q = min(max(q, 0), self.num_queues - 1)
-        # Guard against floating-point boundary wobble.
-        while q > 0 and sent_bytes < self.lo_threshold(q):
-            q -= 1
-        while q < self.num_queues - 1 and sent_bytes >= self.hi_threshold(q):
-            q += 1
-        return q
+        # The queue is the unique q with Q_lo(q) <= b < Q_hi(q) (clamped to
+        # the last queue) — previously found with a log plus wobble guards,
+        # but a bisect over the precomputed finite thresholds lands on the
+        # same fixpoint directly and skips the transcendental call.
+        return bisect_right(self._finite_hi, sent_bytes)
 
     def queue_for_per_flow_bytes(self, max_flow_bytes: float, width: int) -> int:
         """Saath's per-flow-threshold rule (Eq. 1, §4.2 D3).
@@ -142,6 +146,14 @@ class SimulationConfig:
       rebuilding it from scratch every round. The two paths are exactly
       equivalent (asserted by the equivalence test-suite); ``False``
       restores the original full-recompute path (CLI ``--no-incremental``).
+    * ``epochs`` — run the engine's allocation lifecycle in *epochs*: apply
+      allocations as rate diffs against the previous round (touching only
+      flows whose rate changed), find the next completion through a lazy
+      min-heap instead of scanning every running flow per event, and let
+      rate allocators consume the cluster state's per-coflow port-count
+      caches. Exactly equivalent to the per-event full recompute (asserted
+      by the equivalence suite); ``False`` restores the pre-epoch engine
+      (CLI ``--no-epochs``).
     * ``validate_incremental`` — debug mode: run the incremental *and* the
       full-recompute bookkeeping every round and assert they agree. Slower
       than either path alone; used by the equivalence tests.
@@ -157,6 +169,7 @@ class SimulationConfig:
     epsilon_bytes: float = 1e-6
     max_sim_time: float = 1e7
     incremental: bool = True
+    epochs: bool = True
     validate_incremental: bool = False
 
     def __post_init__(self) -> None:

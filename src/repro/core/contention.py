@@ -114,9 +114,15 @@ class ContentionTracker:
         for c in coflows:
             self.add(c)
 
-    def add(self, coflow: CoFlow) -> None:
-        """Index a newly-active coflow."""
-        ports = ports_in_use(coflow)
+    def add(self, coflow: CoFlow, *, ports: set[int] | None = None) -> None:
+        """Index a newly-active coflow.
+
+        ``ports`` optionally supplies the coflow's unfinished-flow port set
+        (the cluster state's flow-group compaction cache) so the tracker
+        needn't rescan every flow; it must equal ``ports_in_use(coflow)``.
+        """
+        if ports is None:
+            ports = ports_in_use(coflow)
         cid = coflow.coflow_id
         self._coflows[cid] = coflow
         self._ports[cid] = ports
@@ -150,14 +156,19 @@ class ContentionTracker:
             else:
                 del occupants[p]
 
-    def refresh_ports(self, coflow: CoFlow) -> None:
-        """Re-derive a coflow's port footprint after some flows finished."""
+    def refresh_ports(self, coflow: CoFlow, *,
+                      ports: set[int] | None = None) -> None:
+        """Re-derive a coflow's port footprint after some flows finished.
+
+        ``ports`` optionally supplies the new footprint from the cluster
+        state's compaction cache (see :meth:`add`).
+        """
         cid = coflow.coflow_id
         old = self._ports.get(cid)
         if old is None:
-            self.add(coflow)
+            self.add(coflow, ports=ports)
             return
-        new = ports_in_use(coflow)
+        new = ports_in_use(coflow) if ports is None else ports
         if new == old:
             return
         occupants = self._occupants

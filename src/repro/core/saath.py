@@ -111,12 +111,19 @@ class SaathScheduler(Scheduler):
         #: so work conservation does not re-derive the same lists.
         missed: list[list[Flow]] = []
 
+        #: Flow-group compaction (epochs engine): per-port pending counts
+        #: replace the per-flow recount in admission and D2 rate assignment
+        #: whenever they exactly describe the schedulable set.
+        use_counts = self.config.epochs
         for coflow in order:
             flows = state.schedulable_flows(coflow, now)
             if not flows:
                 continue
-            if self._all_or_none_admissible(flows, ledger):
-                rates = equal_rate_for_coflow(coflow, ledger, flows=flows)
+            counts = state.port_counts(coflow, now) if use_counts else None
+            if self._all_or_none_admissible(flows, ledger, counts):
+                rates = equal_rate_for_coflow(
+                    coflow, ledger, flows=flows, port_counts=counts
+                )
                 if rates:
                     allocation.rates.update(rates)
                     allocation.scheduled_coflows.add(coflow.coflow_id)
@@ -257,28 +264,46 @@ class SaathScheduler(Scheduler):
         if not incremental:
             tracker.rebuild(state.active_coflows)
         else:
+            # Delta-driven rounds run against live engine notifications, so
+            # the compaction caches are exact and hand the tracker each
+            # dirty coflow's port footprint without a flow rescan.
             delta = state.delta
             for cid in delta.completed:
                 tracker.remove(cid)
             for cid in delta.arrived:
-                tracker.add(state.coflow(cid))
+                coflow = state.coflow(cid)
+                tracker.add(
+                    coflow, ports=set(state.pending_port_counts(coflow))
+                )
             for cid in delta.flow_completed - delta.arrived:
-                tracker.refresh_ports(state.coflow(cid))
+                coflow = state.coflow(cid)
+                tracker.refresh_ports(
+                    coflow, ports=set(state.pending_port_counts(coflow))
+                )
             for cid in queue_moves:
                 tracker.note_queue_change(cid)
         if self.config.validate_incremental:
             tracker.assert_matches_full(state.active_coflows, queue_of)
         return tracker.counts(queue_of)
 
-    def _all_or_none_admissible(self, flows: list[Flow],
-                                ledger) -> bool:
-        """True if every port the flows touch has ≥ min_rate residual."""
+    def _all_or_none_admissible(self, flows: list[Flow], ledger,
+                                port_counts: dict[int, int] | None = None,
+                                ) -> bool:
+        """True if every port the flows touch has ≥ min_rate residual.
+
+        ``port_counts`` (the cluster state's compaction cache) supplies the
+        port set directly when it exactly covers ``flows``, skipping the
+        per-flow set build; the admission predicate is a conjunction over
+        the same ports either way.
+        """
         min_rate = self.config.min_rate
+        residual = ledger.residual
+        if port_counts is not None:
+            return all(residual(p) >= min_rate for p in port_counts)
         ports: set[int] = set()
         for f in flows:
             ports.add(f.src)
             ports.add(f.dst)
-        residual = ledger.residual
         return all(residual(p) >= min_rate for p in ports)
 
     def _work_conserve(self, missed: list[list[Flow]],

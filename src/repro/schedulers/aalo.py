@@ -50,6 +50,12 @@ class AaloScheduler(Scheduler):
                 f"queue_weight_decay must be >= 1, got {queue_weight_decay}"
             )
         self.queue_weight_decay = queue_weight_decay
+        #: queue index -> weight, precomputed once (the per-round pow calls
+        #: used to show up in profiles; same floats, same decay rule).
+        self._queue_weight = [
+            queue_weight_decay ** (-q)
+            for q in range(config.queues.num_queues)
+        ]
         self.tracker = QueueTracker(config, metric="total")
         #: coflow_id -> arrival order index, the FIFO key at every port.
         self._arrival_order: dict[int, int] = {}
@@ -99,20 +105,26 @@ class AaloScheduler(Scheduler):
         # emitting their flows in flow-id order yields exactly the per-port
         # (queue, fifo, flow_id) order the ports serve in — each coflow has
         # a unique FIFO index and its flows carry ascending ids — without
-        # building or sorting a key tuple per flow.
+        # building or sorting a key tuple per flow. Flows are bucketed into
+        # equal-queue runs directly, so the per-port pass needn't re-slice.
+        queue_of = self.tracker.queue_of
+        arrival_order = self._arrival_order
         ordered = sorted(
             state.active_coflows,
-            key=lambda c: (self.tracker.queue_of(c),
-                           self._arrival_order[c.coflow_id]),
+            key=lambda c: (queue_of(c), arrival_order[c.coflow_id]),
         )
-        per_sender: dict[int, list[tuple[int, Flow]]] = defaultdict(list)
+        per_sender: dict[int, list[tuple[int, list[Flow]]]] = defaultdict(list)
         for coflow in ordered:
-            queue = self.tracker.queue_of(coflow)
+            queue = queue_of(coflow)
             flows = state.schedulable_flows(coflow, now)
             if not self._id_sorted.get(coflow.coflow_id, True):
                 flows.sort(key=lambda f: f.flow_id)
             for f in flows:
-                per_sender[f.src].append((queue, f))
+                runs = per_sender[f.src]
+                if not runs or runs[-1][0] != queue:
+                    runs.append((queue, [f]))
+                else:
+                    runs[-1][1].append(f)
 
         ledger = self._round_ledger(state)
         allocation = Allocation()
@@ -123,62 +135,61 @@ class AaloScheduler(Scheduler):
         return allocation
 
     def _allocate_port(self, port: int,
-                       queue_flows: list[tuple[int, Flow]],
+                       runs: list[tuple[int, list[Flow]]],
                        ledger, allocation: Allocation) -> None:
-        """Weighted queue shares at one sender port, then a spill pass."""
+        """Weighted queue shares at one sender port, then a spill pass.
+
+        ``runs`` holds the port's schedulable flows sliced into runs of
+        equal queue, in (queue, fifo, flow_id) order. Each grant goes
+        through :meth:`~repro.simulator.fabric.PortLedger.fill_capped` —
+        one fused residual/commit call whose rate is the same
+        ``min(budget, residual(src), residual(dst))`` as the unfused pair.
+        """
         port_capacity = ledger.residual(port)
         if port_capacity <= 0:
             return
-        # ``queue_flows`` arrives sorted by (queue, fifo, flow_id); slice it
-        # into runs of equal queue so each queue's FIFO pass walks only its
-        # own flows instead of rescanning the whole port.
-        runs: list[tuple[int, list[Flow]]] = []
-        for queue, flow in queue_flows:
-            if not runs or runs[-1][0] != queue:
-                runs.append((queue, []))
-            runs[-1][1].append(flow)
-        weights = {q: self.queue_weight_decay ** (-q) for q, _ in runs}
-        total_weight = sum(weights.values())
+        weight_of = self._queue_weight
+        total_weight = 0.0
+        for q, _ in runs:
+            total_weight += weight_of[q]
 
-        residual = ledger.residual
-        commit = ledger.commit
+        fill_capped = ledger.fill_capped
         rates = allocation.rates
+        rates_get = rates.get
         scheduled = allocation.scheduled_coflows
 
         # Every flow here sends from ``port``, so once the port's residual
         # hits zero no later flow (in either pass) can receive a rate —
-        # bail out instead of scanning the remaining no-op iterations.
+        # the ledger's -1.0 sentinel bails out instead of scanning the
+        # remaining no-op iterations.
 
         # Pass 1: each occupied queue spends its weighted share, FIFO.
         for q, run in runs:
-            budget = port_capacity * weights[q] / total_weight
+            budget = port_capacity * weight_of[q] / total_weight
             for flow in run:
                 if budget <= 0:
                     break
-                port_left = residual(port)
-                if port_left <= 0:
-                    return
-                rate = min(budget, port_left, residual(flow.dst))
+                rate = fill_capped(port, flow.dst, budget)
                 if rate <= 0:
-                    continue
-                commit(flow.src, flow.dst, rate)
+                    if rate < 0:
+                        return  # sender port exhausted
+                    continue  # receiver full; later receivers may differ
                 budget -= rate
-                rates[flow.flow_id] = rates.get(flow.flow_id, 0.0) + rate
+                rates[flow.flow_id] = rates_get(flow.flow_id, 0.0) + rate
                 scheduled.add(flow.coflow_id)
 
         # Pass 2 (work conservation): spill leftover capacity in strict
         # priority+FIFO order, e.g. when a queue's share outruns its flows'
         # receiver capacity.
-        for _, flow in queue_flows:
-            port_left = residual(port)
-            if port_left <= 0:
-                return
-            rate = min(port_left, residual(flow.dst))
-            if rate <= 0:
-                continue
-            commit(flow.src, flow.dst, rate)
-            rates[flow.flow_id] = rates.get(flow.flow_id, 0.0) + rate
-            scheduled.add(flow.coflow_id)
+        for _, run in runs:
+            for flow in run:
+                rate = fill_capped(port, flow.dst, math.inf)
+                if rate <= 0:
+                    if rate < 0:
+                        return  # sender port exhausted
+                    continue
+                rates[flow.flow_id] = rates_get(flow.flow_id, 0.0) + rate
+                scheduled.add(flow.coflow_id)
 
     def next_wakeup(self, state: ClusterState, allocation: Allocation,
                     now: float) -> float | None:

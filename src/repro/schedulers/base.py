@@ -23,7 +23,7 @@ from ..simulator.flows import CoFlow, Flow
 from ..simulator.state import ClusterState
 
 
-@dataclass
+@dataclass(slots=True)
 class Allocation:
     """Result of one scheduling round: rates plus optional diagnostics."""
 

@@ -133,8 +133,8 @@ class QueueTracker:
         if self.metric == "total":
             rates_get = rates.get
             total_rate = sum(
-                rates_get(f.flow_id, 0.0) for f in coflow.flows
-                if f.finish_time is None
+                [rates_get(f.flow_id, 0.0) for f in coflow.flows
+                 if f.finish_time is None]
             )
             if total_rate <= 0:
                 return math.inf

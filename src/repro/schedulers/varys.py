@@ -19,6 +19,8 @@ this offline scheduler.
 
 from __future__ import annotations
 
+import math
+
 from ..config import SimulationConfig
 from ..simulator.flows import CoFlow
 from ..simulator.ratealloc import greedy_residual_rates, madd_rates
@@ -78,8 +80,17 @@ class VarysSebfScheduler(Scheduler):
                 remaining = 0.0
             load[f.src] = get(f.src, 0.0) + remaining
             load[f.dst] = get(f.dst, 0.0) + remaining
+        if not load:
+            return 0.0
+        if not state.capacity_override:
+            # Homogeneous fabric: every port runs at the same rate, and
+            # float division by a positive constant is monotone, so
+            # ``max(load) / rate`` is bit-identical to the per-port maximum
+            # of ``load / rate`` — one division instead of one per port.
+            rate = state.fabric.port_rate
+            return max(load.values()) / rate if rate > 0 else math.inf
         gamma = 0.0
         for port, volume in load.items():
             cap = state.port_capacity(port)
-            gamma = max(gamma, volume / cap if cap > 0 else float("inf"))
+            gamma = max(gamma, volume / cap if cap > 0 else math.inf)
         return gamma

@@ -19,12 +19,31 @@ Because rates are constant between state changes, recomputing at every grid
 point would yield identical schedules, so the engine only recomputes at grid
 points *following* a state change; this is an exact optimisation, not an
 approximation.
+
+**Allocation epochs (``config.epochs``).** Each applied allocation opens an
+*epoch*: the engine keeps the previous round's raw ``flow_id → rate`` map
+and applies the next allocation as a diff, touching only flows whose rate
+changed (C-level dict-view set operations find the changed entries), while
+``_running`` / ``_running_cids`` are maintained in place instead of being
+rebuilt from every pending flow. Completion lookout uses a lazy min-heap
+keyed by ``(predicted finish lower bound, epoch, flow_id)``: entries from
+superseded epochs are popped and discarded lazily, and each event pops only
+the entries whose lower bound could beat the provisional minimum — for
+those few flows the exact per-event arithmetic of the full scan is
+replayed, so the chosen instant is bit-identical to the scan's (see
+:meth:`Simulator._heap_completion` for the monotonicity argument). When a
+round churns most rates (UC-TCP recomputes global fair shares every event),
+the heap would cost more than it saves, so the engine falls back to the
+plain scan until churn subsides. ``epochs=False`` restores the pre-epoch
+engine; both paths produce byte-identical :class:`SimulationResult`\\ s
+(asserted by the equivalence suite).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Iterable, Protocol
 
 from ..config import SimulationConfig
@@ -64,12 +83,25 @@ class SimulationResult:
     reschedules: int = 0
     #: Simulated time at which the last coflow finished.
     makespan: float = 0.0
+    #: Lazily-built ``coflow_id → CoFlow`` index backing :meth:`cct` and
+    #: :meth:`coflow`, which analysis code calls in per-coflow loops.
+    _by_id: dict[int, CoFlow] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _index(self) -> dict[int, CoFlow]:
+        by_id = self._by_id
+        if len(by_id) != len(self.coflows):
+            by_id.clear()
+            for c in self.coflows:
+                by_id[c.coflow_id] = c
+        return by_id
 
     def cct(self, coflow_id: int) -> float:
-        for c in self.coflows:
-            if c.coflow_id == coflow_id:
-                return c.cct()
-        raise KeyError(f"coflow {coflow_id} not in result")
+        try:
+            return self._index()[coflow_id].cct()
+        except KeyError:
+            raise KeyError(f"coflow {coflow_id} not in result") from None
 
     def ccts(self) -> dict[int, float]:
         """coflow_id → CCT for every finished coflow."""
@@ -81,10 +113,19 @@ class SimulationResult:
         return sum(c.cct() for c in self.coflows) / len(self.coflows)
 
     def coflow(self, coflow_id: int) -> CoFlow:
-        for c in self.coflows:
-            if c.coflow_id == coflow_id:
-                return c
-        raise KeyError(f"coflow {coflow_id} not in result")
+        try:
+            return self._index()[coflow_id]
+        except KeyError:
+            raise KeyError(f"coflow {coflow_id} not in result") from None
+
+
+#: Relative + absolute safety margin applied to heap lower bounds so that
+#: stepwise float drift in ``bytes_sent`` between the anchor event and the
+#: instant a completion actually fires can only cause an extra (exact)
+#: recomputation, never a missed completion. Deliberately much wider than
+#: the drift of any realistic event chain.
+_HEAP_MARGIN_REL = 1e-9
+_HEAP_MARGIN_ABS = 1e-12
 
 
 class Simulator:
@@ -121,13 +162,20 @@ class Simulator:
         self._now = 0.0
         self._next_sync: float | None = None
         self._waiting_dag: dict[int, CoFlow] = {}
+        #: Dependency index (coflow_id → still-unmet dependency ids) and its
+        #: inverse (dependency id → waiting coflows, arrival order), so a
+        #: coflow completion releases dependents in O(dependents) instead of
+        #: rescanning every DAG-blocked coflow.
+        self._unmet_deps: dict[int, set[int]] = {}
+        self._dep_waiters: dict[int, list[CoFlow]] = {}
         self._finished_ids: set[int] = set()
         self._result = SimulationResult()
         #: Flows with a positive rate under the current allocation, plus
         #: flows that may already be complete (zero-volume on arrival).
         #: Only these can change state between events — keeping the hot
         #: loops off the full active set is the engine's main optimisation.
-        self._running: list[Flow] = []
+        #: Under ``epochs`` this is a live view of ``_running_map``.
+        self._running: "list[Flow] | object" = []
         #: Coflow ids with at least one running flow, precomputed at
         #: allocation time so time advancement can mark "progressed"
         #: coflows in the scheduling delta with one set union.
@@ -147,6 +195,44 @@ class Simulator:
         #: list above is authoritative. Zero-width steps (several events at
         #: one instant) and dynamics fall back to the full scan.
         self._advanced_this_step = False
+
+        # ---- allocation-epoch state (config.epochs) ----------------------
+        #: Rate perturbation rewrites every rate on every application, so
+        #: nothing can be diffed; the epoch machinery disables itself.
+        self._epochs_engine = config.epochs and rate_perturbation is None
+        #: Raw flow_id → rate map of the previously applied allocation.
+        self._prev_rates: dict[int, float] = {}
+        #: flow_id → Flow for flows with a positive applied rate.
+        self._running_map: dict[int, Flow] = {}
+        #: flow_id → running-flow count per coflow backing ``_running_cids``.
+        self._running_count: dict[int, int] = {}
+        #: Flows whose raw rate is positive but whose data is not yet
+        #: available (§4.3): re-evaluated on every diffed application.
+        self._gated: dict[int, Flow] = {}
+        #: flow_id → (Flow, position in coflow.flows) for active coflows;
+        #: the positions restore the legacy completion-candidate order.
+        self._flow_by_id: dict[int, Flow] = {}
+        self._flow_pos: dict[int, int] = {}
+        #: coflow_id → index in ``state.active_coflows`` (candidate order).
+        self._active_pos: dict[int, int] = {}
+        #: Per-flow allocation epoch: bumped whenever the applied rate
+        #: changes, invalidating that flow's completion-heap entries.
+        self._flow_epoch: dict[int, int] = {}
+        #: Lazy completion min-heap of (finish lower bound, epoch, flow_id).
+        self._heap: list[tuple[float, int, int]] = []
+        #: Running flows whose rate changed since their last heap entry.
+        self._unheaped: dict[int, Flow] = {}
+        #: True once the heap covers every running flow (warm).
+        self._heap_live = False
+        #: Next _earliest_completion should seed the heap during its scan.
+        self._seed_pending = False
+        #: Next application must be a full rebuild (first round; dynamics).
+        self._full_apply_pending = True
+        #: Events seen since the last allocation application — the reseed
+        #: heuristic's estimate of how many events share one δ window.
+        self._events_since_apply = 0
+        if self._epochs_engine:
+            self._running = self._running_map.values()
 
     # ---- public API -----------------------------------------------------------
 
@@ -195,6 +281,7 @@ class Simulator:
 
     def _next_instant(self) -> float:
         """Earliest of: external event, flow completion, pending sync."""
+        self._events_since_apply += 1
         candidates: list[float] = []
         head = self._events.peek_time()
         if head is not None:
@@ -226,8 +313,16 @@ class Simulator:
         if self._maybe_done:
             self._no_completion_before = self._now
             return self._now
+        if self._heap_live:
+            return self._heap_completion()
         # Inlined _flow_complete: this scan runs for every running flow at
         # every event, so attribute/method dispatch overhead is material.
+        # When a seed was requested the same pass pushes a margined lower
+        # bound per flow, warming the heap for subsequent events.
+        seed = self._seed_pending
+        heap = self._heap
+        epoch = self._flow_epoch
+        push = heappush
         eps = self.config.epsilon_bytes
         best = math.inf
         pred_min = math.inf
@@ -239,6 +334,8 @@ class Simulator:
             rate = f.rate
             if remaining <= eps or (rate > 0 and remaining <= rate * 1e-8):
                 self._no_completion_before = now
+                if seed:
+                    heap.clear()  # partial seed; retry next event
                 return now
             if rate > 0:
                 ttc = remaining / rate
@@ -251,6 +348,16 @@ class Simulator:
                 pred = (remaining - slack) / rate
                 if pred < pred_min:
                     pred_min = pred
+                if seed:
+                    push(heap, (
+                        now + pred - abs(pred) * _HEAP_MARGIN_REL
+                        - _HEAP_MARGIN_ABS,
+                        epoch[f.flow_id], f.flow_id,
+                    ))
+        if seed:
+            self._seed_pending = False
+            self._heap_live = True
+            self._unheaped.clear()
         # Conservative margin (a few ulps) so float noise can only make us
         # scan unnecessarily, never miss a completion.
         self._no_completion_before = (
@@ -258,6 +365,96 @@ class Simulator:
             if math.isfinite(pred_min) else math.inf
         )
         return now + best if math.isfinite(best) else None
+
+    def _heap_completion(self) -> float | None:
+        """Next completion instant via the lazy heap (epochs engine, warm).
+
+        Exactness: the full scan returns ``now + min_f(remaining_f/rate_f)``
+        and float addition is monotone, so that equals
+        ``min_f(now + remaining_f/rate_f)``. Every running flow holds a heap
+        entry whose key lower-bounds its ``now + remaining/rate`` at any
+        later event of its epoch (margin covers stepwise float drift), so
+        popping entries while the top key beats the provisional best — and
+        recomputing those few flows with the scan's exact per-event
+        arithmetic — yields the same minimum as scanning everything. Flows
+        rescheduled since the last event sit in ``_unheaped`` and are
+        scanned exactly (and re-heaped) first; stale epochs are discarded.
+        """
+        now = self._now
+        eps = self.config.epsilon_bytes
+        heap = self._heap
+        epoch = self._flow_epoch
+        push = heappush
+        running = self._running_map
+        best = math.inf  # absolute instant
+        if self._unheaped:
+            for fid, f in self._unheaped.items():
+                if f.finish_time is not None:
+                    continue
+                remaining = f.volume - f.bytes_sent
+                rate = f.rate
+                if remaining <= eps or (
+                        rate > 0 and remaining <= rate * 1e-8):
+                    # Unheaped flows are re-examined next event, so bailing
+                    # out without clearing the set is safe.
+                    self._no_completion_before = now
+                    return now
+                if rate > 0:
+                    t = now + remaining / rate
+                    if t < best:
+                        best = t
+                    slack = eps if eps > rate * 1e-8 else rate * 1e-8
+                    pred = (remaining - slack) / rate
+                    push(heap, (
+                        now + pred - abs(pred) * _HEAP_MARGIN_REL
+                        - _HEAP_MARGIN_ABS,
+                        epoch[fid], fid,
+                    ))
+            self._unheaped.clear()
+        seen: set[int] = set()
+        repush: list[tuple[float, int, int]] = []
+        while heap and heap[0][0] < best:
+            entry = heappop(heap)
+            fid = entry[2]
+            f = running.get(fid)
+            if (f is None or epoch.get(fid) != entry[1]
+                    or f.finish_time is not None or fid in seen):
+                continue  # stale epoch / finished / already refreshed
+            rate = f.rate
+            if rate <= 0:
+                continue  # silenced mid-window; reallocation re-heaps it
+            remaining = f.volume - f.bytes_sent
+            if remaining <= eps or remaining <= rate * 1e-8:
+                push(heap, entry)
+                for e in repush:
+                    push(heap, e)
+                self._no_completion_before = now
+                return now
+            t = now + remaining / rate
+            if t < best:
+                best = t
+            slack = eps if eps > rate * 1e-8 else rate * 1e-8
+            pred = (remaining - slack) / rate
+            seen.add(fid)
+            repush.append((
+                now + pred - abs(pred) * _HEAP_MARGIN_REL - _HEAP_MARGIN_ABS,
+                entry[1], fid,
+            ))
+        for e in repush:
+            push(heap, e)
+        # Every running flow still has an entry, so the heap top bounds all
+        # completion windows from below (stale entries only push it lower,
+        # which is conservative: the completion pass may scan needlessly
+        # but can never be skipped wrongly).
+        self._no_completion_before = heap[0][0] if heap else math.inf
+        return best if math.isfinite(best) else None
+
+    def _go_cold(self) -> None:
+        """Drop the completion heap; fall back to full scans until reseeded."""
+        self._heap_live = False
+        self._seed_pending = False
+        self._heap.clear()
+        self._unheaped.clear()
 
     def _advance_to(self, t: float) -> None:
         dt = t - self._now
@@ -294,17 +491,17 @@ class Simulator:
             # The pre-advance scan proved no flow can have completed yet
             # (this step stops strictly before any completion window).
             return False
-        candidates: list[tuple[Flow, CoFlow]] = []
+        raw: list[Flow]
         if self._advanced_this_step:
             # The advance loop already found every flow whose completion
             # predicate fired; no second scan over the running set needed.
-            for f in self._completion_candidates:
-                candidates.append((f, self._coflow_of[f.coflow_id]))
+            raw = self._completion_candidates
             self._completion_candidates = []
         else:
             # Zero-width step (events piling up at one instant): rates may
             # have changed since the last advance, so scan everything —
             # exactly what the original per-event pass did.
+            raw = []
             eps = self.config.epsilon_bytes
             for f in self._running:
                 # Inlined _flow_complete (see _earliest_completion).
@@ -313,7 +510,18 @@ class Simulator:
                 remaining = f.volume - f.bytes_sent
                 if remaining <= eps or (
                         f.rate > 0 and remaining <= f.rate * 1e-8):
-                    candidates.append((f, self._coflow_of[f.coflow_id]))
+                    raw.append(f)
+        if len(raw) > 1:
+            # The running set is maintained incrementally under epochs, so
+            # its iteration order drifts from the legacy rebuild order;
+            # restore it (active-coflow position, then flow position) so
+            # same-instant completions are recorded identically. On the
+            # legacy path the list is already in this order (stable no-op).
+            active_pos = self._active_pos
+            flow_pos = self._flow_pos
+            raw.sort(key=lambda f: (active_pos[f.coflow_id],
+                                    flow_pos[f.flow_id]))
+        candidates = [(f, self._coflow_of[f.coflow_id]) for f in raw]
         if self._maybe_done:
             candidates.extend(self._maybe_done)
             self._maybe_done = []
@@ -340,15 +548,47 @@ class Simulator:
                 self.scheduler.on_coflow_completion(coflow, self._now)
                 done.add(coflow.coflow_id)
                 del self._coflow_of[coflow.coflow_id]
+                self._evict_coflow(coflow)
         if done:
             self.state.active_coflows = [
                 c for c in self.state.active_coflows
                 if c.coflow_id not in done
             ]
+            self._active_pos = {
+                c.coflow_id: i
+                for i, c in enumerate(self.state.active_coflows)
+            }
             for coflow_id in done:
                 self.state.note_coflow_finished(coflow_id)
                 self._release_dependents_of(coflow_id)
         return True
+
+    def _evict_coflow(self, coflow: CoFlow) -> None:
+        """Drop a finished coflow's flows from the epoch-engine indices.
+
+        ``_running_count`` is updated so future ``_running_cids`` rebuilds
+        are correct, but the current frozenset is left untouched: the
+        legacy engine also keeps a finished coflow's id in the progressed
+        mark-set until the next allocation is applied.
+        """
+        flow_by_id = self._flow_by_id
+        flow_pos = self._flow_pos
+        epoch = self._flow_epoch
+        running = self._running_map
+        counts = self._running_count
+        for f in coflow.flows:
+            fid = f.flow_id
+            flow_by_id.pop(fid, None)
+            flow_pos.pop(fid, None)
+            epoch.pop(fid, None)
+            self._gated.pop(fid, None)
+            self._unheaped.pop(fid, None)
+            if running.pop(fid, None) is not None:
+                left = counts.get(coflow.coflow_id, 0) - 1
+                if left > 0:
+                    counts[coflow.coflow_id] = left
+                else:
+                    counts.pop(coflow.coflow_id, None)
 
     def _process_external_events(self) -> bool:
         changed = False
@@ -368,24 +608,40 @@ class Simulator:
                     # Data-availability wakeups change nothing the delta
                     # vocabulary tracks, so they stay incremental.
                     self.state.note_dynamics()
+                    # Rates/ports may have been rewritten under the epoch
+                    # engine's feet: drop the heap (scans are always exact)
+                    # and rebuild the diff baseline at the next round.
+                    self._full_apply_pending = True
+                    self._go_cold()
                 changed = True
             else:  # SYNC markers never enter the external queue
                 raise SimulationError(f"unexpected event kind {event.kind}")
         return changed
 
     def _handle_arrival(self, coflow: CoFlow) -> None:
-        unmet = [d for d in coflow.depends_on if d not in self._finished_ids]
+        unmet = {d for d in coflow.depends_on if d not in self._finished_ids}
         if unmet:
             self._waiting_dag[coflow.coflow_id] = coflow
+            self._unmet_deps[coflow.coflow_id] = unmet
+            for dep in unmet:
+                self._dep_waiters.setdefault(dep, []).append(coflow)
             return
         self._activate(coflow)
 
     def _activate(self, coflow: CoFlow) -> None:
         # DAG-released stages start counting CCT from their release instant.
         coflow.arrival_time = max(coflow.arrival_time, self._now)
+        self._active_pos[coflow.coflow_id] = len(self.state.active_coflows)
         self.state.active_coflows.append(coflow)
         self.state.note_activated(coflow)
         self._coflow_of[coflow.coflow_id] = coflow
+        flow_by_id = self._flow_by_id
+        flow_pos = self._flow_pos
+        epoch = self._flow_epoch
+        for pos, f in enumerate(coflow.flows):
+            flow_by_id[f.flow_id] = f
+            flow_pos[f.flow_id] = pos
+            epoch[f.flow_id] = 0
         self.scheduler.on_coflow_arrival(coflow, self._now)
         for f in coflow.flows:
             # Wake the scheduler when pipelined data becomes available
@@ -399,13 +655,18 @@ class Simulator:
                 self._maybe_done.append((f, coflow))
 
     def _release_dependents_of(self, finished_id: int) -> None:
-        released = [
-            c for c in self._waiting_dag.values()
-            if all(d in self._finished_ids for d in c.depends_on)
-        ]
-        for c in released:
-            del self._waiting_dag[c.coflow_id]
-            self._activate(c)
+        waiters = self._dep_waiters.pop(finished_id, None)
+        if not waiters:
+            return
+        for c in waiters:
+            unmet = self._unmet_deps.get(c.coflow_id)
+            if unmet is None:
+                continue  # already released via another dependency list
+            unmet.discard(finished_id)
+            if not unmet:
+                del self._unmet_deps[c.coflow_id]
+                del self._waiting_dag[c.coflow_id]
+                self._activate(c)
 
     # ---- scheduling ------------------------------------------------------------------
 
@@ -432,6 +693,13 @@ class Simulator:
             self._request_resync(wakeup)
 
     def _apply_allocation(self, allocation: Allocation) -> None:
+        if self._epochs_engine:
+            if self._full_apply_pending:
+                self._full_apply_pending = False
+                self._apply_full_epoch(allocation)
+            else:
+                self._apply_diff(allocation)
+            return
         running: list[Flow] = []
         running_cids: set[int] = set()
         rates_get = allocation.rates.get
@@ -464,6 +732,155 @@ class Simulator:
                         f.start_time = now
         self._running = running
         self._running_cids = frozenset(running_cids)
+
+    def _apply_full_epoch(self, allocation: Allocation) -> None:
+        """Full rebuild opening a fresh epoch baseline (first round or
+        after dynamics mutated state in ways a diff cannot describe)."""
+        self._go_cold()
+        running = self._running_map
+        running.clear()  # in place: ``self._running`` is a live view
+        counts: dict[int, int] = {}
+        gated: dict[int, Flow] = {}
+        rates_get = allocation.rates.get
+        efficiency = self.flow_efficiency
+        state = self.state
+        now = self._now
+        for coflow in state.active_coflows:
+            for f in state.pending_flows(coflow):
+                if f.finish_time is not None:
+                    continue
+                fid = f.flow_id
+                rate = rates_get(fid, 0.0)
+                if rate > 0:
+                    if f.available_time > now:
+                        rate = 0.0
+                        gated[fid] = f
+                    elif efficiency:
+                        rate *= efficiency.get(fid, 1.0)
+                f.rate = rate if rate > 0.0 else 0.0
+                if f.rate > 0:
+                    running[fid] = f
+                    cid = f.coflow_id
+                    counts[cid] = counts.get(cid, 0) + 1
+                    if f.start_time is None:
+                        f.start_time = now
+        self._running_count = counts
+        self._running_cids = frozenset(counts)
+        self._gated = gated
+        self._prev_rates = allocation.rates
+
+    def _apply_diff(self, allocation: Allocation) -> None:
+        """Apply an allocation as a diff against the previous epoch.
+
+        Only flows whose raw rate changed — plus availability-gated flows,
+        whose effective rate can change with time alone — are touched;
+        everyone else keeps rate, membership and heap entries. The diff is
+        found with C-level dict-view set operations, so a quiet round costs
+        O(changed) instead of O(active flows).
+        """
+        new = allocation.rates
+        prev = self._prev_rates
+        dropped = prev.keys() - new.keys()
+        changed = new.items() - prev.items()
+        gated = self._gated
+        running = self._running_map
+        counts = self._running_count
+
+        # Heap policy: high-churn rounds (UC-TCP rewrites global fair
+        # shares every event) would push an entry per flow per event —
+        # costlier than the plain scan — so the heap goes cold when the
+        # churn fraction spikes. When several events share each
+        # application window (δ > 0 batching completions), one seed scan
+        # still amortises over the window's remaining events, so a reseed
+        # is requested; back-to-back applications stay cold.
+        churn = len(dropped) + len(changed)
+        if churn * 2 > len(running) + 1:
+            self._go_cold()
+            if self._events_since_apply >= 2:
+                self._seed_pending = True
+        elif not self._heap_live:
+            self._seed_pending = True
+        self._events_since_apply = 0
+        track = self._heap_live
+        # Epoch bumps exist to invalidate heap entries; while the heap is
+        # cold it is empty (go_cold clears it), so there is nothing to
+        # invalidate and the per-flow counter churn can be skipped. Entries
+        # seeded later capture whatever epoch values are current.
+        bump_epochs = track or self._seed_pending
+
+        flows = self._flow_by_id
+        epoch = self._flow_epoch
+        unheaped = self._unheaped
+        efficiency = self.flow_efficiency
+        now = self._now
+        members_changed = False
+
+        for fid in dropped:
+            f = flows.get(fid)
+            if f is not None and f.finish_time is None and f.rate != 0.0:
+                f.rate = 0.0
+                if bump_epochs:
+                    epoch[fid] += 1
+            if running.pop(fid, None) is not None:
+                members_changed = True
+                cid = f.coflow_id  # type: ignore[union-attr]
+                left = counts[cid] - 1
+                if left > 0:
+                    counts[cid] = left
+                else:
+                    del counts[cid]
+            gated.pop(fid, None)
+            unheaped.pop(fid, None)
+
+        process: list[tuple[int, float]] = list(changed)
+        if gated:
+            # Unchanged raw rate, but the availability window may have
+            # opened since the last round: always re-evaluate.
+            new_get = new.get
+            for fid in gated:
+                process.append((fid, new_get(fid, 0.0)))
+        for fid, raw in process:
+            f = flows.get(fid)
+            if f is None or f.finish_time is not None:
+                continue
+            rate = raw
+            if rate > 0:
+                if f.available_time > now:
+                    rate = 0.0
+                    gated[fid] = f
+                else:
+                    gated.pop(fid, None)
+                    if efficiency:
+                        rate *= efficiency.get(fid, 1.0)
+            if rate <= 0.0:
+                rate = 0.0
+            if rate != f.rate:
+                f.rate = rate
+                if bump_epochs:
+                    epoch[fid] += 1
+                if rate > 0:
+                    if fid not in running:
+                        running[fid] = f
+                        members_changed = True
+                        cid = f.coflow_id
+                        counts[cid] = counts.get(cid, 0) + 1
+                    if track:
+                        unheaped[fid] = f
+                    if f.start_time is None:
+                        f.start_time = now
+                else:
+                    if running.pop(fid, None) is not None:
+                        members_changed = True
+                        cid = f.coflow_id
+                        left = counts[cid] - 1
+                        if left > 0:
+                            counts[cid] = left
+                        else:
+                            del counts[cid]
+                    unheaped.pop(fid, None)
+        self._prev_rates = new
+        if members_changed:
+            self._running_cids = frozenset(counts)
 
     # ---- diagnostics --------------------------------------------------------------------
 

@@ -34,7 +34,7 @@ class EventKind(enum.Enum):
         return self.value < other.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One timestamped external event.
 
@@ -48,7 +48,7 @@ class Event:
     payload: Any = None
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _HeapEntry:
     time: float
     kind: EventKind

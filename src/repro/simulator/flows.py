@@ -18,7 +18,7 @@ from typing import Iterable, Iterator
 from ..errors import ConfigError
 
 
-@dataclass
+@dataclass(slots=True)
 class Flow:
     """One flow of a coflow.
 
@@ -80,7 +80,7 @@ class Flow:
         return self.finish_time - coflow_arrival
 
 
-@dataclass
+@dataclass(slots=True)
 class CoFlow:
     """A coflow: a set of flows plus online bookkeeping.
 
@@ -154,12 +154,16 @@ class CoFlow:
     @property
     def bytes_sent(self) -> float:
         """Total bytes sent across all flows (Aalo's queue metric)."""
-        return sum(f.bytes_sent for f in self.flows)
+        # List comprehension + C-level sum: same accumulation order and
+        # floats as the generator form, without the frame switching.
+        return sum([f.bytes_sent for f in self.flows])
 
     @property
     def max_flow_bytes_sent(self) -> float:
         """Bytes sent by the longest-progress flow (Saath's ``m_c``, D3)."""
-        return max((f.bytes_sent for f in self.flows), default=0.0)
+        if not self.flows:
+            return 0.0
+        return max([f.bytes_sent for f in self.flows])
 
     @property
     def remaining(self) -> float:

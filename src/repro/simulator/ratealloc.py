@@ -37,8 +37,12 @@ def max_min_fair(
 
     Progressive filling: repeatedly find the tightest port (smallest residual
     divided by its number of unfrozen flows), freeze those flows at the fair
-    share, subtract, and continue. Runs in ``O(P * F)`` in the worst case,
-    which is fine at trace scale.
+    share, subtract, and continue. The filling loop runs over a dense port
+    index in *first-seen* order — the order the original implementation
+    inserted ports into its scan dict — so the tie-break (first port in
+    insertion order among equal shares) and every residual
+    division/subtraction are unchanged; list indexing just replaces the
+    dict churn that used to dominate UC-TCP rounds.
 
     Returns a mapping ``flow_id -> rate``; rates of all flows are committed
     to the ledger. ``rate_cap`` optionally bounds every flow's rate (used to
@@ -47,85 +51,110 @@ def max_min_fair(
     where the per-flow bookkeeping is pure overhead; the rates themselves
     respect every port capacity either way.
     """
-    active: dict[int, Flow] = {f.flow_id: f for f in flows if not f.finished}
-    rates: dict[int, float] = {fid: 0.0 for fid in active}
-    if not active:
-        return rates
-
-    residual: dict[int, float] = {}
-    port_flows: dict[int, set[int]] = defaultdict(set)
-    #: port -> number of not-yet-frozen flows, kept incrementally so each
-    #: filling iteration scans ports in O(ports) instead of rebuilding the
-    #: per-port live-flow lists (the former quadratic hot spot).
-    live_count: dict[int, int] = {}
-    for f in active.values():
-        for port in (f.src, f.dst):
-            if port not in residual:
-                residual[port] = ledger.residual(port)
-                live_count[port] = 0
-            port_flows[port].add(f.flow_id)
-            live_count[port] += 1
-
-    frozen: set[int] = set()
-    # Flows capped below the fair share freeze at the cap first.
+    active_map: dict[int, Flow] = {
+        f.flow_id: f for f in flows if f.finish_time is None
+    }
+    if not active_map:
+        return {}
+    active = list(active_map.values())
+    fids = list(active_map)
     if rate_cap is not None and rate_cap <= 0:
-        return rates
+        return dict.fromkeys(fids, 0.0)
 
-    while len(frozen) < len(active):
-        # Tightest port among those with unfrozen flows.
-        best_port = None
+    # Dense port indexing in first-seen order (src before dst per flow).
+    port_index: dict[int, int] = {}
+    residual: list[float] = []
+    live: list[int] = []
+    #: dense port -> flow positions touching it, in flow order.
+    members: list[list[int]] = []
+    num_flows = len(active)
+    src_i: list[int] = [0] * num_flows
+    dst_i: list[int] = [0] * num_flows
+    ledger_residual = ledger.residual
+    for i, f in enumerate(active):
+        port = f.src
+        j = port_index.get(port)
+        if j is None:
+            j = port_index[port] = len(residual)
+            residual.append(ledger_residual(port))
+            live.append(1)
+            members.append([i])
+        else:
+            live[j] += 1
+            members[j].append(i)
+        src_i[i] = j
+        port = f.dst
+        j = port_index.get(port)
+        if j is None:
+            j = port_index[port] = len(residual)
+            residual.append(ledger_residual(port))
+            live.append(1)
+            members.append([i])
+        else:
+            live[j] += 1
+            members[j].append(i)
+        dst_i[i] = j
+
+    frozen = bytearray(num_flows)
+    rate_of: list[float] = [0.0] * num_flows
+    num_ports = len(residual)
+    remaining = num_flows
+
+    while remaining:
+        # Tightest port among those with unfrozen flows. Dense indices were
+        # assigned in first-seen order, so ascending-index iteration *is*
+        # the original insertion-order scan and the tie-break (first port
+        # among equal shares) is preserved; dead ports just skip.
+        best_j = -1
         best_share = math.inf
-        for port, count in live_count.items():
+        for j in range(num_ports):
+            count = live[j]
             if count == 0:
                 continue
-            share = residual[port] / count
+            share = residual[j] / count
             if share < best_share:
                 best_share = share
-                best_port = port
-        if best_port is None:
+                best_j = j
+        if best_j < 0:
             break
 
         if rate_cap is not None and rate_cap < best_share:
             # Every remaining flow can take the cap without saturating any
-            # port: freeze them all at the cap.
-            for fid in [f for f in active if f not in frozen]:
-                rates[fid] = rate_cap
-                flow = active[fid]
-                residual[flow.src] -= rate_cap
-                residual[flow.dst] -= rate_cap
-                live_count[flow.src] -= 1
-                live_count[flow.dst] -= 1
-                frozen.add(fid)
+            # port: freeze them all at the cap. (The original loop also
+            # updated residuals here, but nothing reads them after this
+            # terminal branch.)
+            for i in range(num_flows):
+                if not frozen[i]:
+                    rate_of[i] = rate_cap
             break
 
         # Freeze the flows on the bottleneck port at the fair share.
-        newly = [fid for fid in port_flows[best_port] if fid not in frozen]
-        drained: set[int] = {best_port}
-        for fid in newly:
-            rates[fid] = best_share
-            flow = active[fid]
-            residual[flow.src] -= best_share
-            residual[flow.dst] -= best_share
-            live_count[flow.src] -= 1
-            live_count[flow.dst] -= 1
-            drained.add(flow.src)
-            drained.add(flow.dst)
-            frozen.add(fid)
-        # Drop ports with no unfrozen flows left from the scan set; the
-        # insertion order of the survivors — the tie-break — is unaffected.
-        for port in drained:
-            if live_count.get(port) == 0:
-                del live_count[port]
-        # Numerical guard: residuals can dip a hair below zero.
-        for port in residual:
-            if residual[port] < 0:
-                residual[port] = 0.0
+        # Numerical guard, applied per update: residuals can dip a hair
+        # below zero. Clamping after each subtraction instead of once at
+        # iteration end yields the same final value — a positive partial
+        # result is unclamped either way, and once any partial result goes
+        # negative both variants end the iteration at exactly 0.0.
+        for i in members[best_j]:
+            if frozen[i]:
+                continue
+            frozen[i] = 1
+            rate_of[i] = best_share
+            j = src_i[i]
+            nr = residual[j] - best_share
+            residual[j] = nr if nr >= 0 else 0.0
+            live[j] -= 1
+            j = dst_i[i]
+            nr = residual[j] - best_share
+            residual[j] = nr if nr >= 0 else 0.0
+            live[j] -= 1
+            remaining -= 1
 
+    rates = dict(zip(fids, rate_of))
     if commit:
-        for fid, rate in rates.items():
+        ledger_commit = ledger.commit
+        for f, rate in zip(active, rate_of):
             if rate > 0:
-                flow = active[fid]
-                ledger.commit(flow.src, flow.dst, rate)
+                ledger_commit(f.src, f.dst, rate)
     return rates
 
 
@@ -145,28 +174,39 @@ def madd_rates(
 
     Rates are committed to the ledger.
     """
+    # Inlined Flow.remaining / Flow.finished: this runs for every active
+    # coflow on every scheduling round under Varys, so property dispatch
+    # overhead is material. ``remaining > 0`` never needs the max-with-zero
+    # clamp the property applies (the filter already excludes non-positive
+    # values), so the floats are unchanged.
     todo = [f for f in (flows if flows is not None else coflow.flows)
-            if not f.finished and f.remaining > 0]
+            if f.finish_time is None and f.volume - f.bytes_sent > 0]
     if not todo:
         return {}
 
-    port_bytes: dict[int, float] = defaultdict(float)
+    port_bytes: dict[int, float] = {}
+    get = port_bytes.get
     for f in todo:
-        port_bytes[f.src] += f.remaining
-        port_bytes[f.dst] += f.remaining
+        remaining = f.volume - f.bytes_sent
+        port_bytes[f.src] = get(f.src, 0.0) + remaining
+        port_bytes[f.dst] = get(f.dst, 0.0) + remaining
 
     gamma = 0.0
+    port_residual = ledger.residual
     for port, volume in port_bytes.items():
-        residual = ledger.residual(port)
+        residual = port_residual(port)
         if residual <= 0:
             return {}
-        gamma = max(gamma, volume / residual)
+        share = volume / residual
+        if share > gamma:
+            gamma = share
     if gamma <= 0:
         return {}
 
-    rates = {f.flow_id: f.remaining / gamma for f in todo}
+    rates = {f.flow_id: (f.volume - f.bytes_sent) / gamma for f in todo}
+    commit = ledger.commit
     for f in todo:
-        ledger.commit(f.src, f.dst, rates[f.flow_id])
+        commit(f.src, f.dst, rates[f.flow_id])
     return rates
 
 
@@ -175,6 +215,7 @@ def equal_rate_for_coflow(
     ledger: PortLedger,
     *,
     flows: Sequence[Flow] | None = None,
+    port_counts: dict[int, int] | None = None,
 ) -> dict[int, float]:
     """Saath's D2 rule: one equal rate for every flow of the coflow.
 
@@ -186,6 +227,14 @@ def equal_rate_for_coflow(
     of the slowest flow is assigned to all the flows" (§4.2 D2) — and is
     committed to the ledger.
 
+    ``port_counts`` optionally supplies the per-port flow counts over
+    exactly ``flows`` (the cluster state's flow-group compaction cache, see
+    :meth:`~repro.simulator.state.ClusterState.port_counts`), collapsing the
+    counting and min-cap passes to O(ports touched) instead of O(flows).
+    Every port's cap is the same division either way, and the minimum over
+    the same multiset of caps is the same float, so the two paths are
+    bit-identical.
+
     Returns ``{}`` if the equal rate would be zero.
     """
     todo = [f for f in (flows if flows is not None else coflow.flows)
@@ -193,17 +242,22 @@ def equal_rate_for_coflow(
     if not todo:
         return {}
 
-    count_at_port: dict[int, int] = defaultdict(int)
-    for f in todo:
-        count_at_port[f.src] += 1
-        count_at_port[f.dst] += 1
-
     residual = ledger.residual
     rate = math.inf
-    for f in todo:
-        cap_src = residual(f.src) / count_at_port[f.src]
-        cap_dst = residual(f.dst) / count_at_port[f.dst]
-        rate = min(rate, cap_src, cap_dst)
+    if port_counts is not None:
+        for port, count in port_counts.items():
+            cap = residual(port) / count
+            if cap < rate:
+                rate = cap
+    else:
+        count_at_port: dict[int, int] = defaultdict(int)
+        for f in todo:
+            count_at_port[f.src] += 1
+            count_at_port[f.dst] += 1
+        for f in todo:
+            cap_src = residual(f.src) / count_at_port[f.src]
+            cap_dst = residual(f.dst) / count_at_port[f.dst]
+            rate = min(rate, cap_src, cap_dst)
     if not math.isfinite(rate) or rate <= 0:
         return {}
 
@@ -224,13 +278,30 @@ def greedy_residual_rates(
     ``min(sender residual, receiver residual)`` and committing it. Later
     flows see capacity already consumed by earlier ones, so the input order
     is the scheduling priority order.
+
+    Ports observed exhausted are remembered for the rest of the walk:
+    residuals only decrease within one fill pass, so skipping a flow on a
+    dead port is exactly the zero-rate no-op the fill would have returned,
+    and the pass stops probing the ledger once the fabric saturates (most
+    of the walk, on a loaded cluster).
     """
     rates: dict[int, float] = {}
     fill = ledger.fill
+    residual = ledger.residual
+    dead: set[int] = set()
     for f in flows:
         if f.finish_time is not None:
             continue
-        rate = fill(f.src, f.dst)
+        src = f.src
+        dst = f.dst
+        if src in dead or dst in dead:
+            continue
+        rate = fill(src, dst)
         if rate > 0:
             rates[f.flow_id] = rate
+        else:
+            if residual(src) <= 0:
+                dead.add(src)
+            if residual(dst) <= 0:
+                dead.add(dst)
     return rates

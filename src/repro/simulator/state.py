@@ -16,7 +16,13 @@ Incremental scheduling support lives here too:
 * per-coflow *pending flow* caches, so per-round flow gathering walks only
   unfinished flows instead of every flow ever submitted;
 * a reusable :class:`~repro.simulator.fabric.PortLedger` cleared in
-  O(changed ports) per round via :meth:`ClusterState.acquire_ledger`.
+  O(changed ports) per round via :meth:`ClusterState.acquire_ledger`;
+* per-coflow *flow-group compaction* (``epochs`` engine): ``(src, dst)``
+  -bucketed pending-flow groups and per-port pending-flow counts maintained
+  incrementally from the engine's completion notifications, so rate
+  allocators and admission checks work in O(groups)/O(ports) instead of
+  recounting every flow each round (:meth:`ClusterState.port_counts`,
+  :meth:`ClusterState.flow_groups`).
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from .fabric import Fabric, PortLedger
 from .flows import CoFlow, Flow
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulingDelta:
     """What changed since the scheduler last ran (the engine's dirty set).
 
@@ -87,6 +93,21 @@ class ClusterState:
     _pending: dict[int, list[Flow]] = field(default_factory=dict, repr=False)
     _cached_ledger: PortLedger | None = field(default=None, repr=False)
     _cached_override: dict[int, float] | None = field(default=None, repr=False)
+    #: coflow_id -> {port: number of pending flows touching it} (compaction).
+    _port_counts: dict[int, dict[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    #: coflow_id -> {(src, dst): [pending flows]} (compaction).
+    _groups: dict[int, dict[tuple[int, int], list[Flow]]] = field(
+        default_factory=dict, repr=False
+    )
+    #: coflow_id -> max ``available_time`` over its flows (static bound used
+    #: to decide when the compaction caches equal the schedulable set).
+    _max_avail: dict[int, float] = field(default_factory=dict, repr=False)
+    #: Coflow ids whose pending cache is kept exact by live engine
+    #: notifications (vs. built lazily for a hand-assembled state, where it
+    #: may go stale and callers must re-filter).
+    _exact_pending: set[int] = field(default_factory=set, repr=False)
 
     # ---- ledgers ----------------------------------------------------------
 
@@ -123,12 +144,79 @@ class ClusterState:
         piggyback availability onto their periodic flow statistics).
         """
         pending = self.pending_flows(coflow)
-        if not self.respect_availability:
+        if (not self.respect_availability
+                or self.max_available_time(coflow) <= now):
+            # Availability-clean: every pending flow has data; skip the
+            # per-flow available_time comparisons. Engine-notified pending
+            # caches hold no finished flows, so they copy straight through.
+            if coflow.coflow_id in self._exact_pending:
+                return pending.copy()
             return [f for f in pending if f.finish_time is None]
         return [
             f for f in pending
             if f.finish_time is None and f.available_time <= now
         ]
+
+    def max_available_time(self, coflow: CoFlow) -> float:
+        """Latest ``available_time`` across the coflow's flows (static).
+
+        Once ``now`` passes this bound the schedulable set equals the
+        pending set, which makes the compaction caches exact.
+        """
+        bound = self._max_avail.get(coflow.coflow_id)
+        if bound is None:
+            bound = max((f.available_time for f in coflow.flows), default=0.0)
+            self._max_avail[coflow.coflow_id] = bound
+        return bound
+
+    def port_counts(self, coflow: CoFlow, now: float) -> dict[int, int] | None:
+        """Per-port pending-flow counts, when exact for the schedulable set.
+
+        Returns ``{port: count}`` over the coflow's pending flows — the
+        counts :func:`~repro.simulator.ratealloc.equal_rate_for_coflow` and
+        all-or-none admission would otherwise rebuild per round — or
+        ``None`` when some pending flow is still unavailable at ``now`` (the
+        schedulable set is then a strict subset and callers must recount).
+        """
+        if self.respect_availability and self.max_available_time(coflow) > now:
+            return None
+        return self.pending_port_counts(coflow)
+
+    def pending_port_counts(self, coflow: CoFlow) -> dict[int, int]:
+        """Per-port pending-flow counts, regardless of availability.
+
+        Projection of :meth:`flow_groups` onto ports. Availability never
+        moves a flow's ports, so consumers that only need the *footprint*
+        of the unfinished flows (contention indexing) can use this without
+        the availability gate that :meth:`port_counts` applies.
+        """
+        counts = self._port_counts.get(coflow.coflow_id)
+        if counts is None:
+            counts = {}
+            get = counts.get
+            for (src, dst), bucket in self.flow_groups(coflow).items():
+                n = len(bucket)
+                counts[src] = get(src, 0) + n
+                counts[dst] = get(dst, 0) + n
+            self._port_counts[coflow.coflow_id] = counts
+        return counts
+
+    def flow_groups(
+        self, coflow: CoFlow
+    ) -> dict[tuple[int, int], list[Flow]]:
+        """Pending flows bucketed by ``(src, dst)`` (flow-group compaction).
+
+        Maintained incrementally by the engine's completion notifications;
+        rebuilt lazily after dynamics (which may move flows across ports).
+        """
+        groups = self._groups.get(coflow.coflow_id)
+        if groups is None:
+            groups = {}
+            for f in self.pending_flows(coflow):
+                if f.finish_time is None:
+                    groups.setdefault((f.src, f.dst), []).append(f)
+            self._groups[coflow.coflow_id] = groups
+        return groups
 
     def pending_flows(self, coflow: CoFlow) -> list[Flow]:
         """Cached list of the coflow's not-yet-finished flows.
@@ -171,6 +259,7 @@ class ClusterState:
         self._pending[coflow.coflow_id] = [
             f for f in coflow.flows if f.finish_time is None
         ]
+        self._exact_pending.add(coflow.coflow_id)
         self.delta.arrived.add(coflow.coflow_id)
 
     def note_flow_finished(self, flow: Flow) -> None:
@@ -181,12 +270,34 @@ class ClusterState:
                 pending.remove(flow)
             except ValueError:
                 pass
+        counts = self._port_counts.get(flow.coflow_id)
+        if counts is not None:
+            for port in (flow.src, flow.dst):
+                left = counts.get(port, 0) - 1
+                if left > 0:
+                    counts[port] = left
+                else:
+                    counts.pop(port, None)
+        groups = self._groups.get(flow.coflow_id)
+        if groups is not None:
+            bucket = groups.get((flow.src, flow.dst))
+            if bucket is not None:
+                try:
+                    bucket.remove(flow)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del groups[(flow.src, flow.dst)]
         self.delta.flow_completed.add(flow.coflow_id)
 
     def note_coflow_finished(self, coflow_id: int) -> None:
         """A coflow completed entirely and left ``active_coflows``."""
         self._by_id.pop(coflow_id, None)
         self._pending.pop(coflow_id, None)
+        self._exact_pending.discard(coflow_id)
+        self._port_counts.pop(coflow_id, None)
+        self._groups.pop(coflow_id, None)
+        self._max_avail.pop(coflow_id, None)
         self.delta.completed.add(coflow_id)
         self.delta.flow_completed.discard(coflow_id)
         self.delta.arrived.discard(coflow_id)
@@ -199,8 +310,13 @@ class ClusterState:
         new receiver, or change port capacities — none of which the delta
         vocabulary describes, so incremental consumers start over. Pending
         caches stay valid (dynamics never resurrect a *finished* flow), but
-        the cached ledger is dropped in case capacities changed.
+        the cached ledger is dropped in case capacities changed, and the
+        flow-group compaction caches are dropped in case a restart moved a
+        flow to a new receiver port (``available_time`` is static, so the
+        availability bounds survive).
         """
         self.delta.mark_full()
         self._cached_ledger = None
         self._cached_override = None
+        self._port_counts.clear()
+        self._groups.clear()

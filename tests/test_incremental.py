@@ -41,11 +41,23 @@ def _toy_config(**kw) -> dict:
     return base
 
 
+#: The scheduling/engine paths that must produce byte-identical results:
+#: the allocation-epoch engine (the default), the pre-epoch incremental
+#: path, the full-recompute path (``--no-incremental``), and the
+#: CLI-reachable epoch-engine-over-full-recompute pairing.
+_PATHS = (
+    dict(epochs=True, incremental=True),
+    dict(epochs=False, incremental=True),
+    dict(epochs=False, incremental=False),
+    dict(epochs=True, incremental=False),
+)
+
+
 def _run_both(policy, coflows, fabric, *, dynamics=(), **cfg_kw):
-    """Run a policy with incremental on and off; return both results."""
+    """Run a policy over every engine/scheduler path; return all results."""
     results = []
-    for incremental in (True, False):
-        cfg = SimulationConfig(incremental=incremental, **cfg_kw)
+    for path in _PATHS:
+        cfg = SimulationConfig(**path, **cfg_kw)
         result = run_policy(
             make_scheduler(policy, cfg), clone_coflows(coflows), fabric, cfg,
             dynamics=list(dynamics),
@@ -54,23 +66,25 @@ def _run_both(policy, coflows, fabric, *, dynamics=(), **cfg_kw):
     return results
 
 
-def _assert_identical(a, b, context=""):
-    assert a.ccts() == b.ccts(), f"CCTs diverged {context}"
-    assert a.reschedules == b.reschedules, f"reschedules diverged {context}"
-    assert a.makespan == b.makespan, f"makespan diverged {context}"
-    assert [c.coflow_id for c in a.coflows] == [
-        c.coflow_id for c in b.coflows
-    ], f"completion order diverged {context}"
+def _assert_identical(a, *others, context=""):
+    for b in others:
+        assert a.ccts() == b.ccts(), f"CCTs diverged {context}"
+        assert a.reschedules == b.reschedules, \
+            f"reschedules diverged {context}"
+        assert a.makespan == b.makespan, f"makespan diverged {context}"
+        assert [c.coflow_id for c in a.coflows] == [
+            c.coflow_id for c in b.coflows
+        ], f"completion order diverged {context}"
 
 
 @pytest.mark.parametrize("policy", available_policies())
 @pytest.mark.parametrize("scenario_name", sorted(ALL_SCENARIOS))
 def test_toy_scenarios_equivalent(policy, scenario_name):
     scenario = ALL_SCENARIOS[scenario_name]()
-    inc, full = _run_both(
+    results = _run_both(
         policy, scenario.coflows, scenario.fabric, **_toy_config()
     )
-    _assert_identical(inc, full, f"({policy} on {scenario.name})")
+    _assert_identical(*results, context=f"({policy} on {scenario.name})")
 
 
 @pytest.mark.parametrize("policy", available_policies())
@@ -78,8 +92,8 @@ def test_synthetic_trace_equivalent(policy):
     spec = fb_like_spec(num_machines=20, num_coflows=60)
     fabric = spec.make_fabric()
     coflows = WorkloadGenerator(spec, seed=3).generate_coflows(fabric)
-    inc, full = _run_both(policy, coflows, fabric)
-    _assert_identical(inc, full, f"({policy} on fb-like)")
+    results = _run_both(policy, coflows, fabric)
+    _assert_identical(*results, context=f"({policy} on fb-like)")
 
 
 @pytest.mark.parametrize("policy", ["saath", "aalo"])
@@ -88,10 +102,10 @@ def test_sync_interval_equivalent(policy, sync_ms):
     spec = fb_like_spec(num_machines=16, num_coflows=40)
     fabric = spec.make_fabric()
     coflows = WorkloadGenerator(spec, seed=11).generate_coflows(fabric)
-    inc, full = _run_both(
+    results = _run_both(
         policy, coflows, fabric, sync_interval=sync_ms * 1e-3
     )
-    _assert_identical(inc, full, f"({policy}, delta={sync_ms}ms)")
+    _assert_identical(*results, context=f"({policy}, delta={sync_ms}ms)")
 
 
 @pytest.mark.parametrize("policy", ["saath", "aalo", "uc-tcp"])
@@ -109,8 +123,8 @@ def test_dynamics_force_full_resync_equivalent(policy):
     ]
     dynamics += inject_stragglers(coflows, make_rng(9), fraction=0.05,
                                   efficiency=0.3)
-    inc, full = _run_both(policy, coflows, fabric, dynamics=dynamics)
-    _assert_identical(inc, full, f"({policy} with dynamics)")
+    results = _run_both(policy, coflows, fabric, dynamics=dynamics)
+    _assert_identical(*results, context=f"({policy} with dynamics)")
 
 
 def test_saath_dynamics_promotion_equivalent():
@@ -118,21 +132,21 @@ def test_saath_dynamics_promotion_equivalent():
     spec = fb_like_spec(num_machines=12, num_coflows=30)
     fabric = spec.make_fabric()
     coflows = WorkloadGenerator(spec, seed=13).generate_coflows(fabric)
-    inc, full = _run_both(
+    results = _run_both(
         "saath", coflows, fabric, enable_dynamics_promotion=True
     )
-    _assert_identical(inc, full, "(saath, dynamics promotion)")
+    _assert_identical(*results, context="(saath, dynamics promotion)")
 
 
 def test_saath_queue_scoped_contention_equivalent():
     spec = fb_like_spec(num_machines=12, num_coflows=30)
     fabric = spec.make_fabric()
     coflows = WorkloadGenerator(spec, seed=17).generate_coflows(fabric)
-    inc, full = _run_both(
+    results = _run_both(
         "saath", coflows, fabric, contention_scope="queue",
         enable_dynamics_promotion=True,
     )
-    _assert_identical(inc, full, "(saath, queue-scoped contention)")
+    _assert_identical(*results, context="(saath, queue-scoped contention)")
 
 
 def test_dag_release_equivalent():
@@ -145,10 +159,10 @@ def test_dag_release_equivalent():
     stage3 = make_coflow(3, 0.0, [(2, rcv(3), UNIT_BYTES)],
                          flow_id_start=20, depends_on=(2,))
     for policy in ("saath", "aalo"):
-        inc, full = _run_both(
+        results = _run_both(
             policy, [stage1, stage2, stage3], fabric, **_toy_config()
         )
-        _assert_identical(inc, full, f"({policy}, DAG)")
+        _assert_identical(*results, context=f"({policy}, DAG)")
 
 
 def test_validate_incremental_mode_passes():

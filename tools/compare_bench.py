@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files on their *metric* payload.
+
+The simulator is deterministic, so the regenerated figure text attached to
+each benchmark (``extra_info.figure`` — the rendered paper table/series)
+must be **bit-identical** across machines and commits; only the timings may
+move. This script asserts exactly that split for the CI perf-regression
+job: metrics are compared byte-for-byte (exit 1 on any difference, with a
+diff), timings are printed as an advisory report and never fail the run.
+
+Usage::
+
+    python tools/compare_bench.py BENCH_fig9.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import sys
+from pathlib import Path
+
+
+def load_metrics(path: Path) -> dict[str, str]:
+    """``benchmark fullname -> rendered figure text`` from a benchmark JSON."""
+    data = json.loads(path.read_text())
+    metrics: dict[str, str] = {}
+    for bench in data.get("benchmarks", []):
+        figure = bench.get("extra_info", {}).get("figure")
+        if figure is not None:
+            metrics[bench["fullname"]] = figure
+    return metrics
+
+
+def load_timings(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert benchmark metrics are bit-identical; "
+                    "report timings as advisory"
+    )
+    parser.add_argument("committed", type=Path,
+                        help="the benchmark JSON committed to the repo")
+    parser.add_argument("fresh", type=Path,
+                        help="the benchmark JSON produced by this run")
+    args = parser.parse_args(argv)
+
+    committed = load_metrics(args.committed)
+    fresh = load_metrics(args.fresh)
+
+    failed = False
+    for name in sorted(committed.keys() | fresh.keys()):
+        old = committed.get(name)
+        new = fresh.get(name)
+        if old is None or new is None:
+            print(f"METRIC MISMATCH: {name} present only in "
+                  f"{'fresh' if old is None else 'committed'} file")
+            failed = True
+            continue
+        if old != new:
+            print(f"METRIC MISMATCH: {name} diverged from the committed "
+                  f"figure:")
+            sys.stdout.writelines(difflib.unified_diff(
+                old.splitlines(keepends=True), new.splitlines(keepends=True),
+                fromfile="committed", tofile="fresh",
+            ))
+            failed = True
+        else:
+            print(f"metrics identical: {name}")
+
+    # Timings are hardware-dependent: advisory only, never a failure.
+    old_times = load_timings(args.committed)
+    new_times = load_timings(args.fresh)
+    print("\ntiming report (advisory, not asserted):")
+    for name in sorted(old_times.keys() | new_times.keys()):
+        old_t = old_times.get(name)
+        new_t = new_times.get(name)
+        if old_t and new_t:
+            print(f"  {name}: committed {old_t:.3f}s -> fresh {new_t:.3f}s "
+                  f"({new_t / old_t:.2f}x)")
+        else:
+            print(f"  {name}: committed {old_t} -> fresh {new_t}")
+
+    if failed:
+        print("\nFAIL: simulation metrics changed — the engine is expected "
+              "to be bit-deterministic. If the change is intentional, "
+              "regenerate and commit BENCH_fig9.json.")
+        return 1
+    print("\nOK: all metrics bit-identical to the committed benchmark.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""cProfile harness over a Fig. 9 slice, for attributing engine hot paths.
+
+Runs one policy × trace simulation (the same workloads and δ = 8 ms
+configuration the Fig. 9 benchmark uses) under cProfile and prints the top
+functions, so a perf win — or regression — can be attributed to the code
+that caused it instead of eyeballed from end-to-end wall clock.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpaths.py                # saath/fb
+    PYTHONPATH=src python tools/profile_hotpaths.py --policy uc-tcp \\
+        --trace osp-like --scale small --sort cumulative --top 25
+    PYTHONPATH=src python tools/profile_hotpaths.py --all          # 4 policies
+    PYTHONPATH=src python tools/profile_hotpaths.py --no-epochs    # old engine
+
+The ``--no-epochs`` / ``--no-incremental`` flags profile the fallback
+paths, which is how the allocation-epoch engine's win (engine.py PR 2) was
+measured: profile both, diff the per-function tottime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.config import PAPER_SYNC_INTERVAL, SimulationConfig
+from repro.experiments.common import ExperimentScale, fb_spec_for, osp_spec_for
+from repro.schedulers.registry import available_policies, make_scheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.flows import clone_coflows
+from repro.workloads.synthetic import WorkloadGenerator
+
+#: The Fig. 9 comparison set — the policies worth profiling by default.
+FIG9_POLICIES = ("saath", "aalo", "varys-sebf", "uc-tcp")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="profile engine hot paths on a Fig. 9 workload slice"
+    )
+    parser.add_argument("--policy", default="saath",
+                        choices=available_policies())
+    parser.add_argument("--all", action="store_true",
+                        help="profile every Fig. 9 policy in sequence")
+    parser.add_argument("--trace", default="fb-like",
+                        choices=["fb-like", "osp-like"])
+    parser.add_argument("--scale", default="small",
+                        choices=[s.value for s in ExperimentScale])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--sync-ms", type=float,
+                        default=PAPER_SYNC_INTERVAL * 1e3,
+                        help="coordinator sync interval in ms (default 8)")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"])
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of rows to print per policy")
+    parser.add_argument("--no-epochs", action="store_true",
+                        help="profile the pre-epoch engine path")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="profile the full-recompute scheduler path")
+    return parser
+
+
+def profile_one(policy: str, coflows, fabric, config: SimulationConfig,
+                *, sort: str, top: int) -> None:
+    profiler = cProfile.Profile()
+    wall = time.perf_counter()
+    profiler.enable()
+    result = run_policy(
+        make_scheduler(policy, config), clone_coflows(coflows), fabric,
+        config,
+    )
+    profiler.disable()
+    wall = time.perf_counter() - wall
+    print(f"\n=== {policy}: {len(result.coflows)} coflows, "
+          f"{result.reschedules} reschedules, {wall:.2f}s wall ===")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(sort).print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = ExperimentScale(args.scale)
+    spec = (fb_spec_for(scale) if args.trace == "fb-like"
+            else osp_spec_for(scale))
+    fabric = spec.make_fabric()
+    coflows = WorkloadGenerator(spec, seed=args.seed).generate_coflows(fabric)
+    config = SimulationConfig(
+        sync_interval=args.sync_ms * 1e-3,
+        epochs=not args.no_epochs,
+        incremental=not args.no_incremental,
+    )
+    print(f"trace={args.trace} scale={scale.value} "
+          f"machines={spec.num_machines} coflows={len(coflows)} "
+          f"sync={args.sync_ms}ms epochs={config.epochs} "
+          f"incremental={config.incremental}")
+    policies = FIG9_POLICIES if args.all else (args.policy,)
+    for policy in policies:
+        profile_one(policy, coflows, fabric, config,
+                    sort=args.sort, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
