@@ -15,8 +15,9 @@ def test_fig9_speedup(benchmark, scale):
     # scale), for readers of the committed BENCH_fig9.json artifact.
     benchmark.extra_info["engine_trajectory"] = (
         "fig9 SMALL end-to-end: seed ~14.3s -> incremental core (PR 1) "
-        "~6.5s -> allocation-epoch engine (PR 2) ~4.3s; byte-identical "
-        "output across generations"
+        "~6.5s -> allocation-epoch engine (PR 2) ~4.3s -> flat flow-table "
+        "kernel (PR 3) ~3.4s; byte-identical output across generations "
+        "(machine-readable series: BENCH_history.json)"
     )
 
     contended = scale is not ExperimentScale.TINY

@@ -1,0 +1,11 @@
+"""``python -m repro`` — module entry point.
+
+Delegates to :func:`repro.cli.main`, so the module invocation behaves
+identically to the ``saath-repro`` console script (and to
+``python -m repro.cli``).
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

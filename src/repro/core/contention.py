@@ -22,6 +22,18 @@ def ports_in_use(coflow: CoFlow) -> set[int]:
     Finished flows have released their ports and no longer contend.
     """
     ports: set[int] = set()
+    rows = coflow._rows
+    if rows is not None:
+        # Row path: table-tracked coflows read the port columns directly.
+        tbl = coflow._table
+        ft = tbl.finish_time
+        src = tbl.src
+        dst = tbl.dst
+        for i in rows:
+            if ft[i] is None:
+                ports.add(src[i])
+                ports.add(dst[i])
+        return ports
     for f in coflow.flows:
         if not f.finished:
             ports.add(f.src)

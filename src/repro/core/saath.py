@@ -30,7 +30,12 @@ from ..config import SimulationConfig
 from ..schedulers.base import Allocation, Scheduler
 from ..schedulers.queues import QueueTracker
 from ..simulator.flows import CoFlow, Flow
-from ..simulator.ratealloc import equal_rate_for_coflow, greedy_residual_rates
+from ..simulator.ratealloc import (
+    equal_rate_for_coflow,
+    equal_rate_for_coflow_rows,
+    greedy_residual_rates,
+    greedy_residual_rates_rows,
+)
 from ..simulator.state import ClusterState
 from .contention import ContentionTracker, contention_counts
 from .dynamics import promotion_queue
@@ -107,14 +112,41 @@ class SaathScheduler(Scheduler):
 
         ledger = self._round_ledger(state)
         allocation = Allocation()
+
+        #: Flow-group compaction: per-port pending counts replace the
+        #: per-flow recount in admission and D2 rate assignment whenever
+        #: they exactly describe the schedulable set.
+        use_counts = self.config.epochs
+
+        if state.rows_tracked():
+            # Row path: admission, D2 rates and work conservation all walk
+            # table rows (same arithmetic and order as the object path).
+            table = state.table
+            missed_rows: list[list[int]] = []
+            for coflow in order:
+                rows = state.schedulable_rows(coflow, now)
+                if not rows:
+                    continue
+                counts = (state.port_counts(coflow, now)
+                          if use_counts else None)
+                if self._admissible_rows(rows, table, ledger, counts):
+                    rates = equal_rate_for_coflow_rows(
+                        rows, table, ledger, port_counts=counts
+                    )
+                    if rates:
+                        allocation.rates.update(rates)
+                        allocation.scheduled_coflows.add(coflow.coflow_id)
+                        continue
+                missed_rows.append(rows)
+            if self.work_conservation and missed_rows:
+                self._work_conserve_rows(
+                    missed_rows, table, ledger, allocation
+                )
+            return allocation
+
         #: Missed coflows with their (already gathered) schedulable flows,
         #: so work conservation does not re-derive the same lists.
         missed: list[list[Flow]] = []
-
-        #: Flow-group compaction (epochs engine): per-port pending counts
-        #: replace the per-flow recount in admission and D2 rate assignment
-        #: whenever they exactly describe the schedulable set.
-        use_counts = self.config.epochs
         for coflow in order:
             flows = state.schedulable_flows(coflow, now)
             if not flows:
@@ -150,7 +182,10 @@ class SaathScheduler(Scheduler):
             candidates = state.active_coflows
         best = math.inf
         for coflow in candidates:
-            dt = self.tracker.next_transition_time(coflow, allocation.rates)
+            dt = self.tracker.next_transition_time(
+                coflow, allocation.rates,
+                pending_rows=state.pending_rows(coflow),
+            )
             if dt < math.inf:
                 best = min(best, now + max(dt, 0.0))
         if self.config.deadline_factor is not None:
@@ -228,13 +263,18 @@ class SaathScheduler(Scheduler):
             members = per_queue[queue]
             if self.use_lcof:
                 assert contention is not None
-                members.sort(
-                    key=lambda c: (contention[c.coflow_id],
-                                   c.arrival_time, c.coflow_id)
-                )
+                # Decorate-and-sort without a key lambda: coflow ids are
+                # unique, so the trailing object is never compared and the
+                # (contention, arrival, id) tie-break is unchanged.
+                decorated = [
+                    (contention[c.coflow_id], c.arrival_time, c.coflow_id, c)
+                    for c in members
+                ]
+                decorated.sort()
+                order.extend([t[3] for t in decorated])
             else:  # FIFO within the queue
                 members.sort(key=lambda c: (c.arrival_time, c.coflow_id))
-            order.extend(members)
+                order.extend(members)
         return order
 
     def _contention_counts(self, state: ClusterState, incremental: bool,
@@ -306,6 +346,32 @@ class SaathScheduler(Scheduler):
             ports.add(f.dst)
         return all(residual(p) >= min_rate for p in ports)
 
+    def _admissible_rows(self, rows: list[int], table, ledger,
+                         port_counts: dict[int, int] | None = None) -> bool:
+        """Row-path twin of :meth:`_all_or_none_admissible` (same ports,
+        same conjunction). ``residual(p) >= min_rate`` is evaluated as
+        ``capacity - used >= min_rate`` over the ledger's dense lists —
+        ``min_rate`` is validated positive, so the max-with-zero clamp
+        inside ``residual`` cannot change the comparison."""
+        min_rate = self.config.min_rate
+        lcap = ledger.capacity_list
+        lused = ledger.used_list
+        if port_counts is not None:
+            for p in port_counts:
+                if lcap[p] - lused[p] < min_rate:
+                    return False
+            return True
+        src_col = table.src
+        dst_col = table.dst
+        ports: set[int] = set()
+        for i in rows:
+            ports.add(src_col[i])
+            ports.add(dst_col[i])
+        for p in ports:
+            if lcap[p] - lused[p] < min_rate:
+                return False
+        return True
+
     def _work_conserve(self, missed: list[list[Flow]],
                        ledger, allocation: Allocation) -> None:
         """Fig. 7 lines 18–23: fill leftover capacity in scheduling order."""
@@ -316,4 +382,18 @@ class SaathScheduler(Scheduler):
         if rates:
             allocation.rates.update(rates)
             granted = {f.coflow_id for f in wc_flows if f.flow_id in rates}
+            allocation.work_conserved_coflows |= granted
+
+    def _work_conserve_rows(self, missed: list[list[int]], table,
+                            ledger, allocation: Allocation) -> None:
+        """Row-path twin of :meth:`_work_conserve` (same fill walk)."""
+        wc_rows: list[int] = []
+        for rows in missed:
+            wc_rows.extend(rows)
+        rates = greedy_residual_rates_rows(wc_rows, table, ledger)
+        if rates:
+            allocation.rates.update(rates)
+            fid = table.flow_id
+            cid = table.coflow_id
+            granted = {cid[i] for i in wc_rows if fid[i] in rates}
             allocation.work_conserved_coflows |= granted

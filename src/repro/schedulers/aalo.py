@@ -109,6 +109,8 @@ class AaloScheduler(Scheduler):
         # equal-queue runs directly, so the per-port pass needn't re-slice.
         queue_of = self.tracker.queue_of
         arrival_order = self._arrival_order
+        if state.rows_tracked():
+            return self._schedule_rows(state, now)
         ordered = sorted(
             state.active_coflows,
             key=lambda c: (queue_of(c), arrival_order[c.coflow_id]),
@@ -133,6 +135,153 @@ class AaloScheduler(Scheduler):
         for port in sorted(per_sender):
             self._allocate_port(port, per_sender[port], ledger, allocation)
         return allocation
+
+    def _schedule_rows(self, state: ClusterState, now: float) -> Allocation:
+        """Row-path round: bucket table rows per sender, serve each port.
+
+        Same (queue, fifo, flow_id) service order as the object path — rows
+        are emitted per coflow in flow order (ascending ids, re-sorted via
+        the table otherwise) — with the per-flow attribute reads replaced
+        by integer-indexed column reads. The (queue, FIFO) coflow ordering
+        is a plain tuple sort (no key lambda): FIFO indices are unique, so
+        the trailing coflow object never gets compared.
+        """
+        table = state.table
+        src_col = table.src
+        fid = table.flow_id
+        qmap = self.tracker.queue_map
+        arrival_order = self._arrival_order
+        id_sorted = self._id_sorted
+        decorated = [
+            (qmap[c.coflow_id], arrival_order[c.coflow_id], c)
+            for c in state.active_coflows
+        ]
+        decorated.sort()
+        per_sender: dict[int, list[tuple[int, list[int]]]] = defaultdict(list)
+        for queue, _, coflow in decorated:
+            rows = state.schedulable_rows(coflow, now)
+            if not id_sorted.get(coflow.coflow_id, True):
+                # Copy before ordering: the row list may be the live cache.
+                rows = sorted(rows, key=lambda i: fid[i])
+            for i in rows:
+                runs = per_sender[src_col[i]]
+                if not runs or runs[-1][0] != queue:
+                    runs.append((queue, [i]))
+                else:
+                    runs[-1][1].append(i)
+
+        ledger = self._round_ledger(state)
+        allocation = Allocation()
+        # Hoisted once per round: the ledger's dense lists and the table
+        # columns the per-port pass indexes (property/attribute fetches per
+        # port call used to add up across thousands of rounds).
+        # Receivers observed exhausted anywhere this round: usage only ever
+        # grows within a round, so a later fill against such a port would
+        # grant 0 and commit nothing — skipping it is an exact no-op.
+        dead_dst: set[int] = set()
+        lists = (
+            ledger.capacity_list, ledger.used_list, ledger.touched_set,
+            table.flow_id, table.coflow_id, table.dst,
+            allocation.rates, allocation.scheduled_coflows, dead_dst,
+        )
+        for port in sorted(per_sender):
+            self._allocate_port_rows(port, per_sender[port], lists)
+        return allocation
+
+    def _allocate_port_rows(self, port: int,
+                            runs: list[tuple[int, list[int]]],
+                            lists: tuple) -> None:
+        """Row-path twin of :meth:`_allocate_port` (same grants, same
+        order); flow identity and receiver ports come from the table
+        columns, and :meth:`~repro.simulator.fabric.PortLedger.fill_capped`
+        is fused inline over the ledger's dense lists — every flow here
+        sends from ``port``, so its usage rides in a local accumulator and
+        is written back once (grant arithmetic and at-capacity clamps are
+        identical, and receiver ports live in a disjoint id range, so no
+        read can observe the deferred write). ``lists`` carries the
+        round-hoisted ledger lists, table columns, allocation sinks and
+        the round's dead-receiver memo — an exhausted receiver stays
+        exhausted for the rest of the round (usage only grows), so
+        skipping it is an exact no-op: the fill would have granted 0 and
+        committed nothing."""
+        (lcap, lused, touched, fid, cid, dst_col, rates, scheduled,
+         dead_dst) = lists
+        cap_src = lcap[port]
+        used_src = lused[port]
+        port_capacity = cap_src - used_src  # == ledger.residual(port)
+        if port_capacity <= 0:
+            return
+        weight_of = self._queue_weight
+        total_weight = 0.0
+        for q, _ in runs:
+            total_weight += weight_of[q]
+
+        rates_get = rates.get
+
+        # Pass 1: each occupied queue spends its weighted share, FIFO.
+        for q, run in runs:
+            budget = port_capacity * weight_of[q] / total_weight
+            for i in run:
+                if budget <= 0:
+                    break
+                rate = cap_src - used_src
+                if rate <= 0:  # sender port exhausted
+                    lused[port] = used_src
+                    return
+                dst = dst_col[i]
+                if dst in dead_dst:
+                    continue  # receiver full; later receivers may differ
+                cap_dst = lcap[dst]
+                other = cap_dst - lused[dst]
+                if other < rate:
+                    rate = other
+                if budget < rate:
+                    rate = budget
+                if rate <= 0:
+                    # Sender residual and budget are positive here, so the
+                    # receiver must be exhausted: memoise it.
+                    dead_dst.add(dst)
+                    continue
+                new_used = used_src + rate
+                used_src = new_used if new_used < cap_src else cap_src
+                new_used = lused[dst] + rate
+                lused[dst] = new_used if new_used < cap_dst else cap_dst
+                touched.add(port)
+                touched.add(dst)
+                budget -= rate
+                flow_id = fid[i]
+                rates[flow_id] = rates_get(flow_id, 0.0) + rate
+                scheduled.add(cid[i])
+
+        # Pass 2 (work conservation): spill leftover capacity in strict
+        # priority+FIFO order, e.g. when a queue's share outruns its flows'
+        # receiver capacity.
+        for _, run in runs:
+            for i in run:
+                rate = cap_src - used_src
+                if rate <= 0:  # sender port exhausted
+                    lused[port] = used_src
+                    return
+                dst = dst_col[i]
+                if dst in dead_dst:
+                    continue
+                cap_dst = lcap[dst]
+                other = cap_dst - lused[dst]
+                if other < rate:
+                    rate = other
+                if rate <= 0:
+                    dead_dst.add(dst)
+                    continue
+                new_used = used_src + rate
+                used_src = new_used if new_used < cap_src else cap_src
+                new_used = lused[dst] + rate
+                lused[dst] = new_used if new_used < cap_dst else cap_dst
+                touched.add(port)
+                touched.add(dst)
+                flow_id = fid[i]
+                rates[flow_id] = rates_get(flow_id, 0.0) + rate
+                scheduled.add(cid[i])
+        lused[port] = used_src
 
     def _allocate_port(self, port: int,
                        runs: list[tuple[int, list[Flow]]],
@@ -203,7 +352,10 @@ class AaloScheduler(Scheduler):
             candidates = state.active_coflows
         best = math.inf
         for coflow in candidates:
-            dt = self.tracker.next_transition_time(coflow, allocation.rates)
+            dt = self.tracker.next_transition_time(
+                coflow, allocation.rates,
+                pending_rows=state.pending_rows(coflow),
+            )
             if dt < math.inf:
                 best = min(best, now + max(dt, 1e-9))
         return best if math.isfinite(best) else None

@@ -62,6 +62,13 @@ class QueueTracker:
                 f"was on_coflow_arrival delivered?"
             ) from None
 
+    @property
+    def queue_map(self) -> dict[int, int]:
+        """Live ``coflow_id → queue`` mapping (read-only by convention);
+        per-round hot loops index it directly instead of paying a method
+        call per :meth:`queue_of` lookup."""
+        return self._queue
+
     def deadline_of(self, coflow: CoFlow) -> float:
         return self._deadline.get(coflow.coflow_id, math.inf)
 
@@ -119,23 +126,41 @@ class QueueTracker:
         return True
 
     def next_transition_time(self, coflow: CoFlow,
-                             rates: dict[int, float]) -> float:
+                             rates: dict[int, float],
+                             pending_rows: "list[int] | None" = None,
+                             ) -> float:
         """Seconds from now until the coflow crosses its queue threshold.
 
         Under constant ``rates`` (flow_id → bytes/s). ``inf`` if it never
         will (zero relevant rate or already in the last queue).
+        ``pending_rows`` optionally narrows the walk to the coflow's
+        unfinished table rows (the cluster state's pending cache) — the
+        finished-flow filter below skips exactly the dropped rows, so the
+        scan order over surviving flows (and every float) is unchanged.
         """
         qcfg = self.config.queues
         current = self.queue_of(coflow)
         if current >= qcfg.num_queues - 1:
             return math.inf
         hi = qcfg.hi_threshold(current)
+        rates_get = rates.get
+        rows = pending_rows if pending_rows is not None else coflow._rows
         if self.metric == "total":
-            rates_get = rates.get
-            total_rate = sum(
-                [rates_get(f.flow_id, 0.0) for f in coflow.flows
-                 if f.finish_time is None]
-            )
+            if rows is not None:
+                # Row path: the rates lookup and liveness filter walk the
+                # flow table columns (rows are in ``flows`` order, so the
+                # accumulation order — and the sum — is unchanged).
+                tbl = coflow._table
+                ft = tbl.finish_time
+                fid = tbl.flow_id
+                total_rate = sum(
+                    [rates_get(fid[i], 0.0) for i in rows if ft[i] is None]
+                )
+            else:
+                total_rate = sum(
+                    [rates_get(f.flow_id, 0.0) for f in coflow.flows
+                     if f.finish_time is None]
+                )
             if total_rate <= 0:
                 return math.inf
             gap = hi - coflow.bytes_sent
@@ -143,10 +168,35 @@ class QueueTracker:
         # Per-flow metric: first flow to reach hi / width.
         per_flow_hi = hi / coflow.width
         best = math.inf
+        if rows is not None:
+            tbl = coflow._table
+            ft = tbl.finish_time
+            fid = tbl.flow_id
+            vol = tbl.volume
+            bs = tbl.bytes_sent
+            for i in rows:
+                if ft[i] is not None:
+                    continue
+                rate = rates_get(fid[i], 0.0)
+                if rate <= 0:
+                    continue
+                # A flow cannot push bytes_sent beyond its volume; crossing
+                # only happens if the threshold is reachable within it.
+                reachable = min(vol[i], per_flow_hi)
+                if reachable <= bs[i]:
+                    # Already at/over the reachable point: if it is the
+                    # true threshold, the transition is immediate on next
+                    # refresh.
+                    if bs[i] >= per_flow_hi:
+                        return 0.0
+                    continue
+                if per_flow_hi <= vol[i]:
+                    best = min(best, (per_flow_hi - bs[i]) / rate)
+            return best
         for f in coflow.flows:
             if f.finish_time is not None:
                 continue
-            rate = rates.get(f.flow_id, 0.0)
+            rate = rates_get(f.flow_id, 0.0)
             if rate <= 0:
                 continue
             # A flow cannot push bytes_sent beyond its volume; crossing only

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..config import SimulationConfig
 from ..simulator.flows import Flow
-from ..simulator.ratealloc import max_min_fair
+from ..simulator.ratealloc import max_min_fair, max_min_fair_rows_raw
 from ..simulator.state import ClusterState
 from .base import Allocation, Scheduler
 
@@ -27,14 +27,36 @@ class UcTcpScheduler(Scheduler):
         super().__init__(config)
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
+        allocation = Allocation()
+        positive = allocation.rates
+        scheduled = allocation.scheduled_coflows
+        if state.rows_tracked():
+            # Row path: gather table rows and run the fair filling straight
+            # over the flow-table columns (same fills, same tie-breaks).
+            # The raw core hands back (rows, rates) as aligned lists, so
+            # the positive-rate pass needs no intermediate dict.
+            table = state.table
+            rows: list[int] = []
+            for coflow in state.active_coflows:
+                rows.extend(state.schedulable_rows(coflow, now))
+            ledger = self._round_ledger(state)
+            # Pending-row caches never hold finished flows, so the fair
+            # filling can skip its liveness re-filter.
+            active, rate_of = max_min_fair_rows_raw(
+                rows, table, ledger, commit=False, prefiltered=True
+            )
+            fid = table.flow_id
+            cid = table.coflow_id
+            for i, rate in zip(active, rate_of):
+                if rate > 0:
+                    positive[fid[i]] = rate
+                    scheduled.add(cid[i])
+            return allocation
         flows: list[Flow] = []
         for coflow in state.active_coflows:
             flows.extend(state.schedulable_flows(coflow, now))
         ledger = self._round_ledger(state)
         rates = max_min_fair(flows, ledger, commit=False)
-        allocation = Allocation()
-        positive = allocation.rates
-        scheduled = allocation.scheduled_coflows
         rates_get = rates.get
         for f in flows:
             rate = rates_get(f.flow_id, 0.0)

@@ -23,7 +23,12 @@ import math
 
 from ..config import SimulationConfig
 from ..simulator.flows import CoFlow
-from ..simulator.ratealloc import greedy_residual_rates, madd_rates
+from ..simulator.ratealloc import (
+    greedy_residual_rates,
+    greedy_residual_rates_rows,
+    madd_rates,
+    madd_rates_rows,
+)
 from ..simulator.state import ClusterState
 from .base import Allocation, Scheduler
 
@@ -36,8 +41,32 @@ class VarysSebfScheduler(Scheduler):
 
     def __init__(self, config: SimulationConfig):
         super().__init__(config)
+        #: coflow_id → Γ, valid until the coflow's remaining bytes change.
+        self._gamma_cache: dict[int, float] = {}
+
+    def _refresh_gamma_cache(self, state: ClusterState) -> None:
+        """Invalidate cached Γ for coflows whose remaining bytes may have
+        moved since the last round (the engine's dirty set); everyone
+        else's Γ is bit-identical to a recompute. Full rounds (first round,
+        dynamics, ``incremental=False``) drop the whole cache."""
+        cache = self._gamma_cache
+        delta = state.delta
+        if not self.config.incremental or delta.full:
+            cache.clear()
+            return
+        for cid in delta.completed:
+            cache.pop(cid, None)
+        for cid in delta.arrived:
+            cache.pop(cid, None)
+        for cid in delta.progressed:
+            cache.pop(cid, None)
+        for cid in delta.flow_completed:
+            cache.pop(cid, None)
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
+        self._refresh_gamma_cache(state)
+        if state.rows_tracked():
+            return self._schedule_rows(state, now)
         order = sorted(
             state.active_coflows,
             key=lambda c: (self._gamma(c, state), c.arrival_time, c.coflow_id),
@@ -68,18 +97,80 @@ class VarysSebfScheduler(Scheduler):
                 }
         return allocation
 
+    def _schedule_rows(self, state: ClusterState, now: float) -> Allocation:
+        """Row-path round: SEBF order, MADD and backfill over table rows."""
+        order = sorted(
+            state.active_coflows,
+            key=lambda c: (self._gamma(c, state), c.arrival_time, c.coflow_id),
+        )
+        table = state.table
+        ledger = self._round_ledger(state)
+        allocation = Allocation()
+        skipped: list[CoFlow] = []
+        for coflow in order:
+            rows = state.schedulable_rows(coflow, now)
+            if not rows:
+                continue
+            rates = madd_rates_rows(rows, table, ledger)
+            if rates:
+                allocation.rates.update(rates)
+                allocation.scheduled_coflows.add(coflow.coflow_id)
+            else:
+                skipped.append(coflow)
+        if skipped:
+            cid = table.coflow_id
+            fid = table.flow_id
+            wc_rows = [
+                i for c in skipped for i in state.schedulable_rows(c, now)
+            ]
+            extra = greedy_residual_rates_rows(wc_rows, table, ledger)
+            if extra:
+                allocation.rates.update(extra)
+                allocation.work_conserved_coflows |= {
+                    cid[i] for i in wc_rows if fid[i] in extra
+                }
+        return allocation
+
     def _gamma(self, coflow: CoFlow, state: ClusterState) -> float:
-        """Effective bottleneck completion time at full port capacity."""
+        """Effective bottleneck completion time at full port capacity.
+
+        Memoised per coflow; :meth:`_refresh_gamma_cache` drops entries
+        whose inputs (remaining bytes, port capacities) may have changed.
+        """
+        cached = self._gamma_cache.get(coflow.coflow_id)
+        if cached is not None:
+            return cached
+        gamma = self._compute_gamma(coflow, state)
+        self._gamma_cache[coflow.coflow_id] = gamma
+        return gamma
+
+    def _compute_gamma(self, coflow: CoFlow, state: ClusterState) -> float:
         load: dict[int, float] = {}
         get = load.get
-        for f in state.pending_flows(coflow):
-            if f.finish_time is not None:
-                continue
-            remaining = f.volume - f.bytes_sent
-            if remaining < 0.0:
-                remaining = 0.0
-            load[f.src] = get(f.src, 0.0) + remaining
-            load[f.dst] = get(f.dst, 0.0) + remaining
+        rows = state.pending_rows(coflow)
+        if rows is not None:
+            t = state.table
+            ft, vol, bs = t.finish_time, t.volume, t.bytes_sent
+            src_col, dst_col = t.src, t.dst
+            for i in rows:
+                if ft[i] is not None:
+                    continue
+                remaining = vol[i] - bs[i]
+                if remaining < 0.0:
+                    remaining = 0.0
+                src = src_col[i]
+                dst = dst_col[i]
+                load[src] = get(src, 0.0) + remaining
+                load[dst] = get(dst, 0.0) + remaining
+        else:
+            for f in state.pending_flows(coflow):
+                if f.finish_time is not None:
+                    continue
+                remaining = f.volume - f.bytes_sent
+                if remaining < 0.0:
+                    remaining = 0.0
+                load[f.src] = get(f.src, 0.0) + remaining
+                load[f.dst] = get(f.dst, 0.0) + remaining
         if not load:
             return 0.0
         if not state.capacity_override:

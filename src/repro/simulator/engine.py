@@ -20,15 +20,24 @@ point would yield identical schedules, so the engine only recomputes at grid
 points *following* a state change; this is an exact optimisation, not an
 approximation.
 
+**Flat flow table.** All hot per-flow state lives in the cluster state's
+:class:`~repro.simulator.state.FlowTable` — parallel lists indexed by a
+dense integer *row* assigned at activation. Every loop below (byte
+accounting, completion lookout, allocation application) walks plain lists
+with integer indices; ``Flow`` objects are views used only at the
+object-facing edges (scheduler callbacks, results, dynamics). The running
+set is a row-keyed insertion-ordered dict, the completion heap carries rows,
+and the per-flow allocation epoch is a table column.
+
 **Allocation epochs (``config.epochs``).** Each applied allocation opens an
 *epoch*: the engine keeps the previous round's raw ``flow_id → rate`` map
 and applies the next allocation as a diff, touching only flows whose rate
 changed (C-level dict-view set operations find the changed entries), while
-``_running`` / ``_running_cids`` are maintained in place instead of being
-rebuilt from every pending flow. Completion lookout uses a lazy min-heap
-keyed by ``(predicted finish lower bound, epoch, flow_id)``: entries from
-superseded epochs are popped and discarded lazily, and each event pops only
-the entries whose lower bound could beat the provisional minimum — for
+the running set and its per-coflow counts are maintained in place instead of
+being rebuilt from every pending flow. Completion lookout uses a lazy
+min-heap keyed by ``(predicted finish lower bound, epoch, row)``: entries
+from superseded epochs are popped and discarded lazily, and each event pops
+only the entries whose lower bound could beat the provisional minimum — for
 those few flows the exact per-event arithmetic of the full scan is
 replayed, so the chosen instant is bit-identical to the scan's (see
 :meth:`Simulator._heap_completion` for the monotonicity argument). When a
@@ -44,6 +53,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from itertools import chain
 from typing import Callable, Iterable, Protocol
 
 from ..config import SimulationConfig
@@ -155,6 +165,9 @@ class Simulator:
             observer.bind_scheduler(scheduler)
 
         self.state = ClusterState(fabric=fabric)
+        #: The cluster state's struct-of-arrays flow registry; every hot
+        #: loop below indexes its columns by row.
+        self._table = self.state.table
         #: Per-flow efficiency factors (< 1 for straggling flows, §4.3).
         self.flow_efficiency: dict[int, float] = {}
 
@@ -170,31 +183,40 @@ class Simulator:
         self._dep_waiters: dict[int, list[CoFlow]] = {}
         self._finished_ids: set[int] = set()
         self._result = SimulationResult()
-        #: Flows with a positive rate under the current allocation, plus
-        #: flows that may already be complete (zero-volume on arrival).
+        #: Rows with a positive rate under the current allocation, plus
+        #: rows that may already be complete (zero-volume on arrival).
         #: Only these can change state between events — keeping the hot
         #: loops off the full active set is the engine's main optimisation.
-        #: Under ``epochs`` this is a live view of ``_running_map``.
-        self._running: "list[Flow] | object" = []
+        #: Under ``epochs`` this is a row-keyed insertion-ordered dict
+        #: maintained in place; the legacy path rebuilds a row list per
+        #: application. Both iterate as rows.
+        self._running: "dict[int, None] | list[int]" = (
+            {} if (config.epochs and rate_perturbation is None) else []
+        )
         #: Coflow ids with at least one running flow, precomputed at
         #: allocation time so time advancement can mark "progressed"
         #: coflows in the scheduling delta with one set union.
         self._running_cids: frozenset[int] = frozenset()
-        self._maybe_done: list[tuple[Flow, CoFlow]] = []
+        self._maybe_done: list[tuple[int, CoFlow]] = []
         self._coflow_of: dict[int, CoFlow] = {}
         #: Lower bound (absolute time) before which no running flow can
         #: satisfy the completion predicate; lets _process_completions skip
         #: its scan on pure arrival / sync steps. Maintained by
         #: _earliest_completion; -inf means "unknown, always scan".
         self._no_completion_before: float = -math.inf
-        #: Flows whose completion predicate fired during the last time
+        #: Rows whose completion predicate fired during the last time
         #: advance (collected while moving bytes, so the completion pass
         #: walks only these instead of rescanning every running flow).
-        self._completion_candidates: list[Flow] = []
+        self._completion_candidates: list[int] = []
         #: True when the current step advanced time, i.e. the candidate
         #: list above is authoritative. Zero-width steps (several events at
         #: one instant) and dynamics fall back to the full scan.
         self._advanced_this_step = False
+        #: True once ``delta.progressed`` already contains the current
+        #: ``_running_cids`` — the per-advance union is a no-op until the
+        #: delta is cleared, the running set changes, or a completion
+        #: removes ids from the progressed set.
+        self._progressed_synced = False
 
         # ---- allocation-epoch state (config.epochs) ----------------------
         #: Rate perturbation rewrites every rate on every application, so
@@ -202,26 +224,17 @@ class Simulator:
         self._epochs_engine = config.epochs and rate_perturbation is None
         #: Raw flow_id → rate map of the previously applied allocation.
         self._prev_rates: dict[int, float] = {}
-        #: flow_id → Flow for flows with a positive applied rate.
-        self._running_map: dict[int, Flow] = {}
-        #: flow_id → running-flow count per coflow backing ``_running_cids``.
+        #: row → running-flow count per coflow backing ``_running_cids``.
         self._running_count: dict[int, int] = {}
-        #: Flows whose raw rate is positive but whose data is not yet
+        #: Rows whose raw rate is positive but whose data is not yet
         #: available (§4.3): re-evaluated on every diffed application.
-        self._gated: dict[int, Flow] = {}
-        #: flow_id → (Flow, position in coflow.flows) for active coflows;
-        #: the positions restore the legacy completion-candidate order.
-        self._flow_by_id: dict[int, Flow] = {}
-        self._flow_pos: dict[int, int] = {}
+        self._gated: dict[int, None] = {}
         #: coflow_id → index in ``state.active_coflows`` (candidate order).
         self._active_pos: dict[int, int] = {}
-        #: Per-flow allocation epoch: bumped whenever the applied rate
-        #: changes, invalidating that flow's completion-heap entries.
-        self._flow_epoch: dict[int, int] = {}
-        #: Lazy completion min-heap of (finish lower bound, epoch, flow_id).
+        #: Lazy completion min-heap of (finish lower bound, epoch, row).
         self._heap: list[tuple[float, int, int]] = []
-        #: Running flows whose rate changed since their last heap entry.
-        self._unheaped: dict[int, Flow] = {}
+        #: Running rows whose rate changed since their last heap entry.
+        self._unheaped: dict[int, None] = {}
         #: True once the heap covers every running flow (warm).
         self._heap_live = False
         #: Next _earliest_completion should seed the heap during its scan.
@@ -231,8 +244,6 @@ class Simulator:
         #: Events seen since the last allocation application — the reseed
         #: heuristic's estimate of how many events share one δ window.
         self._events_since_apply = 0
-        if self._epochs_engine:
-            self._running = self._running_map.values()
 
     # ---- public API -----------------------------------------------------------
 
@@ -315,23 +326,29 @@ class Simulator:
             return self._now
         if self._heap_live:
             return self._heap_completion()
-        # Inlined _flow_complete: this scan runs for every running flow at
-        # every event, so attribute/method dispatch overhead is material.
-        # When a seed was requested the same pass pushes a margined lower
-        # bound per flow, warming the heap for subsequent events.
+        # Inlined _flow_complete over the table columns: this scan runs for
+        # every running flow at every event, so per-flow dispatch overhead
+        # is material — integer list indexing replaces every attribute
+        # read. When a seed was requested the same pass pushes a margined
+        # lower bound per row, warming the heap for subsequent events.
+        t = self._table
+        vol = t.volume
+        bs = t.bytes_sent
+        rt = t.rate
+        ft = t.finish_time
+        ep = t.epoch
         seed = self._seed_pending
         heap = self._heap
-        epoch = self._flow_epoch
         push = heappush
         eps = self.config.epsilon_bytes
         best = math.inf
         pred_min = math.inf
         now = self._now
-        for f in self._running:
-            if f.finish_time is not None:
+        for i in self._running:
+            if ft[i] is not None:
                 continue
-            remaining = f.volume - f.bytes_sent
-            rate = f.rate
+            remaining = vol[i] - bs[i]
+            rate = rt[i]
             if remaining <= eps or (rate > 0 and remaining <= rate * 1e-8):
                 self._no_completion_before = now
                 if seed:
@@ -352,7 +369,7 @@ class Simulator:
                     push(heap, (
                         now + pred - abs(pred) * _HEAP_MARGIN_REL
                         - _HEAP_MARGIN_ABS,
-                        epoch[f.flow_id], f.flow_id,
+                        ep[i], i,
                     ))
         if seed:
             self._seed_pending = False
@@ -376,69 +393,75 @@ class Simulator:
         later event of its epoch (margin covers stepwise float drift), so
         popping entries while the top key beats the provisional best — and
         recomputing those few flows with the scan's exact per-event
-        arithmetic — yields the same minimum as scanning everything. Flows
+        arithmetic — yields the same minimum as scanning everything. Rows
         rescheduled since the last event sit in ``_unheaped`` and are
-        scanned exactly (and re-heaped) first; stale epochs are discarded.
+        scanned exactly (and re-heaped) first; stale epochs are discarded
+        (eviction bumps a row's epoch, so a recycled row can never be
+        mistaken for its previous occupant).
         """
         now = self._now
         eps = self.config.epsilon_bytes
         heap = self._heap
-        epoch = self._flow_epoch
+        t = self._table
+        vol = t.volume
+        bs = t.bytes_sent
+        rt = t.rate
+        ft = t.finish_time
+        ep = t.epoch
         push = heappush
-        running = self._running_map
+        running = self._running
         best = math.inf  # absolute instant
         if self._unheaped:
-            for fid, f in self._unheaped.items():
-                if f.finish_time is not None:
+            for i in self._unheaped:
+                if ft[i] is not None:
                     continue
-                remaining = f.volume - f.bytes_sent
-                rate = f.rate
+                remaining = vol[i] - bs[i]
+                rate = rt[i]
                 if remaining <= eps or (
                         rate > 0 and remaining <= rate * 1e-8):
-                    # Unheaped flows are re-examined next event, so bailing
+                    # Unheaped rows are re-examined next event, so bailing
                     # out without clearing the set is safe.
                     self._no_completion_before = now
                     return now
                 if rate > 0:
-                    t = now + remaining / rate
-                    if t < best:
-                        best = t
+                    tt = now + remaining / rate
+                    if tt < best:
+                        best = tt
                     slack = eps if eps > rate * 1e-8 else rate * 1e-8
                     pred = (remaining - slack) / rate
                     push(heap, (
                         now + pred - abs(pred) * _HEAP_MARGIN_REL
                         - _HEAP_MARGIN_ABS,
-                        epoch[fid], fid,
+                        ep[i], i,
                     ))
             self._unheaped.clear()
         seen: set[int] = set()
         repush: list[tuple[float, int, int]] = []
         while heap and heap[0][0] < best:
             entry = heappop(heap)
-            fid = entry[2]
-            f = running.get(fid)
-            if (f is None or epoch.get(fid) != entry[1]
-                    or f.finish_time is not None or fid in seen):
+            i = entry[2]
+            if (i not in running or ep[i] != entry[1]
+                    or ft[i] is not None or i in seen):
                 continue  # stale epoch / finished / already refreshed
-            rate = f.rate
+            rate = rt[i]
             if rate <= 0:
                 continue  # silenced mid-window; reallocation re-heaps it
-            remaining = f.volume - f.bytes_sent
+            remaining = vol[i] - bs[i]
             if remaining <= eps or remaining <= rate * 1e-8:
                 push(heap, entry)
                 for e in repush:
                     push(heap, e)
                 self._no_completion_before = now
                 return now
-            t = now + remaining / rate
-            if t < best:
-                best = t
+            tt = now + remaining / rate
+            if tt < best:
+                best = tt
             slack = eps if eps > rate * 1e-8 else rate * 1e-8
             pred = (remaining - slack) / rate
-            seen.add(fid)
+            seen.add(i)
             repush.append((
                 now + pred - abs(pred) * _HEAP_MARGIN_REL - _HEAP_MARGIN_ABS,
-                entry[1], fid,
+                entry[1], i,
             ))
         for e in repush:
             push(heap, e)
@@ -461,24 +484,45 @@ class Simulator:
         if dt < 0:
             raise SimulationError(f"time went backwards: {self._now} -> {t}")
         if dt > 0:
-            # Inlined Flow.advance for the hot loop (same semantics),
-            # collecting flows whose completion predicate fires so the
-            # completion pass needn't rescan the whole running set.
-            eps = self.config.epsilon_bytes
+            # Byte accounting over the table columns (same semantics as the
+            # old inlined Flow.advance), collecting rows whose completion
+            # predicate fires so the completion pass needn't rescan the
+            # whole running set.
+            tbl = self._table
+            vol = tbl.volume
+            bs = tbl.bytes_sent
+            rt = tbl.rate
             candidates = self._completion_candidates
             candidates.clear()
-            for f in self._running:
-                rate = f.rate
-                if rate > 0 and f.finish_time is None:
-                    volume = f.volume
-                    sent = f.bytes_sent + rate * dt
-                    if sent > volume:
-                        sent = volume
-                    f.bytes_sent = sent
-                    remaining = volume - sent
-                    if remaining <= eps or remaining <= rate * 1e-8:
-                        candidates.append(f)
-            self.state.delta.progressed |= self._running_cids
+            if t < self._no_completion_before:
+                # The pre-advance lookout proved no completion window opens
+                # by ``t``: the predicate below is false for every row, so
+                # this step only moves bytes — branchlessly. Zero-rate rows
+                # (completed mid-window, or silenced) write back their own
+                # bytes (``x + 0.0·dt == x`` for the non-negative bytes
+                # column), and finished rows sit clamped at volume, so the
+                # unconditional write is exact for every row.
+                for i in self._running:
+                    sent = bs[i] + rt[i] * dt
+                    volume = vol[i]
+                    bs[i] = sent if sent < volume else volume
+            else:
+                ft = tbl.finish_time
+                eps = self.config.epsilon_bytes
+                for i in self._running:
+                    rate = rt[i]
+                    if rate > 0 and ft[i] is None:
+                        volume = vol[i]
+                        sent = bs[i] + rate * dt
+                        if sent > volume:
+                            sent = volume
+                        bs[i] = sent
+                        remaining = volume - sent
+                        if remaining <= eps or remaining <= rate * 1e-8:
+                            candidates.append(i)
+            if not self._progressed_synced:
+                self.state.delta.progressed |= self._running_cids
+                self._progressed_synced = True
             self._advanced_this_step = True
         else:
             self._advanced_this_step = False
@@ -491,9 +535,15 @@ class Simulator:
             # The pre-advance scan proved no flow can have completed yet
             # (this step stops strictly before any completion window).
             return False
-        raw: list[Flow]
+        tbl = self._table
+        vol = tbl.volume
+        bs = tbl.bytes_sent
+        rt = tbl.rate
+        ft = tbl.finish_time
+        eps = self.config.epsilon_bytes
+        raw: list[int]
         if self._advanced_this_step:
-            # The advance loop already found every flow whose completion
+            # The advance loop already found every row whose completion
             # predicate fired; no second scan over the running set needed.
             raw = self._completion_candidates
             self._completion_candidates = []
@@ -502,15 +552,13 @@ class Simulator:
             # have changed since the last advance, so scan everything —
             # exactly what the original per-event pass did.
             raw = []
-            eps = self.config.epsilon_bytes
-            for f in self._running:
-                # Inlined _flow_complete (see _earliest_completion).
-                if f.finish_time is not None:
+            for i in self._running:
+                if ft[i] is not None:
                     continue
-                remaining = f.volume - f.bytes_sent
+                remaining = vol[i] - bs[i]
                 if remaining <= eps or (
-                        f.rate > 0 and remaining <= f.rate * 1e-8):
-                    raw.append(f)
+                        rt[i] > 0 and remaining <= rt[i] * 1e-8):
+                    raw.append(i)
         if len(raw) > 1:
             # The running set is maintained incrementally under epochs, so
             # its iteration order drifts from the legacy rebuild order;
@@ -518,21 +566,29 @@ class Simulator:
             # same-instant completions are recorded identically. On the
             # legacy path the list is already in this order (stable no-op).
             active_pos = self._active_pos
-            flow_pos = self._flow_pos
-            raw.sort(key=lambda f: (active_pos[f.coflow_id],
-                                    flow_pos[f.flow_id]))
-        candidates = [(f, self._coflow_of[f.coflow_id]) for f in raw]
+            cid = tbl.coflow_id
+            pos = tbl.pos
+            raw.sort(key=lambda i: (active_pos[cid[i]], pos[i]))
+        coflow_of = self._coflow_of
+        cid = tbl.coflow_id
+        candidates = [(i, coflow_of[cid[i]]) for i in raw]
         if self._maybe_done:
             candidates.extend(self._maybe_done)
             self._maybe_done = []
 
+        view = tbl.view
         touched: dict[int, CoFlow] = {}
-        for f, coflow in candidates:
-            if f.finished or not self._flow_complete(f):
+        for i, coflow in candidates:
+            if ft[i] is not None:
                 continue
-            f.bytes_sent = f.volume
-            f.rate = 0.0
-            f.finish_time = self._now
+            remaining = vol[i] - bs[i]
+            if remaining > eps and not (
+                    rt[i] > 0 and remaining <= rt[i] * 1e-8):
+                continue  # predicate no longer holds (rates changed)
+            bs[i] = vol[i]
+            rt[i] = 0.0
+            ft[i] = self._now
+            f = view[i]
             self.state.note_flow_finished(f)
             self.scheduler.on_flow_completion(f, coflow, self._now)
             touched[coflow.coflow_id] = coflow
@@ -550,6 +606,11 @@ class Simulator:
                 del self._coflow_of[coflow.coflow_id]
                 self._evict_coflow(coflow)
         if done:
+            # note_coflow_finished discards finished ids from the
+            # progressed set below; the next advance must re-union so the
+            # delta matches the legacy every-advance behaviour exactly
+            # (finished ids reappear while they remain in _running_cids).
+            self._progressed_synced = False
             self.state.active_coflows = [
                 c for c in self.state.active_coflows
                 if c.coflow_id not in done
@@ -564,31 +625,39 @@ class Simulator:
         return True
 
     def _evict_coflow(self, coflow: CoFlow) -> None:
-        """Drop a finished coflow's flows from the epoch-engine indices.
+        """Drop a finished coflow's rows from the epoch-engine bookkeeping.
 
-        ``_running_count`` is updated so future ``_running_cids`` rebuilds
-        are correct, but the current frozenset is left untouched: the
-        legacy engine also keeps a finished coflow's id in the progressed
-        mark-set until the next allocation is applied.
+        The table rows themselves are evicted (values copied back into the
+        view objects, row recycled, epoch bumped) by
+        :meth:`ClusterState.note_coflow_finished`, which runs right after
+        this cleanup. ``_running_count`` is updated so future
+        ``_running_cids`` rebuilds are correct, but the current frozenset is
+        left untouched: the legacy engine also keeps a finished coflow's id
+        in the progressed mark-set until the next allocation is applied.
         """
-        flow_by_id = self._flow_by_id
-        flow_pos = self._flow_pos
-        epoch = self._flow_epoch
-        running = self._running_map
+        if not self._epochs_engine:
+            # Legacy path rebuilds the running list on every application;
+            # stale rows in it are harmless (finished rows are skipped by
+            # finish_time, recycled rows carry zero rate until applied).
+            return
+        rows = coflow._rows
+        if rows is None:
+            return
+        running = self._running
         counts = self._running_count
-        for f in coflow.flows:
-            fid = f.flow_id
-            flow_by_id.pop(fid, None)
-            flow_pos.pop(fid, None)
-            epoch.pop(fid, None)
-            self._gated.pop(fid, None)
-            self._unheaped.pop(fid, None)
-            if running.pop(fid, None) is not None:
-                left = counts.get(coflow.coflow_id, 0) - 1
+        gated = self._gated
+        unheaped = self._unheaped
+        cid = coflow.coflow_id
+        for i in rows:
+            gated.pop(i, None)
+            unheaped.pop(i, None)
+            if i in running:
+                del running[i]  # type: ignore[union-attr]
+                left = counts.get(cid, 0) - 1
                 if left > 0:
-                    counts[coflow.coflow_id] = left
+                    counts[cid] = left
                 else:
-                    counts.pop(coflow.coflow_id, None)
+                    counts.pop(cid, None)
 
     def _process_external_events(self) -> bool:
         changed = False
@@ -609,7 +678,8 @@ class Simulator:
                     # vocabulary tracks, so they stay incremental.
                     self.state.note_dynamics()
                     # Rates/ports may have been rewritten under the epoch
-                    # engine's feet: drop the heap (scans are always exact)
+                    # engine's feet (dynamics write through the views into
+                    # the table): drop the heap (scans are always exact)
                     # and rebuild the diff baseline at the next round.
                     self._full_apply_pending = True
                     self._go_cold()
@@ -633,26 +703,27 @@ class Simulator:
         coflow.arrival_time = max(coflow.arrival_time, self._now)
         self._active_pos[coflow.coflow_id] = len(self.state.active_coflows)
         self.state.active_coflows.append(coflow)
+        # Adopts the coflow's flows into the flow table (rows in ``flows``
+        # order, so the legacy completion tie-break order is preserved).
         self.state.note_activated(coflow)
         self._coflow_of[coflow.coflow_id] = coflow
-        flow_by_id = self._flow_by_id
-        flow_pos = self._flow_pos
-        epoch = self._flow_epoch
-        for pos, f in enumerate(coflow.flows):
-            flow_by_id[f.flow_id] = f
-            flow_pos[f.flow_id] = pos
-            epoch[f.flow_id] = 0
         self.scheduler.on_coflow_arrival(coflow, self._now)
-        for f in coflow.flows:
+        tbl = self._table
+        vol = tbl.volume
+        bs = tbl.bytes_sent
+        avail = tbl.available_time
+        eps = self.config.epsilon_bytes
+        now = self._now
+        for i in coflow._rows:
             # Wake the scheduler when pipelined data becomes available
             # (§4.3), and catch zero-volume flows that are born complete.
-            if f.available_time > self._now:
+            if avail[i] > now:
                 self._events.push(
-                    Event(f.available_time, EventKind.DYNAMICS,
-                          _DataAvailable(f.available_time))
+                    Event(avail[i], EventKind.DYNAMICS,
+                          _DataAvailable(avail[i]))
                 )
-            if f.volume - f.bytes_sent <= self.config.epsilon_bytes:
-                self._maybe_done.append((f, coflow))
+            if vol[i] - bs[i] <= eps:
+                self._maybe_done.append((i, coflow))
 
     def _release_dependents_of(self, finished_id: int) -> None:
         waiters = self._dep_waiters.pop(finished_id, None)
@@ -693,6 +764,9 @@ class Simulator:
             self._request_resync(wakeup)
 
     def _apply_allocation(self, allocation: Allocation) -> None:
+        # The delta was just cleared and/or the running set may change:
+        # the next advance must re-union progressed coflow ids.
+        self._progressed_synced = False
         if self._epochs_engine:
             if self._full_apply_pending:
                 self._full_apply_pending = False
@@ -700,20 +774,31 @@ class Simulator:
             else:
                 self._apply_diff(allocation)
             return
-        running: list[Flow] = []
+        running: list[int] = []
         running_cids: set[int] = set()
         rates_get = allocation.rates.get
         efficiency = self.flow_efficiency
         perturb = self._rate_perturbation
         state = self.state
         now = self._now
+        tbl = self._table
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
+        view = tbl.view
         for coflow in state.active_coflows:
-            for f in state.pending_flows(coflow):
-                if f.finish_time is not None:
+            rows = state.pending_rows(coflow)
+            if rows is None:  # pragma: no cover - engine states always track
+                rows = []
+            for i in rows:
+                if ft[i] is not None:
                     continue
-                rate = rates_get(f.flow_id, 0.0)
+                rate = rates_get(fid[i], 0.0)
                 if rate > 0:
-                    if f.available_time > now:
+                    if avail[i] > now:
                         # §4.3: data not yet produced cannot be sent. A
                         # scheduler that allocates here (availability-
                         # oblivious) has reserved the ports for nothing —
@@ -721,15 +806,16 @@ class Simulator:
                         # data-unavailability experiment measures.
                         rate = 0.0
                     elif efficiency:
-                        rate *= efficiency.get(f.flow_id, 1.0)
+                        rate *= efficiency.get(fid[i], 1.0)
                     if rate > 0 and perturb is not None:
-                        rate = perturb(f, rate)
-                f.rate = rate if rate > 0.0 else 0.0
-                if f.rate > 0:
-                    running.append(f)
-                    running_cids.add(f.coflow_id)
-                    if f.start_time is None:
-                        f.start_time = now
+                        rate = perturb(view[i], rate)
+                rate = rate if rate > 0.0 else 0.0
+                rt[i] = rate
+                if rate > 0:
+                    running.append(i)
+                    running_cids.add(cidc[i])
+                    if st[i] is None:
+                        st[i] = now
         self._running = running
         self._running_cids = frozenset(running_cids)
 
@@ -737,33 +823,43 @@ class Simulator:
         """Full rebuild opening a fresh epoch baseline (first round or
         after dynamics mutated state in ways a diff cannot describe)."""
         self._go_cold()
-        running = self._running_map
-        running.clear()  # in place: ``self._running`` is a live view
+        running = self._running
+        running.clear()  # type: ignore[union-attr]  # kept: same dict object
         counts: dict[int, int] = {}
-        gated: dict[int, Flow] = {}
+        gated: dict[int, None] = {}
         rates_get = allocation.rates.get
         efficiency = self.flow_efficiency
         state = self.state
         now = self._now
+        tbl = self._table
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
         for coflow in state.active_coflows:
-            for f in state.pending_flows(coflow):
-                if f.finish_time is not None:
+            rows = state.pending_rows(coflow)
+            if rows is None:  # pragma: no cover - engine states always track
+                rows = []
+            for i in rows:
+                if ft[i] is not None:
                     continue
-                fid = f.flow_id
-                rate = rates_get(fid, 0.0)
+                rate = rates_get(fid[i], 0.0)
                 if rate > 0:
-                    if f.available_time > now:
+                    if avail[i] > now:
                         rate = 0.0
-                        gated[fid] = f
+                        gated[i] = None
                     elif efficiency:
-                        rate *= efficiency.get(fid, 1.0)
-                f.rate = rate if rate > 0.0 else 0.0
-                if f.rate > 0:
-                    running[fid] = f
-                    cid = f.coflow_id
+                        rate *= efficiency.get(fid[i], 1.0)
+                rate = rate if rate > 0.0 else 0.0
+                rt[i] = rate
+                if rate > 0:
+                    running[i] = None  # type: ignore[index]
+                    cid = cidc[i]
                     counts[cid] = counts.get(cid, 0) + 1
-                    if f.start_time is None:
-                        f.start_time = now
+                    if st[i] is None:
+                        st[i] = now
         self._running_count = counts
         self._running_cids = frozenset(counts)
         self._gated = gated
@@ -775,15 +871,27 @@ class Simulator:
         Only flows whose raw rate changed — plus availability-gated flows,
         whose effective rate can change with time alone — are touched;
         everyone else keeps rate, membership and heap entries. The diff is
-        found with C-level dict-view set operations, so a quiet round costs
-        O(changed) instead of O(active flows).
+        found with C-level dict-view set operations over the raw
+        ``flow_id → rate`` maps, then applied through the table columns
+        (one ``flow_id → row`` lookup per changed flow), so a quiet round
+        costs O(changed) instead of O(active flows).
         """
         new = allocation.rates
         prev = self._prev_rates
         dropped = prev.keys() - new.keys()
-        changed = new.items() - prev.items()
+        # Changed entries by direct probe: an int-keyed dict get plus a
+        # float compare per entry beats hashing every (flow_id, rate) tuple
+        # of both maps into item-view sets, especially for policies that
+        # rewrite every rate every round. (A missing key probes as None,
+        # which never equals a float rate, so additions are caught too.)
+        prev_get = prev.get
+        changed: list[tuple[int, float]] = []
+        changed_append = changed.append
+        for item in new.items():
+            if prev_get(item[0]) != item[1]:
+                changed_append(item)
         gated = self._gated
-        running = self._running_map
+        running = self._running
         counts = self._running_count
 
         # Heap policy: high-churn rounds (UC-TCP rewrites global fair
@@ -803,81 +911,106 @@ class Simulator:
         self._events_since_apply = 0
         track = self._heap_live
         # Epoch bumps exist to invalidate heap entries; while the heap is
-        # cold it is empty (go_cold clears it), so there is nothing to
-        # invalidate and the per-flow counter churn can be skipped. Entries
-        # seeded later capture whatever epoch values are current.
-        bump_epochs = track or self._seed_pending
+        # cold it is empty (go_cold clears it, and a partial seed aborts by
+        # clearing again), so there is nothing to invalidate and the
+        # per-row counter churn can be skipped entirely. Entries seeded
+        # later capture whatever epoch values are current.
+        bump_epochs = track
 
-        flows = self._flow_by_id
-        epoch = self._flow_epoch
+        tbl = self._table
+        row_of_get = tbl.row_of.get
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
+        ep = tbl.epoch
         unheaped = self._unheaped
         efficiency = self.flow_efficiency
         now = self._now
         members_changed = False
 
-        for fid in dropped:
-            f = flows.get(fid)
-            if f is not None and f.finish_time is None and f.rate != 0.0:
-                f.rate = 0.0
+        for dropped_fid in dropped:
+            i = row_of_get(dropped_fid)
+            if i is None:
+                continue  # evicted with its finished coflow
+            if ft[i] is None and rt[i] != 0.0:
+                rt[i] = 0.0
                 if bump_epochs:
-                    epoch[fid] += 1
-            if running.pop(fid, None) is not None:
+                    ep[i] += 1
+            if i in running:
+                del running[i]  # type: ignore[union-attr]
                 members_changed = True
-                cid = f.coflow_id  # type: ignore[union-attr]
+                cid = cidc[i]
                 left = counts[cid] - 1
                 if left > 0:
                     counts[cid] = left
                 else:
                     del counts[cid]
-            gated.pop(fid, None)
-            unheaped.pop(fid, None)
+            if gated:
+                gated.pop(i, None)
+            if unheaped:
+                unheaped.pop(i, None)
 
-        process: list[tuple[int, float]] = list(changed)
         if gated:
             # Unchanged raw rate, but the availability window may have
-            # opened since the last round: always re-evaluate.
+            # opened since the last round: always re-evaluate. Snapshot
+            # (by flow id) before the changed-entry pass below mutates
+            # ``gated`` — the legacy behaviour built its processing list
+            # up front.
             new_get = new.get
-            for fid in gated:
-                process.append((fid, new_get(fid, 0.0)))
-        for fid, raw in process:
-            f = flows.get(fid)
-            if f is None or f.finish_time is not None:
+            gated_pairs = [(fid[i], new_get(fid[i], 0.0)) for i in gated]
+            pairs = chain(changed, gated_pairs)
+        else:
+            # ``changed`` is iterated directly: an intermediate (row, rate)
+            # list would cost a tuple per flow on policies that rewrite
+            # every rate every round.
+            pairs = changed
+        for changed_fid, raw in pairs:
+            i = row_of_get(changed_fid)
+            if i is None:
+                continue  # evicted with its finished coflow
+            if ft[i] is not None:
                 continue
             rate = raw
             if rate > 0:
-                if f.available_time > now:
+                if avail[i] > now:
                     rate = 0.0
-                    gated[fid] = f
+                    gated[i] = None
                 else:
-                    gated.pop(fid, None)
+                    if gated:
+                        gated.pop(i, None)
                     if efficiency:
-                        rate *= efficiency.get(fid, 1.0)
+                        rate *= efficiency.get(fid[i], 1.0)
             if rate <= 0.0:
                 rate = 0.0
-            if rate != f.rate:
-                f.rate = rate
+            if rate != rt[i]:
+                rt[i] = rate
                 if bump_epochs:
-                    epoch[fid] += 1
+                    ep[i] += 1
                 if rate > 0:
-                    if fid not in running:
-                        running[fid] = f
+                    if i not in running:
+                        running[i] = None  # type: ignore[index]
                         members_changed = True
-                        cid = f.coflow_id
+                        cid = cidc[i]
                         counts[cid] = counts.get(cid, 0) + 1
                     if track:
-                        unheaped[fid] = f
-                    if f.start_time is None:
-                        f.start_time = now
+                        unheaped[i] = None
+                    if st[i] is None:
+                        st[i] = now
                 else:
-                    if running.pop(fid, None) is not None:
+                    if i in running:
+                        del running[i]  # type: ignore[union-attr]
                         members_changed = True
-                        cid = f.coflow_id
+                        cid = cidc[i]
                         left = counts[cid] - 1
                         if left > 0:
                             counts[cid] = left
                         else:
                             del counts[cid]
-                    unheaped.pop(fid, None)
+                    if unheaped:
+                        unheaped.pop(i, None)
         self._prev_rates = new
         if members_changed:
             self._running_cids = frozenset(counts)

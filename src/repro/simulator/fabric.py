@@ -100,6 +100,11 @@ class PortLedger:
     :meth:`reset`, so clearing it between scheduling rounds costs
     O(changed ports) rather than O(all ports) — the basis of the
     :meth:`~repro.simulator.state.ClusterState.acquire_ledger` reuse path.
+
+    Port ids are dense (machine ``i`` owns sender port ``i`` and receiver
+    port ``i + n``), so capacity and usage live in flat lists indexed by
+    port id; the rate allocators index them directly via
+    :attr:`capacity_list` / :attr:`used_list` in their fill loops.
     """
 
     __slots__ = ("_fabric", "_capacity", "_used", "_touched")
@@ -107,9 +112,9 @@ class PortLedger:
     def __init__(self, fabric: Fabric,
                  capacity_override: dict[int, float] | None = None):
         self._fabric = fabric
-        self._capacity = {
-            p: fabric.capacity(p) for p in fabric.all_ports()
-        }
+        self._capacity: list[float] = [
+            fabric.capacity(p) for p in fabric.all_ports()
+        ]
         if capacity_override:
             for port, cap in capacity_override.items():
                 if cap < 0:
@@ -117,13 +122,30 @@ class PortLedger:
                         f"capacity override for port {port} must be >= 0"
                     )
                 self._capacity[port] = cap
-        self._used: dict[int, float] = {p: 0.0 for p in fabric.all_ports()}
+        self._used: list[float] = [0.0] * fabric.num_ports
         #: Ports with a non-zero commitment since the last reset.
         self._touched: set[int] = set()
 
     @property
     def fabric(self) -> Fabric:
         return self._fabric
+
+    @property
+    def capacity_list(self) -> list[float]:
+        """Per-port capacity, indexed by port id (read-only by convention)."""
+        return self._capacity
+
+    @property
+    def used_list(self) -> list[float]:
+        """Per-port usage, indexed by port id (read-only by convention)."""
+        return self._used
+
+    @property
+    def touched_set(self) -> set[int]:
+        """Ports committed since the last reset. Allocator fill loops that
+        write :attr:`used_list` directly must add the ports they touch, or
+        :meth:`reset` will miss them."""
+        return self._touched
 
     def capacity(self, port: int) -> float:
         return self._capacity[port]

@@ -7,6 +7,17 @@ read them — they only see bytes sent so far).
 
 A :class:`CoFlow` is a set of semantically-related flows; its completion time
 (CCT) is the time from its arrival until its **last** flow finishes.
+
+**Flow-table views.** During a simulation the mutable hot state of every
+active flow (``bytes_sent``, ``rate``, ``finish_time``, ``start_time``,
+``dst``) lives in the struct-of-arrays
+:class:`~repro.simulator.state.FlowTable`, and the :class:`Flow` object is a
+thin *view*: the fields above are properties that read/write the table row
+the flow was adopted into. Detached flows (before activation, after their
+coflow completes, or in hand-built tests) carry the same state in shadow
+slots, so the object behaves identically either way. Attachment is an
+engine-internal lifecycle (see ``FlowTable.adopt`` / ``evict``); policy and
+analysis code never needs to know which mode a flow is in.
 """
 
 from __future__ import annotations
@@ -18,36 +29,127 @@ from typing import Iterable, Iterator
 from ..errors import ConfigError
 
 
-@dataclass(slots=True)
 class Flow:
     """One flow of a coflow.
 
     Mutable simulation state (``bytes_sent``, ``rate``, timestamps) lives on
-    the object; static description (ports, volume) is set at construction.
+    the object while detached and in the owning
+    :class:`~repro.simulator.state.FlowTable` row while attached; static
+    description (ports, volume) is set at construction.
     """
 
-    flow_id: int
-    coflow_id: int
-    src: int
-    dst: int
-    volume: float  # total bytes to transfer
+    __slots__ = (
+        "flow_id", "coflow_id", "src", "volume", "available_time",
+        "_dst", "_bytes_sent", "_rate", "_start_time", "_finish_time",
+        "_tbl", "_row",
+    )
 
-    bytes_sent: float = 0.0
-    rate: float = 0.0  # current allocated rate, bytes/second
-    start_time: float | None = None  # first instant with rate > 0
-    finish_time: float | None = None
-    #: Time at which the flow's data becomes available to send (§4.3,
-    #: pipelined frameworks). 0 = available from coflow arrival.
-    available_time: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.volume < 0:
-            raise ConfigError(f"flow volume must be >= 0, got {self.volume}")
-        if self.src == self.dst:
+    def __init__(
+        self,
+        flow_id: int,
+        coflow_id: int,
+        src: int,
+        dst: int,
+        volume: float,
+        bytes_sent: float = 0.0,
+        rate: float = 0.0,
+        start_time: float | None = None,
+        finish_time: float | None = None,
+        available_time: float = 0.0,
+    ):
+        if volume < 0:
+            raise ConfigError(f"flow volume must be >= 0, got {volume}")
+        if src == dst:
             raise ConfigError(
-                f"flow {self.flow_id}: src and dst ports must differ "
-                f"(got port {self.src} for both)"
+                f"flow {flow_id}: src and dst ports must differ "
+                f"(got port {src} for both)"
             )
+        self.flow_id = flow_id
+        self.coflow_id = coflow_id
+        self.src = src
+        self.volume = volume
+        #: Time at which the flow's data becomes available to send (§4.3,
+        #: pipelined frameworks). 0 = available from coflow arrival.
+        self.available_time = available_time
+        self._dst = dst
+        self._bytes_sent = bytes_sent
+        self._rate = rate
+        self._start_time = start_time
+        self._finish_time = finish_time
+        #: Owning flow table and row index while attached (engine lifetime).
+        self._tbl = None
+        self._row = -1
+
+    # ---- table-backed fields ----------------------------------------------
+
+    @property
+    def dst(self) -> int:
+        t = self._tbl
+        return self._dst if t is None else t.dst[self._row]
+
+    @dst.setter
+    def dst(self, value: int) -> None:
+        t = self._tbl
+        if t is None:
+            self._dst = value
+        else:
+            t.dst[self._row] = value
+
+    @property
+    def bytes_sent(self) -> float:
+        t = self._tbl
+        return self._bytes_sent if t is None else t.bytes_sent[self._row]
+
+    @bytes_sent.setter
+    def bytes_sent(self, value: float) -> None:
+        t = self._tbl
+        if t is None:
+            self._bytes_sent = value
+        else:
+            t.bytes_sent[self._row] = value
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate, bytes/second."""
+        t = self._tbl
+        return self._rate if t is None else t.rate[self._row]
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        t = self._tbl
+        if t is None:
+            self._rate = value
+        else:
+            t.rate[self._row] = value
+
+    @property
+    def start_time(self) -> float | None:
+        """First instant with rate > 0 (None until scheduled)."""
+        t = self._tbl
+        return self._start_time if t is None else t.start_time[self._row]
+
+    @start_time.setter
+    def start_time(self, value: float | None) -> None:
+        t = self._tbl
+        if t is None:
+            self._start_time = value
+        else:
+            t.start_time[self._row] = value
+
+    @property
+    def finish_time(self) -> float | None:
+        t = self._tbl
+        return self._finish_time if t is None else t.finish_time[self._row]
+
+    @finish_time.setter
+    def finish_time(self, value: float | None) -> None:
+        t = self._tbl
+        if t is None:
+            self._finish_time = value
+        else:
+            t.finish_time[self._row] = value
+
+    # ---- derived state -----------------------------------------------------
 
     @property
     def remaining(self) -> float:
@@ -79,6 +181,32 @@ class Flow:
             raise ValueError(f"flow {self.flow_id} has not finished")
         return self.finish_time - coflow_arrival
 
+    # ---- value semantics (mirrors the former dataclass) --------------------
+
+    def _astuple(self) -> tuple:
+        return (
+            self.flow_id, self.coflow_id, self.src, self.dst, self.volume,
+            self.bytes_sent, self.rate, self.start_time, self.finish_time,
+            self.available_time,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Flow:
+            return self._astuple() == other._astuple()  # type: ignore[union-attr]
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable value type
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow(flow_id={self.flow_id!r}, coflow_id={self.coflow_id!r}, "
+            f"src={self.src!r}, dst={self.dst!r}, volume={self.volume!r}, "
+            f"bytes_sent={self.bytes_sent!r}, rate={self.rate!r}, "
+            f"start_time={self.start_time!r}, "
+            f"finish_time={self.finish_time!r}, "
+            f"available_time={self.available_time!r})"
+        )
+
 
 @dataclass(slots=True)
 class CoFlow:
@@ -104,6 +232,14 @@ class CoFlow:
     depends_on: tuple[int, ...] = ()
     #: Optional job association (for JCT accounting, §7.2).
     job_id: int | None = None
+    #: Flow-table attachment (engine lifetime): the owning table and this
+    #: coflow's row indices, aligned with ``flows`` order.
+    _table: "object | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _rows: "list[int] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for f in self.flows:
@@ -155,12 +291,24 @@ class CoFlow:
     def bytes_sent(self) -> float:
         """Total bytes sent across all flows (Aalo's queue metric)."""
         # List comprehension + C-level sum: same accumulation order and
-        # floats as the generator form, without the frame switching.
+        # floats as the generator form, without the frame switching. The
+        # attached path reads the flow-table column directly (rows are in
+        # ``flows`` order, so the accumulation order is unchanged).
+        rows = self._rows
+        if rows is not None:
+            bs = self._table.bytes_sent
+            return sum([bs[i] for i in rows])
         return sum([f.bytes_sent for f in self.flows])
 
     @property
     def max_flow_bytes_sent(self) -> float:
         """Bytes sent by the longest-progress flow (Saath's ``m_c``, D3)."""
+        rows = self._rows
+        if rows is not None:
+            if not rows:
+                return 0.0
+            bs = self._table.bytes_sent
+            return max([bs[i] for i in rows])
         if not self.flows:
             return 0.0
         return max([f.bytes_sent for f in self.flows])
@@ -250,18 +398,27 @@ def clone_coflows(coflows: Iterable[CoFlow]) -> list[CoFlow]:
     static description is carried over — all dynamic state resets.
     """
     fresh: list[CoFlow] = []
+    new = Flow.__new__
     for c in coflows:
-        flows = [
-            Flow(
-                flow_id=f.flow_id,
-                coflow_id=f.coflow_id,
-                src=f.src,
-                dst=f.dst,
-                volume=f.volume,
-                available_time=f.available_time,
-            )
-            for f in c.flows
-        ]
+        flows = []
+        for f in c.flows:
+            # Direct slot initialisation: the source flow already passed
+            # construction validation, and experiment sweeps clone whole
+            # workloads once per (policy, trace) run.
+            g = new(Flow)
+            g.flow_id = f.flow_id
+            g.coflow_id = f.coflow_id
+            g.src = f.src
+            g.volume = f.volume
+            g.available_time = f.available_time
+            g._dst = f.dst
+            g._bytes_sent = 0.0
+            g._rate = 0.0
+            g._start_time = None
+            g._finish_time = None
+            g._tbl = None
+            g._row = -1
+            flows.append(g)
         fresh.append(
             CoFlow(
                 coflow_id=c.coflow_id,

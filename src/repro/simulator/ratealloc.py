@@ -14,16 +14,30 @@ Three allocators used across the schedulers:
 All functions operate on a :class:`~repro.simulator.fabric.PortLedger` so
 the caller controls what capacity is visible (residual capacity after
 higher-priority allocations).
+
+Each allocator exists in two forms performing the *same arithmetic in the
+same order* (bit-identical outputs, asserted by the equivalence tests):
+
+* the object form (``flows``: a sequence of :class:`Flow`), used by tests
+  and hand-assembled states; and
+* a ``*_rows`` form taking table row indices plus the owning
+  :class:`~repro.simulator.state.FlowTable`, used by the schedulers on
+  engine-driven states — per-flow state is read by integer-indexing the
+  table columns and the ledger's dense per-port lists, with no attribute
+  or dict dispatch in the fill loops.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from .fabric import PortLedger
+from .fabric import _CAPACITY_TOLERANCE, CapacityViolationError, PortLedger
 from .flows import CoFlow, Flow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (state -> fabric)
+    from .state import FlowTable
 
 
 def max_min_fair(
@@ -158,6 +172,150 @@ def max_min_fair(
     return rates
 
 
+def max_min_fair_rows_raw(
+    rows: Sequence[int],
+    table: "FlowTable",
+    ledger: PortLedger,
+    *,
+    rate_cap: float | None = None,
+    commit: bool = True,
+    prefiltered: bool = False,
+) -> tuple[list[int], list[float]]:
+    """Row-path core of :func:`max_min_fair` (same fills, same tie-breaks).
+
+    ``rows`` are flow-table row indices; per-flow ports and liveness come
+    from the table columns and the initial per-port residuals from the
+    ledger's dense capacity/usage lists, so the build pass does no
+    attribute dispatch. Returns the unfinished rows (in input order) and
+    their rates as two aligned lists — callers that need a ``flow_id``
+    -keyed map use :func:`max_min_fair_rows`; UC-TCP consumes the raw pair
+    directly, skipping two O(flows) dict passes per round.
+
+    ``prefiltered=True`` asserts that ``rows`` holds no finished flows
+    (true for pending-row caches, which drop rows on completion), skipping
+    the liveness re-filter. ``rate_cap <= 0`` zeroes every rate, as in the
+    object form.
+    """
+    if prefiltered:
+        active = list(rows) if not isinstance(rows, list) else rows
+    else:
+        ft = table.finish_time
+        active = [i for i in rows if ft[i] is None]
+    num_flows = len(active)
+    rate_of: list[float] = [0.0] * num_flows
+    if not num_flows or (rate_cap is not None and rate_cap <= 0):
+        return active, rate_of
+
+    src_col = table.src
+    dst_col = table.dst
+    lcap = ledger.capacity_list
+    lused = ledger.used_list
+
+    # Dense port indexing in first-seen order (src before dst per flow).
+    # Port ids are already dense fabric indices, so the first-seen map is a
+    # flat position list instead of a dict (same assignment order).
+    port_pos: list[int] = [-1] * len(lcap)
+    residual: list[float] = []
+    live: list[int] = []
+    #: dense port -> flow positions touching it, in flow order.
+    members: list[list[int]] = []
+    src_i: list[int] = [0] * num_flows
+    dst_i: list[int] = [0] * num_flows
+    for k, i in enumerate(active):
+        port = src_col[i]
+        j = port_pos[port]
+        if j < 0:
+            port_pos[port] = j = len(residual)
+            r = lcap[port] - lused[port]  # == ledger.residual(port)
+            residual.append(r if r >= 0.0 else 0.0)
+            live.append(1)
+            members.append([k])
+        else:
+            live[j] += 1
+            members[j].append(k)
+        src_i[k] = j
+        port = dst_col[i]
+        j = port_pos[port]
+        if j < 0:
+            port_pos[port] = j = len(residual)
+            r = lcap[port] - lused[port]
+            residual.append(r if r >= 0.0 else 0.0)
+            live.append(1)
+            members.append([k])
+        else:
+            live[j] += 1
+            members[j].append(k)
+        dst_i[k] = j
+
+    frozen = bytearray(num_flows)
+    remaining = num_flows
+    inf = math.inf
+    #: Per-port fair share ``residual / live`` (inf once drained),
+    #: maintained incrementally: a share only changes when one of its
+    #: port's inputs changes, so the bottleneck search collapses to a
+    #: C-level ``min`` + first-index lookup. ``index(min)`` returns the
+    #: lowest dense index achieving the minimum — dense indices were
+    #: assigned in first-seen order, so this is exactly the object form's
+    #: ascending-scan tie-break (first port among equal shares).
+    shares = [residual[j] / live[j] for j in range(len(residual))]
+
+    while remaining:
+        best_share = min(shares)
+        if best_share == inf:
+            break
+        best_j = shares.index(best_share)
+
+        if rate_cap is not None and rate_cap < best_share:
+            for k in range(num_flows):
+                if not frozen[k]:
+                    rate_of[k] = rate_cap
+            break
+
+        for k in members[best_j]:
+            if frozen[k]:
+                continue
+            frozen[k] = 1
+            rate_of[k] = best_share
+            j = src_i[k]
+            nr = residual[j] - best_share
+            residual[j] = nr = nr if nr >= 0 else 0.0
+            lv = live[j] - 1
+            live[j] = lv
+            shares[j] = nr / lv if lv else inf
+            j = dst_i[k]
+            nr = residual[j] - best_share
+            residual[j] = nr = nr if nr >= 0 else 0.0
+            lv = live[j] - 1
+            live[j] = lv
+            shares[j] = nr / lv if lv else inf
+            remaining -= 1
+
+    if commit:
+        ledger_commit = ledger.commit
+        for k, i in enumerate(active):
+            rate = rate_of[k]
+            if rate > 0:
+                ledger_commit(src_col[i], dst_col[i], rate)
+    return active, rate_of
+
+
+def max_min_fair_rows(
+    rows: Sequence[int],
+    table: "FlowTable",
+    ledger: PortLedger,
+    *,
+    rate_cap: float | None = None,
+    commit: bool = True,
+) -> dict[int, float]:
+    """Row-path twin of :func:`max_min_fair`: ``flow_id → rate`` over the
+    unfinished rows (zero-rate entries included, as in the object form)."""
+    active, rate_of = max_min_fair_rows_raw(
+        rows, table, ledger, rate_cap=rate_cap, commit=commit
+    )
+    fid = table.flow_id
+    return dict(zip([fid[i] for i in active], rate_of))
+
+
 def madd_rates(
     coflow: CoFlow,
     ledger: PortLedger,
@@ -207,6 +365,82 @@ def madd_rates(
     commit = ledger.commit
     for f in todo:
         commit(f.src, f.dst, rates[f.flow_id])
+    return rates
+
+
+def madd_rates_rows(
+    rows: Sequence[int],
+    table: "FlowTable",
+    ledger: PortLedger,
+) -> dict[int, float]:
+    """Row-path twin of :func:`madd_rates` (same Γ, same scaling).
+
+    ``rows`` are the coflow's schedulable rows; remaining volumes are read
+    straight off the table columns.
+    """
+    ft = table.finish_time
+    vol = table.volume
+    bs = table.bytes_sent
+    src_col = table.src
+    dst_col = table.dst
+    # Liveness filter and per-port byte aggregation fused into one pass
+    # (same walk order, same accumulation order; ``remaining`` is computed
+    # once and reused for the rate assignment below).
+    todo: list[int] = []
+    left: list[float] = []
+    port_bytes: dict[int, float] = {}
+    get = port_bytes.get
+    for i in rows:
+        if ft[i] is not None:
+            continue
+        remaining = vol[i] - bs[i]
+        if remaining <= 0:
+            continue
+        todo.append(i)
+        left.append(remaining)
+        src = src_col[i]
+        dst = dst_col[i]
+        port_bytes[src] = get(src, 0.0) + remaining
+        port_bytes[dst] = get(dst, 0.0) + remaining
+    if not todo:
+        return {}
+
+    lcap = ledger.capacity_list
+    lused = ledger.used_list
+    gamma = 0.0
+    for port, volume in port_bytes.items():
+        residual = lcap[port] - lused[port]  # == ledger.residual(port)
+        if residual <= 0:
+            return {}
+        share = volume / residual
+        if share > gamma:
+            gamma = share
+    if gamma <= 0:
+        return {}
+
+    # Rate build and ledger commit fused into one pass; the commit
+    # arithmetic (tolerance check, at-capacity clamp, touched-port
+    # bookkeeping) is PortLedger.commit's, inlined.
+    fid = table.flow_id
+    touched = ledger.touched_set
+    rates: dict[int, float] = {}
+    for i, remaining in zip(todo, left):
+        rate = remaining / gamma
+        rates[fid[i]] = rate
+        src = src_col[i]
+        dst = dst_col[i]
+        touched.add(src)
+        touched.add(dst)
+        cap = lcap[src]
+        new_used = lused[src] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(src), new_used, cap)
+        lused[src] = new_used if new_used < cap else cap
+        cap = lcap[dst]
+        new_used = lused[dst] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(dst), new_used, cap)
+        lused[dst] = new_used if new_used < cap else cap
     return rates
 
 
@@ -268,6 +502,71 @@ def equal_rate_for_coflow(
     return rates
 
 
+def equal_rate_for_coflow_rows(
+    rows: Sequence[int],
+    table: "FlowTable",
+    ledger: PortLedger,
+    *,
+    port_counts: dict[int, int] | None = None,
+) -> dict[int, float]:
+    """Row-path twin of :func:`equal_rate_for_coflow` (same caps, same min).
+
+    ``rows`` are the coflow's schedulable rows; ``port_counts`` is the
+    cluster state's compaction cache exactly as in the object form.
+    """
+    ft = table.finish_time
+    todo = [i for i in rows if ft[i] is None]
+    if not todo:
+        return {}
+
+    src_col = table.src
+    dst_col = table.dst
+    lcap = ledger.capacity_list
+    lused = ledger.used_list
+    rate = math.inf
+    if port_counts is not None:
+        for port, count in port_counts.items():
+            r = lcap[port] - lused[port]  # == ledger.residual(port)
+            cap = (r if r >= 0.0 else 0.0) / count
+            if cap < rate:
+                rate = cap
+    else:
+        residual = ledger.residual
+        count_at_port: dict[int, int] = defaultdict(int)
+        for i in todo:
+            count_at_port[src_col[i]] += 1
+            count_at_port[dst_col[i]] += 1
+        for i in todo:
+            cap_src = residual(src_col[i]) / count_at_port[src_col[i]]
+            cap_dst = residual(dst_col[i]) / count_at_port[dst_col[i]]
+            rate = min(rate, cap_src, cap_dst)
+    if not math.isfinite(rate) or rate <= 0:
+        return {}
+
+    # Rate map and ledger commit fused (PortLedger.commit inlined: same
+    # tolerance check, clamp and touched-port bookkeeping).
+    fid = table.flow_id
+    touched = ledger.touched_set
+    rates: dict[int, float] = {}
+    for i in todo:
+        rates[fid[i]] = rate
+        src = src_col[i]
+        dst = dst_col[i]
+        touched.add(src)
+        touched.add(dst)
+        cap = lcap[src]
+        new_used = lused[src] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(src), new_used, cap)
+        lused[src] = new_used if new_used < cap else cap
+        cap = lcap[dst]
+        new_used = lused[dst] + rate
+        if new_used > cap * _CAPACITY_TOLERANCE:
+            raise CapacityViolationError(str(dst), new_used, cap)
+        lused[dst] = new_used if new_used < cap else cap
+    return rates
+
+
 def greedy_residual_rates(
     flows: Sequence[Flow],
     ledger: PortLedger,
@@ -303,5 +602,49 @@ def greedy_residual_rates(
             if residual(src) <= 0:
                 dead.add(src)
             if residual(dst) <= 0:
+                dead.add(dst)
+    return rates
+
+
+def greedy_residual_rates_rows(
+    rows: Sequence[int],
+    table: "FlowTable",
+    ledger: PortLedger,
+) -> dict[int, float]:
+    """Row-path twin of :func:`greedy_residual_rates` (same walk order)."""
+    rates: dict[int, float] = {}
+    dead: set[int] = set()
+    ft = table.finish_time
+    fid = table.flow_id
+    src_col = table.src
+    dst_col = table.dst
+    # Fused PortLedger.fill: identical grant arithmetic and touched-port
+    # bookkeeping over the ledger's dense lists, without a method call per
+    # flow. ``residual(p) <= 0`` is ``capacity - used <= 0`` (the max-with-
+    # zero clamp never changes the sign).
+    lcap = ledger.capacity_list
+    lused = ledger.used_list
+    touched = ledger.touched_set
+    for i in rows:
+        if ft[i] is not None:
+            continue
+        src = src_col[i]
+        dst = dst_col[i]
+        if src in dead or dst in dead:
+            continue
+        rate = lcap[src] - lused[src]
+        rate_dst = lcap[dst] - lused[dst]
+        if rate_dst < rate:
+            rate = rate_dst
+        if rate > 0:
+            lused[src] += rate
+            lused[dst] += rate
+            touched.add(src)
+            touched.add(dst)
+            rates[fid[i]] = rate
+        else:
+            if lcap[src] - lused[src] <= 0:
+                dead.add(src)
+            if lcap[dst] - lused[dst] <= 0:
                 dead.add(dst)
     return rates

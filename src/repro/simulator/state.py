@@ -1,4 +1,4 @@
-"""Cluster state exposed to schedulers.
+"""Cluster state exposed to schedulers, and the flat flow table behind it.
 
 :class:`ClusterState` is the schedulers' *only* window into the simulation:
 the set of active (arrived, unfinished) coflows, the fabric geometry, and
@@ -9,20 +9,26 @@ docstrings.
 
 Incremental scheduling support lives here too:
 
+* :class:`FlowTable` — a struct-of-arrays registry of every *active* flow.
+  Each flow is assigned a dense integer row at activation (rows are recycled
+  through a free list when a coflow finishes), and the fields the hot loops
+  touch (``volume``, ``bytes_sent``, ``rate``, ``finish_time``, ports,
+  coflow id, allocation epoch) live in parallel lists indexed by that row.
+  The engine, the rate allocators and the scheduler projections all operate
+  on rows; :class:`~repro.simulator.flows.Flow` objects are thin views.
 * :class:`SchedulingDelta` — the dirty set accumulated by the engine between
   scheduler invocations (arrived / completed / progressed coflows), so
   schedulers can update their bookkeeping from the change instead of
   rescanning the world every round;
-* per-coflow *pending flow* caches, so per-round flow gathering walks only
+* per-coflow *pending row* caches, so per-round flow gathering walks only
   unfinished flows instead of every flow ever submitted;
 * a reusable :class:`~repro.simulator.fabric.PortLedger` cleared in
   O(changed ports) per round via :meth:`ClusterState.acquire_ledger`;
-* per-coflow *flow-group compaction* (``epochs`` engine): ``(src, dst)``
-  -bucketed pending-flow groups and per-port pending-flow counts maintained
-  incrementally from the engine's completion notifications, so rate
-  allocators and admission checks work in O(groups)/O(ports) instead of
-  recounting every flow each round (:meth:`ClusterState.port_counts`,
-  :meth:`ClusterState.flow_groups`).
+* per-coflow *flow-group compaction*: ``(src, dst)``-bucketed pending-row
+  groups and per-port pending-flow counts maintained incrementally from the
+  engine's completion notifications, so rate allocators and admission checks
+  work in O(groups)/O(ports) instead of recounting every flow each round
+  (:meth:`ClusterState.port_counts`, :meth:`ClusterState.flow_groups`).
 """
 
 from __future__ import annotations
@@ -31,6 +37,147 @@ from dataclasses import dataclass, field
 
 from .fabric import Fabric, PortLedger
 from .flows import CoFlow, Flow
+
+
+class FlowTable:
+    """Struct-of-arrays storage for the mutable state of active flows.
+
+    Layout: parallel lists indexed by *row*. A flow is **adopted** when its
+    coflow activates — it receives the lowest-overhead row available (a
+    recycled one from the free list, else a fresh append) — and **evicted**
+    when its coflow completes, at which point the row's values are copied
+    back into the view object's shadow storage and the row returns to the
+    free list. Between those two instants the table is the single source of
+    truth: the ``Flow`` view's mutable properties read and write these
+    arrays, so object-path and row-path consumers always agree.
+
+    Index-lifetime rules:
+
+    * a live flow's row never changes (heap entries, running sets and
+      pending caches can hold raw row indices);
+    * ``epoch[row]`` is bumped on eviction, so stale references (e.g.
+      completion-heap entries keyed ``(bound, epoch, row)``) can never
+      alias the next occupant of a recycled row;
+    * ``view[row]`` is ``None`` for free rows — the liveness predicate.
+    """
+
+    __slots__ = (
+        "flow_id", "coflow_id", "src", "dst", "volume", "bytes_sent",
+        "rate", "finish_time", "start_time", "available_time", "pos",
+        "epoch", "view", "row_of", "_free",
+    )
+
+    def __init__(self) -> None:
+        self.flow_id: list[int] = []
+        self.coflow_id: list[int] = []
+        self.src: list[int] = []
+        self.dst: list[int] = []
+        self.volume: list[float] = []
+        self.bytes_sent: list[float] = []
+        self.rate: list[float] = []
+        self.finish_time: list[float | None] = []
+        self.start_time: list[float | None] = []
+        self.available_time: list[float] = []
+        #: Position of the flow within its coflow's ``flows`` list (the
+        #: legacy same-instant completion tie-break).
+        self.pos: list[int] = []
+        #: Allocation epoch: bumped whenever the applied rate changes and on
+        #: eviction (invalidates completion-heap entries; never reset).
+        self.epoch: list[int] = []
+        #: The view object occupying each row (None = free row).
+        self.view: list[Flow | None] = []
+        #: flow_id -> row for every live flow.
+        self.row_of: dict[int, int] = {}
+        #: Recycled rows, LIFO (hot rows stay cache-warm).
+        self._free: list[int] = []
+
+    def __len__(self) -> int:
+        """Number of live (adopted, not yet evicted) flows."""
+        return len(self.row_of)
+
+    @property
+    def capacity(self) -> int:
+        """Total rows ever allocated (live + free)."""
+        return len(self.flow_id)
+
+    def adopt(self, flow: Flow, pos: int) -> int:
+        """Attach ``flow`` to the table; returns its row index.
+
+        Copies the view's current shadow state into the arrays — adoption is
+        transparent to any reader of the flow's properties.
+        """
+        free = self._free
+        if free:
+            i = free.pop()
+            self.flow_id[i] = flow.flow_id
+            self.coflow_id[i] = flow.coflow_id
+            self.src[i] = flow.src
+            self.dst[i] = flow._dst
+            self.volume[i] = flow.volume
+            self.bytes_sent[i] = flow._bytes_sent
+            self.rate[i] = flow._rate
+            self.finish_time[i] = flow._finish_time
+            self.start_time[i] = flow._start_time
+            self.available_time[i] = flow.available_time
+            self.pos[i] = pos
+            # epoch[i] keeps its post-eviction bump: strictly greater than
+            # any value a stale reference to this row can carry.
+        else:
+            i = len(self.flow_id)
+            self.flow_id.append(flow.flow_id)
+            self.coflow_id.append(flow.coflow_id)
+            self.src.append(flow.src)
+            self.dst.append(flow._dst)
+            self.volume.append(flow.volume)
+            self.bytes_sent.append(flow._bytes_sent)
+            self.rate.append(flow._rate)
+            self.finish_time.append(flow._finish_time)
+            self.start_time.append(flow._start_time)
+            self.available_time.append(flow.available_time)
+            self.pos.append(pos)
+            self.epoch.append(0)
+            self.view.append(None)
+        self.view[i] = flow
+        self.row_of[flow.flow_id] = i
+        flow._tbl = self
+        flow._row = i
+        return i
+
+    def evict(self, row: int) -> None:
+        """Detach the flow at ``row``, copying state back into the view."""
+        f = self.view[row]
+        if f is None:
+            return
+        f._dst = self.dst[row]
+        f._bytes_sent = self.bytes_sent[row]
+        f._rate = self.rate[row]
+        f._start_time = self.start_time[row]
+        f._finish_time = self.finish_time[row]
+        f._tbl = None
+        f._row = -1
+        self.view[row] = None
+        del self.row_of[f.flow_id]
+        self.epoch[row] += 1  # stale (bound, epoch, row) refs can't alias
+        self._free.append(row)
+
+    def adopt_coflow(self, coflow: CoFlow) -> list[int]:
+        """Adopt every flow of ``coflow``; rows align with ``flows`` order."""
+        if coflow._rows is not None:
+            return coflow._rows
+        rows = [self.adopt(f, pos) for pos, f in enumerate(coflow.flows)]
+        coflow._table = self
+        coflow._rows = rows
+        return rows
+
+    def evict_coflow(self, coflow: CoFlow) -> None:
+        """Evict every flow of ``coflow`` and detach the coflow itself."""
+        rows = coflow._rows
+        if rows is None or coflow._table is not self:
+            return
+        for i in rows:
+            self.evict(i)
+        coflow._table = None
+        coflow._rows = None
 
 
 @dataclass(slots=True)
@@ -87,9 +234,18 @@ class ClusterState:
     respect_availability: bool = True
     #: Changes since the last scheduling round (maintained by the engine).
     delta: SchedulingDelta = field(default_factory=SchedulingDelta)
+    #: Struct-of-arrays hot state of every active flow (see module doc).
+    table: FlowTable = field(default_factory=FlowTable)
 
     # Internal caches; never part of the public snapshot semantics.
     _by_id: dict[int, CoFlow] = field(default_factory=dict, repr=False)
+    #: coflow_id -> table rows of not-yet-finished flows (exact: maintained
+    #: by live engine notifications, holds no finished flows).
+    _pending_rows: dict[int, list[int]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Lazy object-path pending cache for hand-assembled states that bypass
+    #: ``note_activated`` (may go stale; callers re-filter on finish_time).
     _pending: dict[int, list[Flow]] = field(default_factory=dict, repr=False)
     _cached_ledger: PortLedger | None = field(default=None, repr=False)
     _cached_override: dict[int, float] | None = field(default=None, repr=False)
@@ -97,17 +253,17 @@ class ClusterState:
     _port_counts: dict[int, dict[int, int]] = field(
         default_factory=dict, repr=False
     )
-    #: coflow_id -> {(src, dst): [pending flows]} (compaction).
+    #: coflow_id -> {(src, dst): [pending rows]} (compaction, row path).
+    _group_rows: dict[int, dict[tuple[int, int], list[int]]] = field(
+        default_factory=dict, repr=False
+    )
+    #: coflow_id -> {(src, dst): [pending flows]} (hand-built fallback).
     _groups: dict[int, dict[tuple[int, int], list[Flow]]] = field(
         default_factory=dict, repr=False
     )
     #: coflow_id -> max ``available_time`` over its flows (static bound used
     #: to decide when the compaction caches equal the schedulable set).
     _max_avail: dict[int, float] = field(default_factory=dict, repr=False)
-    #: Coflow ids whose pending cache is kept exact by live engine
-    #: notifications (vs. built lazily for a hand-assembled state, where it
-    #: may go stale and callers must re-filter).
-    _exact_pending: set[int] = field(default_factory=set, repr=False)
 
     # ---- ledgers ----------------------------------------------------------
 
@@ -136,6 +292,50 @@ class ClusterState:
 
     # ---- flow queries -----------------------------------------------------
 
+    def rows_tracked(self) -> bool:
+        """True when every active coflow has an exact pending-row cache —
+        i.e. the whole round can run on table rows. Engine-driven states
+        always qualify; hand-assembled states that bypass
+        ``note_activated`` make schedulers fall back to the object path.
+        """
+        pending = self._pending_rows
+        for c in self.active_coflows:
+            if c.coflow_id not in pending:
+                return False
+        return True
+
+    def pending_rows(self, coflow: CoFlow) -> list[int] | None:
+        """Table rows of the coflow's pending flows, or ``None`` when the
+        coflow is not table-tracked (hand-assembled state).
+
+        The returned list is the live cache — callers must not mutate it.
+        """
+        return self._pending_rows.get(coflow.coflow_id)
+
+    def schedulable_rows(self, coflow: CoFlow, now: float) -> list[int] | None:
+        """Row-path twin of :meth:`schedulable_flows` (same filter, same
+        order); ``None`` when the coflow is not table-tracked.
+
+        Availability-clean coflows get the *live* pending-row cache —
+        callers must treat the result as read-only and use it within the
+        current scheduling round (the cache shrinks on the next completion).
+        """
+        cid = coflow.coflow_id
+        rows = self._pending_rows.get(cid)
+        if rows is None:
+            return None
+        # Inlined max_available_time (this runs once per coflow per round
+        # across every scheduler): most workloads have no pipelined data,
+        # so the static bound resolves the gate without a per-row pass.
+        bound = self._max_avail.get(cid)
+        if bound is None:
+            bound = max((f.available_time for f in coflow.flows), default=0.0)
+            self._max_avail[cid] = bound
+        if bound <= now or not self.respect_availability:
+            return rows
+        avail = self.table.available_time
+        return [i for i in rows if avail[i] <= now]
+
     def schedulable_flows(self, coflow: CoFlow, now: float) -> list[Flow]:
         """Unfinished flows of ``coflow`` whose data is available at ``now``.
 
@@ -143,14 +343,19 @@ class ClusterState:
         schedules flows that have accumulated data to send (local agents
         piggyback availability onto their periodic flow statistics).
         """
+        rows = self._pending_rows.get(coflow.coflow_id)
+        if rows is not None:
+            view = self.table.view
+            if (not self.respect_availability
+                    or self.max_available_time(coflow) <= now):
+                # Availability-clean: every pending flow has data; the row
+                # cache holds no finished flows, so it maps straight through.
+                return [view[i] for i in rows]
+            avail = self.table.available_time
+            return [view[i] for i in rows if avail[i] <= now]
         pending = self.pending_flows(coflow)
         if (not self.respect_availability
                 or self.max_available_time(coflow) <= now):
-            # Availability-clean: every pending flow has data; skip the
-            # per-flow available_time comparisons. Engine-notified pending
-            # caches hold no finished flows, so they copy straight through.
-            if coflow.coflow_id in self._exact_pending:
-                return pending.copy()
             return [f for f in pending if f.finish_time is None]
         return [
             f for f in pending
@@ -185,30 +390,66 @@ class ClusterState:
     def pending_port_counts(self, coflow: CoFlow) -> dict[int, int]:
         """Per-port pending-flow counts, regardless of availability.
 
-        Projection of :meth:`flow_groups` onto ports. Availability never
-        moves a flow's ports, so consumers that only need the *footprint*
-        of the unfinished flows (contention indexing) can use this without
-        the availability gate that :meth:`port_counts` applies.
+        Projection of the flow-group compaction onto ports. Availability
+        never moves a flow's ports, so consumers that only need the
+        *footprint* of the unfinished flows (contention indexing) can use
+        this without the availability gate that :meth:`port_counts` applies.
         """
         counts = self._port_counts.get(coflow.coflow_id)
         if counts is None:
             counts = {}
             get = counts.get
-            for (src, dst), bucket in self.flow_groups(coflow).items():
-                n = len(bucket)
-                counts[src] = get(src, 0) + n
-                counts[dst] = get(dst, 0) + n
+            buckets = self._buckets(coflow)
+            if buckets is not None:
+                for (src, dst), rows in buckets.items():
+                    n = len(rows)
+                    counts[src] = get(src, 0) + n
+                    counts[dst] = get(dst, 0) + n
+            else:
+                for (src, dst), bucket in self.flow_groups(coflow).items():
+                    n = len(bucket)
+                    counts[src] = get(src, 0) + n
+                    counts[dst] = get(dst, 0) + n
             self._port_counts[coflow.coflow_id] = counts
         return counts
+
+    def _buckets(
+        self, coflow: CoFlow
+    ) -> dict[tuple[int, int], list[int]] | None:
+        """Pending rows bucketed by ``(src, dst)``, or ``None`` when the
+        coflow is not table-tracked. Built lazily; maintained incrementally
+        by the engine's completion notifications; dropped after dynamics
+        (which may move flows across ports)."""
+        cid = coflow.coflow_id
+        buckets = self._group_rows.get(cid)
+        if buckets is None:
+            rows = self._pending_rows.get(cid)
+            if rows is None:
+                return None
+            buckets = {}
+            t = self.table
+            src, dst = t.src, t.dst
+            for i in rows:
+                buckets.setdefault((src[i], dst[i]), []).append(i)
+            self._group_rows[cid] = buckets
+        return buckets
 
     def flow_groups(
         self, coflow: CoFlow
     ) -> dict[tuple[int, int], list[Flow]]:
         """Pending flows bucketed by ``(src, dst)`` (flow-group compaction).
 
-        Maintained incrementally by the engine's completion notifications;
-        rebuilt lazily after dynamics (which may move flows across ports).
+        Object-path projection of :meth:`_buckets`; table-tracked coflows
+        materialise views on each call, so row-path consumers should use
+        the bucket sizes via :meth:`pending_port_counts` instead.
         """
+        buckets = self._buckets(coflow)
+        if buckets is not None:
+            view = self.table.view
+            return {
+                key: [view[i] for i in rows]
+                for key, rows in buckets.items()
+            }
         groups = self._groups.get(coflow.coflow_id)
         if groups is None:
             groups = {}
@@ -219,14 +460,18 @@ class ClusterState:
         return groups
 
     def pending_flows(self, coflow: CoFlow) -> list[Flow]:
-        """Cached list of the coflow's not-yet-finished flows.
+        """The coflow's not-yet-finished flows.
 
-        Maintained by the engine's completion notifications; entries are a
-        *superset* of the truly unfinished flows (callers still filter on
-        ``finish_time``), so a stale cache can only cost time, never
-        correctness — hand-built states that bypass the notifications keep
-        working.
+        Table-tracked coflows map the exact pending-row cache through the
+        view column; hand-built states fall back to a lazily-built object
+        list whose entries are a *superset* of the truly unfinished flows
+        (callers still filter on ``finish_time``), so a stale cache can only
+        cost time, never correctness.
         """
+        rows = self._pending_rows.get(coflow.coflow_id)
+        if rows is not None:
+            view = self.table.view
+            return [view[i] for i in rows]
         cached = self._pending.get(coflow.coflow_id)
         if cached is None:
             cached = [f for f in coflow.flows if f.finish_time is None]
@@ -254,48 +499,84 @@ class ClusterState:
     # ---- engine notifications --------------------------------------------
 
     def note_activated(self, coflow: CoFlow) -> None:
-        """A coflow joined ``active_coflows`` (arrival or DAG release)."""
+        """A coflow joined ``active_coflows`` (arrival or DAG release).
+
+        Adopts the coflow's flows into the flow table and builds the exact
+        pending-row cache.
+        """
         self._by_id[coflow.coflow_id] = coflow
-        self._pending[coflow.coflow_id] = [
-            f for f in coflow.flows if f.finish_time is None
+        rows = self.table.adopt_coflow(coflow)
+        ft = self.table.finish_time
+        self._pending_rows[coflow.coflow_id] = [
+            i for i in rows if ft[i] is None
         ]
-        self._exact_pending.add(coflow.coflow_id)
         self.delta.arrived.add(coflow.coflow_id)
 
     def note_flow_finished(self, flow: Flow) -> None:
         """One flow of an active coflow completed."""
-        pending = self._pending.get(flow.coflow_id)
-        if pending is not None:
-            try:
-                pending.remove(flow)
-            except ValueError:
-                pass
-        counts = self._port_counts.get(flow.coflow_id)
+        cid = flow.coflow_id
+        if flow._tbl is self.table:
+            row = flow._row
+            rows = self._pending_rows.get(cid)
+            if rows is not None:
+                try:
+                    rows.remove(row)
+                except ValueError:
+                    pass
+            t = self.table
+            src, dst = t.src[row], t.dst[row]
+            buckets = self._group_rows.get(cid)
+            if buckets is not None:
+                bucket = buckets.get((src, dst))
+                if bucket is not None:
+                    try:
+                        bucket.remove(row)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del buckets[(src, dst)]
+        else:
+            src, dst = flow.src, flow.dst
+            pending = self._pending.get(cid)
+            if pending is not None:
+                try:
+                    pending.remove(flow)
+                except ValueError:
+                    pass
+            groups = self._groups.get(cid)
+            if groups is not None:
+                bucket = groups.get((src, dst))
+                if bucket is not None:
+                    try:
+                        bucket.remove(flow)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del groups[(src, dst)]
+        counts = self._port_counts.get(cid)
         if counts is not None:
-            for port in (flow.src, flow.dst):
+            for port in (src, dst):
                 left = counts.get(port, 0) - 1
                 if left > 0:
                     counts[port] = left
                 else:
                     counts.pop(port, None)
-        groups = self._groups.get(flow.coflow_id)
-        if groups is not None:
-            bucket = groups.get((flow.src, flow.dst))
-            if bucket is not None:
-                try:
-                    bucket.remove(flow)
-                except ValueError:
-                    pass
-                if not bucket:
-                    del groups[(flow.src, flow.dst)]
-        self.delta.flow_completed.add(flow.coflow_id)
+        self.delta.flow_completed.add(cid)
 
     def note_coflow_finished(self, coflow_id: int) -> None:
-        """A coflow completed entirely and left ``active_coflows``."""
-        self._by_id.pop(coflow_id, None)
+        """A coflow completed entirely and left ``active_coflows``.
+
+        Evicts the coflow's rows from the flow table (final values are
+        copied back into the view objects, so results and analysis read the
+        same state as before) and drops every per-coflow cache.
+        """
+        coflow = self._by_id.pop(coflow_id, None)
+        if coflow is not None:
+            self.table.evict_coflow(coflow)
+        self._pending_rows.pop(coflow_id, None)
         self._pending.pop(coflow_id, None)
-        self._exact_pending.discard(coflow_id)
         self._port_counts.pop(coflow_id, None)
+        self._group_rows.pop(coflow_id, None)
         self._groups.pop(coflow_id, None)
         self._max_avail.pop(coflow_id, None)
         self.delta.completed.add(coflow_id)
@@ -309,14 +590,16 @@ class ClusterState:
         Dynamics may restart flows (reverting progress), move a flow to a
         new receiver, or change port capacities — none of which the delta
         vocabulary describes, so incremental consumers start over. Pending
-        caches stay valid (dynamics never resurrect a *finished* flow), but
-        the cached ledger is dropped in case capacities changed, and the
-        flow-group compaction caches are dropped in case a restart moved a
-        flow to a new receiver port (``available_time`` is static, so the
-        availability bounds survive).
+        caches stay valid (dynamics never resurrect a *finished* flow; a
+        restarted flow writes through its view into the same table row),
+        but the cached ledger is dropped in case capacities changed, and
+        the flow-group compaction caches are dropped in case a restart
+        moved a flow to a new receiver port (``available_time`` is static,
+        so the availability bounds survive).
         """
         self.delta.mark_full()
         self._cached_ledger = None
         self._cached_override = None
         self._port_counts.clear()
+        self._group_rows.clear()
         self._groups.clear()

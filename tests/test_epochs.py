@@ -42,8 +42,9 @@ class _RecordingSimulator(Simulator):
 
     def _apply_allocation(self, allocation):
         super()._apply_allocation(allocation)
+        tbl = self._table
         running = tuple(sorted(
-            (f.flow_id, f.rate) for f in self._running
+            (tbl.flow_id[i], tbl.rate[i]) for i in self._running
         ))
         self.applied.append((self._now, running))
 
@@ -216,14 +217,14 @@ def test_completion_heap_discards_stale_epochs():
     # Halve flow 0's rate: its heap entry is now a stale epoch.
     sim._apply_allocation(Allocation(rates={0: 5.0, 1: 1.0}))
     assert sim._heap_live  # small churn keeps the heap warm
-    assert 0 in sim._unheaped
+    assert sim._table.row_of[0] in sim._unheaped
     assert len(sim._heap) == 2  # stale entry still parked in the heap
 
-    # The lookout re-heaps the changed flow, pops the stale entry (its old
+    # The lookout re-heaps the changed row, pops the stale entry (its old
     # bound beats the provisional best) and discards it on epoch mismatch.
     assert sim._earliest_completion() == 100.0 / 5.0
     assert not sim._unheaped
-    epochs = sim._flow_epoch
+    epochs = sim._table.epoch
     assert all(entry[1] == epochs[entry[2]] for entry in sim._heap)
 
 

@@ -1,0 +1,188 @@
+"""Randomized engine-path equivalence fuzz.
+
+The fixed-workload equivalence suite (tests/test_incremental.py,
+tests/test_epochs.py) pins the triple-path invariant on curated inputs;
+this module hammers it with ~20 seeded random small workloads mixing
+staggered arrivals, DAG dependencies, zero-byte flows and delayed data
+availability. For every registered scheduler the three engine paths —
+
+* ``epochs`` (allocation-epoch engine, the default),
+* ``--no-epochs`` (pre-epoch incremental engine),
+* ``--no-incremental`` (full-recompute scheduling)
+
+must produce byte-identical CCTs, completion orders, reschedule counts and
+makespans. Workloads are deterministic functions of their seed, so any
+failure reproduces exactly.
+
+A second fuzz pins the row-path rate allocators to their object-path twins
+bit-for-bit (rates *and* resulting ledger state) — the schedulers pick the
+row path whenever the cluster state is table-tracked, so the twins must
+never drift.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.schedulers.registry import available_policies, make_scheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.fabric import Fabric, PortLedger
+from repro.simulator.flows import CoFlow, Flow, clone_coflows
+from repro.simulator.ratealloc import (
+    equal_rate_for_coflow,
+    equal_rate_for_coflow_rows,
+    greedy_residual_rates,
+    greedy_residual_rates_rows,
+    madd_rates,
+    madd_rates_rows,
+    max_min_fair,
+    max_min_fair_rows,
+)
+from repro.simulator.state import FlowTable
+
+NUM_WORKLOADS = 20
+
+
+def random_workload(seed: int) -> tuple[Fabric, list[CoFlow]]:
+    """A small random workload: 4–6 machines, 5–10 coflows.
+
+    Mixes the edge cases the engine's bookkeeping must survive: zero-byte
+    flows (born complete), DAG dependencies on earlier coflows (including
+    multi-parent joins), delayed data availability, and same-instant
+    arrivals.
+    """
+    rng = random.Random(0xF00D + seed)
+    machines = rng.randrange(4, 7)
+    fabric = Fabric(num_machines=machines, port_rate=1e6)
+    coflows: list[CoFlow] = []
+    next_fid = 0
+    for cid in range(1, rng.randrange(5, 11)):
+        # Duplicate arrival instants across coflows are deliberate.
+        arrival = rng.choice([0.0, 0.0, 0.05, 0.1, round(rng.random(), 2)])
+        flows = []
+        for _ in range(rng.randrange(1, 5)):
+            src = rng.randrange(machines)
+            dst = rng.randrange(machines)
+            if dst == src:
+                dst = (dst + 1) % machines
+            volume = rng.choice([0.0, 1e3, 5e4, 2e5, 1e6 * rng.random()])
+            flow = Flow(
+                flow_id=next_fid, coflow_id=cid, src=src,
+                dst=dst + machines, volume=volume,
+            )
+            if rng.random() < 0.2:
+                flow.available_time = arrival + rng.random() * 0.2
+            flows.append(flow)
+            next_fid += 1
+        depends_on: tuple[int, ...] = ()
+        if coflows and rng.random() < 0.35:
+            parents = rng.sample(
+                [c.coflow_id for c in coflows],
+                k=min(len(coflows), rng.randrange(1, 3)),
+            )
+            depends_on = tuple(parents)
+        coflows.append(
+            CoFlow(coflow_id=cid, arrival_time=arrival, flows=flows,
+                   depends_on=depends_on)
+        )
+    return fabric, coflows
+
+
+def fingerprint(result) -> tuple:
+    """Everything the equivalence contract pins, with exact float bits."""
+    return (
+        tuple(sorted((cid, cct.hex()) for cid, cct in result.ccts().items())),
+        tuple(c.coflow_id for c in result.coflows),
+        result.reschedules,
+        result.makespan.hex(),
+    )
+
+
+ENGINE_PATHS = (
+    ("epochs", dict(epochs=True, incremental=True)),
+    ("no-epochs", dict(epochs=False, incremental=True)),
+    ("no-incremental", dict(epochs=False, incremental=False)),
+)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_random_workloads_triple_path_identical(policy):
+    for seed in range(NUM_WORKLOADS):
+        fabric, coflows = random_workload(seed)
+        prints = {}
+        for path_name, cfg_kw in ENGINE_PATHS:
+            cfg = SimulationConfig(sync_interval=8e-3, **cfg_kw)
+            result = run_policy(
+                make_scheduler(policy, cfg), clone_coflows(coflows),
+                fabric, cfg,
+            )
+            prints[path_name] = fingerprint(result)
+        assert prints["epochs"] == prints["no-epochs"] == prints[
+            "no-incremental"
+        ], f"engine paths diverged: policy={policy} seed={seed}"
+
+
+def _random_attached_flows(rng: random.Random, machines: int):
+    """One coflow's worth of random flows, adopted into a fresh table."""
+    flows = []
+    for i in range(rng.randrange(1, 12)):
+        src = rng.randrange(machines)
+        dst = rng.randrange(machines)
+        if dst == src:
+            dst = (dst + 1) % machines
+        f = Flow(flow_id=i, coflow_id=1, src=src, dst=dst + machines,
+                 volume=rng.choice([0.0, 1e3, 7.5e5, 1e6 * rng.random()]))
+        f.bytes_sent = f.volume * rng.random()
+        if rng.random() < 0.2:
+            f.finish_time = 1.0
+        flows.append(f)
+    table = FlowTable()
+    rows = [table.adopt(f, pos) for pos, f in enumerate(flows)]
+    return flows, table, rows
+
+
+@pytest.mark.parametrize("allocator", ["mmf", "madd", "equal", "greedy"])
+def test_row_allocators_match_object_allocators(allocator):
+    """Row-path allocators are bit-identical to the object forms — same
+    rates, same residual ledger — across random instances."""
+    rng = random.Random(2024)
+    machines = 8
+    fabric = Fabric(num_machines=machines, port_rate=1e6)
+    coflow_stub = CoFlow(coflow_id=1, arrival_time=0.0, flows=[])
+    for trial in range(120):
+        flows, table, rows = _random_attached_flows(rng, machines)
+        obj_ledger = PortLedger(fabric)
+        row_ledger = PortLedger(fabric)
+        # Pre-commit some random load so residuals differ across ports.
+        for _ in range(rng.randrange(0, 4)):
+            src = rng.randrange(machines)
+            obj_ledger.commit(src, src + machines, 1e5)
+            row_ledger.commit(src, src + machines, 1e5)
+
+        if allocator == "mmf":
+            cap = rng.choice([None, None, 0.0, 1e3, 2e9])
+            expected = max_min_fair(flows, obj_ledger, rate_cap=cap)
+            got = max_min_fair_rows(rows, table, row_ledger, rate_cap=cap)
+        elif allocator == "madd":
+            expected = madd_rates(coflow_stub, obj_ledger, flows=flows)
+            got = madd_rates_rows(rows, table, row_ledger)
+        elif allocator == "equal":
+            expected = equal_rate_for_coflow(
+                coflow_stub, obj_ledger, flows=flows
+            )
+            got = equal_rate_for_coflow_rows(rows, table, row_ledger)
+        else:
+            expected = greedy_residual_rates(flows, obj_ledger)
+            got = greedy_residual_rates_rows(rows, table, row_ledger)
+
+        assert got == expected, f"{allocator} diverged at trial {trial}"
+        assert (row_ledger.snapshot_residuals()
+                == obj_ledger.snapshot_residuals()), (
+            f"{allocator} ledger state diverged at trial {trial}"
+        )
+        for fid, rate in got.items():
+            assert math.isfinite(rate)

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Append a Fig. 9 wall-clock measurement to the perf-trajectory record.
+
+The repo's engine-generation story ("seed 14.3s → PR 1 6.5s → PR 2 4.3s →
+…") used to live only in prose; this tool makes it a machine-readable
+series. Each invocation measures the Fig. 9 SMALL experiment end-to-end
+``--runs`` times (median, per the repo's measurement discipline: wall-clock
+variance on the 1-CPU reference box is ±15–20%, so never trust a single
+run), times each (trace, policy) simulation individually, and appends::
+
+    {
+      "commit": "<git HEAD short hash>",
+      "date": "<UTC ISO-8601>",
+      "scale": "small",
+      "runs": 3,
+      "fig9_small_median_s": 3.42,
+      "per_policy": {"fb-like/saath": 0.26, ...}
+    }
+
+to ``BENCH_history.json`` (a JSON list, newest entry last). CI runs this as
+an advisory job and uploads the refreshed file as an artifact; timings are
+hardware-dependent and never asserted.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_history.py              # 3 runs, small
+    PYTHONPATH=src python tools/bench_history.py --runs 5
+    PYTHONPATH=src python tools/bench_history.py --scale tiny # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments import fig9_speedup
+from repro.experiments.common import (
+    ExperimentScale,
+    default_experiment_config,
+    fb_spec_for,
+    osp_spec_for,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.engine import run_policy
+from repro.simulator.flows import clone_coflows
+from repro.workloads.synthetic import WorkloadGenerator
+
+#: (trace name, spec factory, workload seed) — the Fig. 9 configuration.
+TRACES = (
+    ("fb-like", fb_spec_for, 7),
+    ("osp-like", osp_spec_for, 11),
+)
+POLICIES = ("saath", "aalo", "varys-sebf", "uc-tcp")
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent.parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(scale: ExperimentScale, runs: int) -> tuple[float, dict[str, float]]:
+    """Median end-to-end Fig. 9 wall plus per-(trace, policy) sim medians."""
+    workloads = []
+    for trace, spec_for, seed in TRACES:
+        spec = spec_for(scale)
+        fabric = spec.make_fabric()
+        coflows = WorkloadGenerator(spec, seed=seed).generate_coflows(fabric)
+        workloads.append((trace, fabric, coflows))
+    config = default_experiment_config()
+
+    totals: list[float] = []
+    per_policy: dict[str, list[float]] = {}
+    for _ in range(runs):
+        start = time.perf_counter()
+        fig9_speedup.run(scale=scale)
+        totals.append(time.perf_counter() - start)
+        for trace, fabric, coflows in workloads:
+            for policy in POLICIES:
+                start = time.perf_counter()
+                run_policy(
+                    make_scheduler(policy, config), clone_coflows(coflows),
+                    fabric, config,
+                )
+                per_policy.setdefault(f"{trace}/{policy}", []).append(
+                    time.perf_counter() - start
+                )
+    return (
+        statistics.median(totals),
+        {key: round(statistics.median(vals), 4)
+         for key, vals in per_policy.items()},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a Fig. 9 wall-clock entry to BENCH_history.json"
+    )
+    parser.add_argument("--runs", type=int, default=3,
+                        help="measurement repetitions (median is recorded)")
+    parser.add_argument("--scale", default="small",
+                        choices=[s.value for s in ExperimentScale])
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_history.json"),
+        help="history file to append to (default: repo BENCH_history.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    if args.runs < 3:
+        print(f"warning: --runs {args.runs} < 3; medians of fewer runs are "
+              "noise-prone on shared hardware")
+
+    scale = ExperimentScale(args.scale)
+    median_s, per_policy = measure(scale, args.runs)
+
+    entry = {
+        "commit": git_commit(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale.value,
+        "runs": args.runs,
+        "fig9_small_median_s": round(median_s, 3),
+        "per_policy": per_policy,
+    }
+
+    path = Path(args.output)
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"{path} is not a JSON list")
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended to {path}:")
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
