@@ -49,9 +49,16 @@ from .schedulers.registry import (
     make_scheduler,
     register_policy,
 )
-from .simulator.engine import SimulationResult, Simulator, run_policy
+from .simulator.engine import (
+    SimulationResult,
+    Simulator,
+    run_policy,
+    run_scenario,
+)
 from .simulator.fabric import Fabric, PortLedger
 from .simulator.flows import CoFlow, Flow, clone_coflows, make_coflow
+from .simulator.scenario import Scenario
+from .simulator.session import SessionSnapshot, SimulationSession
 from .simulator.state import ClusterState
 from .units import GBPS, KB, MB, GB, TB, gb, gbps, mb, msec
 
@@ -75,11 +82,14 @@ __all__ = [
     "QueueConfig",
     "ReproError",
     "SaathScheduler",
+    "Scenario",
     "Scheduler",
     "SchedulerError",
     "SimulationConfig",
+    "SessionSnapshot",
     "SimulationError",
     "SimulationResult",
+    "SimulationSession",
     "Simulator",
     "TB",
     "TraceFormatError",
@@ -94,4 +104,5 @@ __all__ = [
     "msec",
     "register_policy",
     "run_policy",
+    "run_scenario",
 ]

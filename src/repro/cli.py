@@ -9,7 +9,8 @@ Sub-commands:
   sweep runner's process fan-out and result cache).
 * ``simulate`` — run one policy on a trace file or a synthetic workload and
   print CCT statistics (``--policy``, ``--trace``/``--synthetic``;
-  ``--no-incremental`` selects the full-recompute scheduling path).
+  ``--no-incremental`` selects the full-recompute scheduling path;
+  ``--streaming`` drives the run through a lazily-pulled scenario stream).
 * ``sweep`` — run a policy × seed grid through the parallel sweep runner
   and print per-run mean/median CCTs plus cache statistics.
 * ``gen-trace`` — emit a synthetic workload in coflow-benchmark format.
@@ -33,7 +34,8 @@ from .experiments.registry import (
 )
 from .experiments.runner import RunSpec, WorkloadSpec
 from .schedulers.registry import available_policies, make_scheduler
-from .simulator.engine import run_policy
+from .simulator.engine import run_policy, run_scenario
+from .simulator.scenario import Scenario
 from .units import MSEC
 from .workloads.synthetic import (
     WorkloadGenerator,
@@ -83,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-epochs", action="store_true",
                           help="disable the engine's allocation-epoch path "
                                "(slower; results are identical)")
+    simulate.add_argument("--streaming", action="store_true",
+                          help="feed the workload through a lazily-pulled "
+                               "scenario stream instead of a materialised "
+                               "batch (results are identical; open-loop "
+                               "generators run in O(active) memory)")
 
     sweep = sub.add_parser(
         "sweep", help="run a policy x seed grid through the sweep runner"
@@ -170,7 +177,14 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         )
 
     scheduler = make_scheduler(args.policy, config)
-    result = run_policy(scheduler, coflows, fabric, config)
+    if args.streaming:
+        ordered = sorted(coflows, key=lambda c: c.arrival_time)
+        scenario = Scenario.from_stream(
+            iter(ordered), total_coflows=len(ordered)
+        )
+        result = run_scenario(scheduler, scenario, fabric, config)
+    else:
+        result = run_policy(scheduler, coflows, fabric, config)
     summary = DistributionSummary.of([c.cct() for c in result.coflows])
     return "\n".join([
         f"policy: {args.policy}",

@@ -8,12 +8,16 @@ bag a first-class object:
   (family, dimensions, seed) that any worker process can rebuild
   bit-identically, because generation is fully seeded;
 * :class:`RunSpec` — one simulation run: a workload spec, a policy name, a
-  :class:`~repro.config.SimulationConfig` and an optional arrival-time
-  scaling (the Fig. 14d knob);
+  :class:`~repro.config.SimulationConfig`, an optional arrival-time
+  scaling (the Fig. 14d knob) and an optional encoded dynamics injection
+  (failures/stragglers; part of the cache identity);
 * :class:`SweepRunner` — executes a list of specs, deduplicating repeats,
   fanning out over a ``ProcessPoolExecutor`` when more than one job is
   allowed, and consulting an optional on-disk :class:`ResultCache` first;
-* :func:`fan_out_seeds` — expands specs across seeds for replicated sweeps.
+* :func:`fan_out_seeds` — expands specs across seeds for replicated sweeps;
+* :func:`what_if_outcomes` — warm-started policy sweep resuming several
+  branches from one mid-run session snapshot (the shared prefix is
+  simulated once).
 
 Determinism: a run's outcome is a pure function of its spec (workload
 generation and the simulator are seeded and event-ordered), so results are
@@ -41,6 +45,7 @@ from typing import Iterable, Sequence
 from ..config import SimulationConfig
 from ..errors import ReproError
 from ..schedulers.registry import make_scheduler
+from ..simulator.dynamics import decode_actions, encode_actions
 from ..simulator.engine import run_policy
 from ..simulator.flows import clone_coflows
 from ..workloads.synthetic import (
@@ -52,7 +57,9 @@ from ..workloads.synthetic import (
 )
 
 #: Bump when simulation semantics change, invalidating every cached result.
-CACHE_VERSION = 1
+#: v2: cache keys include the dynamics-injection content hash, so results
+#: computed under different failure/straggler scenarios can never alias.
+CACHE_VERSION = 2
 
 _FAMILIES = {
     "fb-like": fb_like_spec,
@@ -84,15 +91,33 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation run: workload × policy × config (× arrival scaling)."""
+    """One simulation run: workload × policy × config (× arrival scaling
+    × dynamics injection)."""
 
     policy: str
     workload: WorkloadSpec
     config: SimulationConfig = field(default_factory=SimulationConfig)
     arrival_scale: float = 1.0
+    #: Encoded dynamics actions (see
+    #: :func:`repro.simulator.dynamics.encode_actions`): a hashable,
+    #: JSON-able content identity that workers decode back into live
+    #: actions. Use :meth:`with_dynamics` to set from action objects.
+    dynamics: tuple = ()
+
+    def with_dynamics(self, actions) -> "RunSpec":
+        """Copy of this spec carrying ``actions`` (encoded canonically)."""
+        from dataclasses import replace
+
+        return replace(self, dynamics=encode_actions(actions))
 
     def cache_key(self) -> str:
-        """Stable content hash identifying this run across processes."""
+        """Stable content hash identifying this run across processes.
+
+        The hash covers everything the outcome depends on — policy,
+        workload recipe, config, arrival scaling *and* the dynamics
+        injection — so cached results can never be reused across different
+        failure/straggler scenarios.
+        """
         payload = json.dumps(
             {
                 "v": CACHE_VERSION,
@@ -100,6 +125,7 @@ class RunSpec:
                 "workload": asdict(self.workload),
                 "config": asdict(self.config),
                 "arrival_scale": self.arrival_scale,
+                "dynamics": self.dynamics,
             },
             sort_keys=True,
             default=str,
@@ -145,12 +171,22 @@ def _fresh_workload(workload: WorkloadSpec) -> tuple:
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:
-    """Run one spec to completion in this process (the worker entry point)."""
+    """Run one spec to completion in this process (the worker entry point).
+
+    The run goes through the scenario/session kernel: workload plus any
+    decoded dynamics actions become one batch
+    :class:`~repro.simulator.scenario.Scenario` driving a session — the
+    same spine every other entry point uses, so outcomes are byte-identical
+    whether a spec runs inline, in a worker, or streams from a generator.
+    """
     fabric, coflows = _fresh_workload(spec.workload)
     if spec.arrival_scale != 1.0:
         scale_arrivals(coflows, spec.arrival_scale)
     scheduler = make_scheduler(spec.policy, spec.config)
-    result = run_policy(scheduler, coflows, fabric, spec.config)
+    result = run_policy(
+        scheduler, coflows, fabric, spec.config,
+        dynamics=decode_actions(spec.dynamics),
+    )
     return RunOutcome(
         spec=spec,
         ccts=result.ccts(),
@@ -240,6 +276,38 @@ class SweepRunner:
                     self.cache.put(outcome)
 
         return [unique[spec] for spec in specs]  # type: ignore[misc]
+
+
+def what_if_outcomes(snapshot, policies: Sequence[str],
+                     config: SimulationConfig) -> dict:
+    """Warm-started policy sweep from one mid-run session checkpoint.
+
+    The shared workload prefix is simulated *once* (by whoever produced
+    ``snapshot`` — see :meth:`repro.SimulationSession.snapshot`); each
+    policy then resumes an independent branch from the identical half-done
+    cluster — flow table, in-flight bytes, queue bookkeeping and the
+    unconsumed scenario tail all carry over. The branch matching the
+    donor's own policy continues its scheduler state untouched (bit-exact
+    with an uninterrupted run); other policies are swapped in with a
+    forced full rebuild. ``config`` should match the snapshot's embedded
+    simulation config — it only parameterises the swapped-in schedulers.
+    Returns ``policy → SimulationResult``.
+
+    Every branch's sink is cleared so its result retains the finished
+    coflows (a donor running in sink-streaming mode would otherwise leak
+    each branch's completions into its own aggregator and return empty
+    results).
+    """
+    from ..simulator.session import SimulationSession
+
+    outcomes = {}
+    for policy in policies:
+        scheduler = (None if policy == snapshot.policy
+                     else make_scheduler(policy, config))
+        outcomes[policy] = SimulationSession.restore(
+            snapshot, scheduler=scheduler, sink=None
+        ).run()
+    return outcomes
 
 
 def fan_out_seeds(spec: RunSpec, seeds: Iterable[int]) -> list[RunSpec]:

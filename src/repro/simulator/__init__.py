@@ -1,9 +1,16 @@
 """Fluid-flow discrete-event fabric simulator (the evaluation substrate)."""
 
-from .engine import SimulationResult, Simulator, run_policy
+from .engine import (
+    SimulationResult,
+    Simulator,
+    run_policy,
+    run_scenario,
+)
 from .events import Event, EventKind, EventQueue
 from .fabric import Fabric, PortLedger
 from .flows import CoFlow, Flow, clone_coflows, make_coflow
+from .scenario import ListScenario, Scenario, StreamScenario, validate_workload
+from .session import SessionSnapshot, SimulationSession
 from .state import ClusterState
 
 __all__ = [
@@ -14,10 +21,17 @@ __all__ = [
     "EventQueue",
     "Fabric",
     "Flow",
+    "ListScenario",
     "PortLedger",
+    "Scenario",
+    "SessionSnapshot",
     "SimulationResult",
+    "SimulationSession",
     "Simulator",
+    "StreamScenario",
     "clone_coflows",
     "make_coflow",
     "run_policy",
+    "run_scenario",
+    "validate_workload",
 ]

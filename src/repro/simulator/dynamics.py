@@ -13,12 +13,24 @@ engine recomputes the schedule immediately after applying an action.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from ..errors import ConfigError
 
 
 def _find_flow(sim, flow_id: int):
+    """Active flow by id, in O(1) via the flow table's row index.
+
+    Every active coflow's flows are adopted into the cluster state's
+    :class:`~repro.simulator.state.FlowTable` at activation and evicted
+    when the coflow finishes, so ``row_of`` covers exactly the flows the
+    old linear scan over ``active_coflows`` visited. Hand-assembled states
+    that bypass adoption fall back to that scan.
+    """
+    table = sim.state.table
+    row = table.row_of.get(flow_id)
+    if row is not None:
+        return table.view[row]
     for coflow in sim.state.active_coflows:
         for f in coflow.flows:
             if f.flow_id == flow_id:
@@ -117,6 +129,54 @@ class PortRecovery:
 
     def apply(self, sim, now: float) -> None:
         sim.state.capacity_override.pop(self.port, None)
+
+
+#: Dynamics action classes by name — the vocabulary of
+#: :func:`encode_actions` / :func:`decode_actions`.
+ACTION_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (FlowRestart, FlowSlowdown, StragglerRecovery,
+                PortDegradation, PortRecovery)
+}
+
+
+def encode_actions(actions) -> tuple:
+    """Canonical, hashable, JSON-able form of a dynamics action list.
+
+    Each action becomes ``(kind, ((field, value), ...))`` with fields in
+    dataclass order. The encoding is the *content identity* of a dynamics
+    injection: the sweep runner hashes it into per-run cache keys (so a
+    cached result can never be reused across different injections) and
+    ships it to worker processes, which rebuild the live actions with
+    :func:`decode_actions`.
+    """
+    encoded = []
+    for a in actions:
+        kind = type(a).__name__
+        if kind not in ACTION_TYPES:
+            raise ConfigError(
+                f"cannot encode dynamics action {a!r}: {kind} is not a "
+                f"registered action type ({sorted(ACTION_TYPES)})"
+            )
+        encoded.append(
+            (kind, tuple((f.name, getattr(a, f.name)) for f in fields(a)))
+        )
+    return tuple(encoded)
+
+
+def decode_actions(encoded) -> list:
+    """Rebuild live dynamics actions from :func:`encode_actions` output."""
+    actions = []
+    for kind, kv in encoded:
+        try:
+            cls = ACTION_TYPES[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown dynamics action kind {kind!r}; "
+                f"known: {sorted(ACTION_TYPES)}"
+            ) from None
+        actions.append(cls(**dict(kv)))
+    return actions
 
 
 def inject_stragglers(

@@ -1,0 +1,369 @@
+"""Scenarios: the unified external-event spine feeding a simulation.
+
+A :class:`Scenario` is *everything that happens to the cluster from the
+outside*, expressed as one lazily-pulled, time-ordered stream of
+:class:`~repro.simulator.events.Event`\\ s: coflow arrivals, cluster
+dynamics (:class:`~repro.simulator.dynamics.FlowRestart`,
+:class:`~repro.simulator.dynamics.PortDegradation`, …) and anything else
+implementing the engine's ``DynamicsAction`` protocol. DAG releases and
+data-availability wakeups are *derived* events — the session generates them
+itself — so a scenario never needs to enumerate them.
+
+The session (:class:`~repro.simulator.session.SimulationSession`) pulls the
+stream one event ahead of simulated time, which is what makes open-loop
+workloads scale: a million-coflow Poisson scenario backed by a generator
+holds only the *active* flows in memory, because each coflow object is
+created when its arrival is pulled and dropped when it completes (pair with
+the session's ``sink=`` to avoid retaining finished coflows).
+
+Two concrete shapes:
+
+* :class:`ListScenario` — a materialised, pre-sorted event list (what
+  :meth:`Scenario.from_coflows` builds). Cheap to replay and to resume
+  mid-stream, so snapshots of sessions driving one are always restorable.
+* :class:`StreamScenario` — wraps an iterator (or better, a zero-argument
+  *factory* of iterators) of coflows/events/dynamics actions, merged with
+  an optional pre-sorted dynamics list. Factory-backed streams are
+  replayable: restoring a snapshot re-invokes the factory and skips the
+  already-consumed prefix, which is exact for deterministic generators.
+
+Ordering contract: events must be non-decreasing in time. Within one
+instant, arrivals precede dynamics (the queue's
+:class:`~repro.simulator.events.EventKind` tie-break), and events of the
+same kind keep their submission order — exactly the order the pre-scenario
+engine produced by pushing every arrival, then every dynamics action, into
+the event queue up front. The equivalence suite pins batch vs streaming
+byte-identity on this contract.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import SimulationError
+from .events import Event, EventKind
+from .flows import CoFlow, clone_coflows
+
+
+def validate_workload(coflows: list[CoFlow]) -> None:
+    """Reject duplicate coflow/flow ids and unknown DAG dependencies.
+
+    This is the up-front validation batch workloads have always had;
+    streaming scenarios cannot enumerate the future, so they rely on the
+    session's lazy per-arrival checks instead (duplicate coflow ids are
+    caught on arrival; an unknown dependency surfaces as a stalled-
+    simulation error once the stream ends).
+    """
+    seen_cf: set[int] = set()
+    seen_fl: set[int] = set()
+    for c in coflows:
+        if c.coflow_id in seen_cf:
+            raise SimulationError(f"duplicate coflow id {c.coflow_id}")
+        seen_cf.add(c.coflow_id)
+        for f in c.flows:
+            if f.flow_id in seen_fl:
+                raise SimulationError(f"duplicate flow id {f.flow_id}")
+            seen_fl.add(f.flow_id)
+    ids = seen_cf
+    for c in coflows:
+        for dep in c.depends_on:
+            if dep not in ids:
+                raise SimulationError(
+                    f"coflow {c.coflow_id} depends on unknown coflow {dep}"
+                )
+
+
+def _as_event(item: Any) -> Event:
+    """Coerce a stream element into an :class:`Event`.
+
+    Accepts ready-made events, coflows (→ arrival at their
+    ``arrival_time``) and dynamics actions (anything with ``time`` and
+    ``apply``, → a dynamics event at ``action.time``).
+    """
+    if isinstance(item, Event):
+        return item
+    if isinstance(item, CoFlow):
+        return Event(item.arrival_time, EventKind.COFLOW_ARRIVAL, item)
+    if hasattr(item, "apply") and hasattr(item, "time"):
+        return Event(item.time, EventKind.DYNAMICS, item)
+    raise SimulationError(
+        f"scenario stream yielded {item!r}; expected a CoFlow, an Event, "
+        f"or a dynamics action with .time/.apply"
+    )
+
+
+class Scenario:
+    """Base class: a time-ordered stream of external events.
+
+    Subclasses implement :meth:`events`. ``total_coflows`` (when known)
+    lets the session keep the classic count-based termination — it stops
+    the instant the last coflow completes, exactly like ``run(coflows)``
+    always has, instead of draining trailing no-op events.
+    """
+
+    #: True when :meth:`events` can be re-created from scratch, making
+    #: sessions driving this scenario snapshottable.
+    replayable: bool = False
+    #: Number of coflow arrivals in the stream, if known up front.
+    total_coflows: int | None = None
+
+    def events(self) -> Iterator[Event]:
+        """A fresh iterator over the scenario's events, in time order.
+
+        Replayable scenarios must yield *freshly created* coflow objects on
+        every invocation (generator factories naturally do; materialised
+        scenarios clone): a simulation mutates the coflows it activates, so
+        handing the same objects to a second consumer would replay corpses.
+        """
+        raise NotImplementedError
+
+    def tail(self, consumed: int) -> "Scenario":
+        """The scenario minus its first ``consumed`` events, as a scenario.
+
+        This is the snapshot cursor: a session checkpoint stores
+        ``scenario.tail(events_consumed_so_far)``, and restore simply
+        drives the tail. The tail must be insulated from the donor
+        session's future mutations — the default skips a fresh replay of
+        the stream (factory-backed streams regenerate objects, so skipping
+        is enough); :class:`ListScenario` overrides it to clone, because
+        its event payloads are shared with the first consumer.
+        ``total_coflows`` is preserved (it counts the *whole* scenario, and
+        a restored session's finished-set already holds the prefix).
+        """
+        if not self.replayable:
+            raise SimulationError(
+                f"{type(self).__name__} is not replayable; a session "
+                f"driving it cannot be snapshotted or restored"
+            )
+        return _StreamTail(self, consumed)
+
+    # ---- builders ---------------------------------------------------------
+
+    @staticmethod
+    def from_coflows(
+        coflows: Iterable[CoFlow],
+        dynamics: Iterable[Any] = (),
+        *,
+        validate: bool = True,
+    ) -> "ListScenario":
+        """The classic batch workload as a scenario.
+
+        Materialises ``coflows`` (and optional dynamics actions), validates
+        them exactly as ``Simulator.run`` always did, and stable-sorts into
+        spine order: time-ordered, arrivals before dynamics within an
+        instant, submission order within ties.
+        """
+        submitted = list(coflows)
+        if validate:
+            validate_workload(submitted)
+        events = [
+            Event(c.arrival_time, EventKind.COFLOW_ARRIVAL, c)
+            for c in submitted
+        ]
+        events.extend(
+            Event(action.time, EventKind.DYNAMICS, action)
+            for action in dynamics
+        )
+        for e in events:
+            if e.time < 0:
+                raise ValueError(f"event time must be >= 0, got {e.time}")
+        events.sort(key=lambda e: (e.time, e.kind.value))
+        return ListScenario(events, total_coflows=len(submitted))
+
+    @staticmethod
+    def from_stream(
+        source: Iterable[Any] | Callable[[], Iterable[Any]],
+        dynamics: Iterable[Any] = (),
+        *,
+        total_coflows: int | None = None,
+    ) -> "StreamScenario":
+        """A lazily-pulled scenario from an iterable (or iterator factory).
+
+        ``source`` yields coflows (ordered by ``arrival_time``), events, or
+        dynamics actions; ``dynamics`` is an optional separate time-sorted
+        action list merged in on the fly. Pass a zero-argument callable
+        (e.g. a generator *function*) instead of an iterator to make the
+        scenario replayable — required for session snapshots.
+        """
+        return StreamScenario(
+            source, dynamics=dynamics, total_coflows=total_coflows
+        )
+
+
+class ListScenario(Scenario):
+    """A fully materialised scenario (already in spine order)."""
+
+    replayable = True
+
+    def __init__(self, events: list[Event],
+                 total_coflows: int | None = None):
+        self._events = events
+        self._driven = False
+        if total_coflows is None:
+            total_coflows = sum(
+                1 for e in events if e.kind is EventKind.COFLOW_ARRIVAL
+            )
+        self.total_coflows = total_coflows
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> Iterator[Event]:
+        # The one direct consumer gets the original objects: the classic
+        # run(coflows) contract is that the simulation mutates the very
+        # coflows the caller submitted (clone_coflows exists for replays).
+        # A second consumer would therefore replay mutated corpses, so it
+        # is rejected up front.
+        if self._driven:
+            raise SimulationError(
+                "this scenario's coflows were already driven by a session "
+                "and carry its mutations; build a fresh Scenario (or use "
+                "snapshot/restore) to replay the workload"
+            )
+        self._driven = True
+        return iter(self._events)
+
+    def tail(self, consumed: int) -> "Scenario":
+        # Our payloads are shared with the session that is (or was)
+        # consuming this scenario, and they are pristine only until that
+        # session reaches them — so the tail must clone *now*, at
+        # checkpoint time, not when a restore eventually replays it.
+        return _FrozenTail(
+            _pristine_copy(self._events[consumed:]), self.total_coflows
+        )
+
+
+class StreamScenario(Scenario):
+    """A scenario backed by a lazy stream, optionally merged with dynamics.
+
+    The stream is validated as it is pulled: events must be non-decreasing
+    in time (an out-of-order stream raises
+    :class:`~repro.errors.SimulationError` at the offending event, naming
+    both instants).
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Any] | Callable[[], Iterable[Any]],
+        *,
+        dynamics: Iterable[Any] = (),
+        total_coflows: int | None = None,
+    ):
+        self._factory: Callable[[], Iterable[Any]] | None
+        self._once: Iterable[Any] | None
+        if callable(source):
+            self._factory = source
+            self._once = None
+            self.replayable = True
+        else:
+            self._factory = None
+            self._once = source
+            self.replayable = False
+        self._dynamics = sorted(
+            (_as_event(a) for a in dynamics), key=lambda e: e.time
+        )
+        self.total_coflows = total_coflows
+
+    def events(self) -> Iterator[Event]:
+        if self._factory is not None:
+            stream = iter(self._factory())
+        else:
+            if self._once is None:
+                raise SimulationError(
+                    "one-shot stream scenario already consumed"
+                )
+            stream, self._once = iter(self._once), None
+        return self._merged(stream)
+
+    def _merged(self, stream: Iterator[Any]) -> Iterator[Event]:
+        """Merge the stream with the dynamics list, checking time order."""
+        dyn = iter(self._dynamics)
+        pending_dyn = next(dyn, None)
+        last = -0.0
+        for item in stream:
+            event = _as_event(item)
+            if event.time < last:
+                raise SimulationError(
+                    f"scenario stream out of order: event at t={event.time} "
+                    f"after t={last}"
+                )
+            last = event.time
+            while pending_dyn is not None and (
+                (pending_dyn.time, pending_dyn.kind.value)
+                < (event.time, event.kind.value)
+            ):
+                yield pending_dyn
+                pending_dyn = next(dyn, None)
+            yield event
+        while pending_dyn is not None:
+            yield pending_dyn
+            pending_dyn = next(dyn, None)
+
+
+def _pristine_copy(events: list[Event]) -> list[Event]:
+    """Events with every arrival payload replaced by a pristine clone."""
+    out = []
+    for e in events:
+        if e.kind is EventKind.COFLOW_ARRIVAL:
+            out.append(Event(e.time, e.kind, clone_coflows([e.payload])[0]))
+        else:
+            out.append(e)
+    return out
+
+
+class _FrozenTail(Scenario):
+    """A materialised scenario tail captured at checkpoint time.
+
+    Holds pristine master copies of the remaining events; every
+    :meth:`events` call hands out fresh clones, so one snapshot supports
+    any number of independent restores.
+    """
+
+    replayable = True
+
+    def __init__(self, pristine_events: list[Event],
+                 total_coflows: int | None):
+        self._events = pristine_events
+        self.total_coflows = total_coflows
+
+    def events(self) -> Iterator[Event]:
+        for e in self._events:
+            if e.kind is EventKind.COFLOW_ARRIVAL:
+                yield Event(
+                    e.time, e.kind, clone_coflows([e.payload])[0]
+                )
+            else:
+                yield e
+
+    def tail(self, consumed: int) -> "Scenario":
+        # The masters are never handed out directly, so re-slicing them is
+        # safe without another clone pass.
+        return _FrozenTail(self._events[consumed:], self.total_coflows)
+
+
+class _StreamTail(Scenario):
+    """A replayable stream minus a consumed prefix (the snapshot cursor of
+    factory-backed scenarios: the factory regenerates fresh objects on
+    every replay, so skipping is exact and O(1) to capture)."""
+
+    replayable = True
+
+    def __init__(self, parent: Scenario, skip: int):
+        self._parent = parent
+        self._skip = skip
+        self.total_coflows = parent.total_coflows
+
+    def events(self) -> Iterator[Event]:
+        it = self._parent.events()
+        skipped = sum(1 for _ in islice(it, self._skip))
+        if skipped < self._skip:
+            raise SimulationError(
+                f"scenario replay produced only {skipped} of the "
+                f"{self._skip} already-consumed events; stream factories "
+                f"must be deterministic for snapshots to be restorable"
+            )
+        return it
+
+    def tail(self, consumed: int) -> "Scenario":
+        return _StreamTail(self._parent, self._skip + consumed)

@@ -1,0 +1,1408 @@
+"""The simulation session: a resumable fluid-flow discrete-event kernel.
+
+:class:`SimulationSession` advances a cluster of coflows through a
+big-switch fabric under the control of a
+:class:`~repro.schedulers.base.Scheduler`. Between events every flow moves
+at a constant allocated rate, so the session only needs to visit:
+
+* external events — coflow arrivals and dynamics actions, pulled lazily
+  from the attached :class:`~repro.simulator.scenario.Scenario`,
+* flow completions under the current allocation,
+* scheduler wakeups — queue-threshold crossings and starvation deadlines,
+* (sync mode) δ-grid boundaries at which new schedules take effect.
+
+**The external-event spine.** All outside input arrives through one
+time-ordered stream: the scenario is pulled one event ahead of simulated
+time, and due events are fed through the session's stable event queue
+together with the *derived* external events the session generates itself
+(data-availability wakeups; DAG releases fire inline at the completion that
+unblocks them). Because the spine is pulled lazily, a generator-backed
+scenario never materialises its future: an open-loop workload of a million
+coflows holds only the active flows (plus O(1) lookahead) in memory — pair
+with ``sink=`` to stop the result from retaining finished coflows. The one
+deliberately O(total) structure is the finished-coflow *id set* (plain
+ints, ~60 bytes each), kept for DAG-dependency release and duplicate-id
+detection; it is orders of magnitude smaller than the flow objects the
+streaming path avoids.
+
+**Lifecycle.** A session is explicitly steppable: :meth:`step` processes
+the next instant, :meth:`run_until` pauses the session at a simulated time
+bound, :meth:`run` drives it to completion, and :meth:`snapshot` /
+:meth:`restore` checkpoint and revive the *entire* kernel state — flow
+table, ledgers, scheduler bookkeeping, event queue, epoch machinery — for
+mid-run forking and warm-started what-if comparisons. A paused session sits
+*between instants*: it never advances the fluid state to a non-event time,
+so resumed runs replay the exact float arithmetic of an uninterrupted run
+(the equivalence suite asserts byte-identical results).
+
+**Coordinator timing model (§5).** With ``sync_interval == 0`` the
+scheduler reacts instantly to every event (the idealised coordinator used
+for the main simulation results). With ``δ = sync_interval > 0``, state
+changes are only *acted on* at the next multiple of δ: a coflow arriving at
+``t`` is first scheduled at ``ceil(t/δ)·δ``, and bandwidth freed by a
+completion stays idle until that boundary — exactly the staleness that
+Fig. 14(c) measures. Because rates are constant between state changes,
+recomputing at every grid point would yield identical schedules, so the
+session only recomputes at grid points *following* a state change; this is
+an exact optimisation, not an approximation.
+
+**Flat flow table.** All hot per-flow state lives in the cluster state's
+:class:`~repro.simulator.state.FlowTable` — parallel lists indexed by a
+dense integer *row* assigned at activation. Every loop below (byte
+accounting, completion lookout, allocation application) walks plain lists
+with integer indices; ``Flow`` objects are views used only at the
+object-facing edges (scheduler callbacks, results, dynamics). The running
+set is a row-keyed insertion-ordered dict, the completion heap carries rows,
+and the per-flow allocation epoch is a table column.
+
+**Allocation epochs (``config.epochs``).** Each applied allocation opens an
+*epoch*: the session keeps the previous round's raw ``flow_id → rate`` map
+and applies the next allocation as a diff, touching only flows whose rate
+changed (C-level dict-view set operations find the changed entries), while
+the running set and its per-coflow counts are maintained in place instead of
+being rebuilt from every pending flow. Completion lookout uses a lazy
+min-heap keyed by ``(predicted finish lower bound, epoch, row)``: entries
+from superseded epochs are popped and discarded lazily, and each event pops
+only the entries whose lower bound could beat the provisional minimum — for
+those few flows the exact per-event arithmetic of the full scan is
+replayed, so the chosen instant is bit-identical to the scan's (see
+:meth:`SimulationSession._heap_completion` for the monotonicity argument).
+When a round churns most rates (UC-TCP recomputes global fair shares every
+event), the heap would cost more than it saves, so the session falls back
+to the plain scan until churn subsides. ``epochs=False`` restores the
+pre-epoch engine; both paths produce byte-identical
+:class:`SimulationResult`\\ s (asserted by the equivalence suite).
+"""
+
+from __future__ import annotations
+
+import math
+from copy import deepcopy
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from itertools import chain
+from typing import Callable, Protocol
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..schedulers.base import Allocation, Scheduler
+from .events import Event, EventKind, EventQueue
+from .fabric import Fabric
+from .flows import CoFlow, Flow
+from .scenario import Scenario, validate_workload
+from .state import ClusterState
+
+
+class DynamicsAction(Protocol):
+    """Dynamics events (failures, stragglers, …) applied at their instant."""
+
+    time: float
+
+    def apply(self, sim: "SimulationSession", now: float) -> None:
+        """Mutate session state; the kernel reschedules afterwards."""
+        ...  # pragma: no cover - protocol
+
+
+class ScheduleObserver(Protocol):
+    """Telemetry hook notified after every schedule application."""
+
+    def on_schedule(self, state: ClusterState, allocation: Allocation,
+                    now: float) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    #: Every coflow that finished, in completion order (empty when the
+    #: session streams finished coflows to a ``sink`` instead).
+    coflows: list[CoFlow] = field(default_factory=list)
+    #: Number of schedule computations performed.
+    reschedules: int = 0
+    #: Simulated time at which the last coflow finished.
+    makespan: float = 0.0
+    #: Lazily-built ``coflow_id → CoFlow`` index backing :meth:`cct` and
+    #: :meth:`coflow`, which analysis code calls in per-coflow loops.
+    _by_id: dict[int, CoFlow] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _index(self) -> dict[int, CoFlow]:
+        by_id = self._by_id
+        if len(by_id) != len(self.coflows):
+            by_id.clear()
+            for c in self.coflows:
+                by_id[c.coflow_id] = c
+        return by_id
+
+    def cct(self, coflow_id: int) -> float:
+        try:
+            return self._index()[coflow_id].cct()
+        except KeyError:
+            raise KeyError(f"coflow {coflow_id} not in result") from None
+
+    def ccts(self) -> dict[int, float]:
+        """coflow_id → CCT for every finished coflow."""
+        return {c.coflow_id: c.cct() for c in self.coflows}
+
+    def average_cct(self) -> float:
+        if not self.coflows:
+            return 0.0
+        return sum(c.cct() for c in self.coflows) / len(self.coflows)
+
+    def coflow(self, coflow_id: int) -> CoFlow:
+        try:
+            return self._index()[coflow_id]
+        except KeyError:
+            raise KeyError(f"coflow {coflow_id} not in result") from None
+
+
+#: Relative + absolute safety margin applied to heap lower bounds so that
+#: stepwise float drift in ``bytes_sent`` between the anchor event and the
+#: instant a completion actually fires can only cause an extra (exact)
+#: recomputation, never a missed completion. Deliberately much wider than
+#: the drift of any realistic event chain.
+_HEAP_MARGIN_REL = 1e-9
+_HEAP_MARGIN_ABS = 1e-12
+
+#: Session attributes that hold the live scenario stream. They are the one
+#: part of a session that cannot be deep-copied (a generator has no value
+#: semantics), so snapshots exclude them and store the scenario's
+#: not-yet-consumed remainder instead (:meth:`Scenario.tail`); restore
+#: re-creates the stream by iterating that tail.
+_STREAM_ATTRS = frozenset({"_source", "_source_iter", "_lookahead"})
+
+#: Sentinel for :meth:`SimulationSession.restore`'s ``sink`` parameter:
+#: "keep the donor's sink" (``None`` means "clear it — retain coflows").
+_KEEP_SINK = object()
+
+
+@dataclass
+class SessionSnapshot:
+    """Opaque checkpoint of a paused :class:`SimulationSession`.
+
+    Holds a deep copy of the full kernel state (flow table, ledgers,
+    scheduler bookkeeping, event queue, RNG-free epoch machinery) plus the
+    scenario cursor. One snapshot can be restored any number of times —
+    every :meth:`SimulationSession.restore` call deep-copies the payload
+    again, so restored sessions never share mutable state with each other
+    or with the snapshot.
+    """
+
+    #: Simulated time at which the snapshot was taken.
+    time: float
+    #: Registry name of the donor session's scheduler (for what-if sweeps
+    #: that want to know which branch continues the donor's policy).
+    policy: str
+    cls: type = field(repr=False)
+    payload: dict = field(repr=False)
+    #: The not-yet-consumed remainder of the scenario, insulated from the
+    #: donor session's future mutations (see :meth:`Scenario.tail`).
+    scenario: Scenario = field(repr=False)
+
+
+class SimulationSession:
+    """Drives one scheduler over one scenario on one fabric.
+
+    Parameters
+    ----------
+    scenario:
+        The external-event spine to drive (see
+        :mod:`repro.simulator.scenario`). May be omitted at construction
+        and supplied later via :meth:`attach` — the legacy
+        :class:`~repro.simulator.engine.Simulator` façade does exactly
+        that from its ``run(coflows)`` adapter.
+    sink:
+        Optional callable receiving each finished coflow *instead of*
+        retaining it in ``result.coflows`` — the O(active-flows) memory
+        mode for open-loop scenarios. ``result.makespan`` and
+        ``result.reschedules`` are still maintained.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        scheduler: Scheduler,
+        config: SimulationConfig,
+        *,
+        scenario: Scenario | None = None,
+        rate_perturbation: Callable[[Flow, float], float] | None = None,
+        observer: "ScheduleObserver | None" = None,
+        sink: Callable[[CoFlow], None] | None = None,
+    ):
+        self.fabric = fabric
+        self.scheduler = scheduler
+        self.config = config
+        #: Optional testbed-mode hook mapping (flow, allocated rate) to the
+        #: *achieved* rate — models imperfect rate enforcement (§7 setup).
+        self._rate_perturbation = rate_perturbation
+        #: Optional telemetry observer notified after every schedule
+        #: application (see repro.analysis.telemetry.TelemetryRecorder).
+        self._observer = observer
+        if observer is not None and hasattr(observer, "bind_scheduler"):
+            observer.bind_scheduler(scheduler)
+        #: Finished-coflow consumer for O(active) streaming runs.
+        self._sink = sink
+
+        self.state = ClusterState(fabric=fabric)
+        #: The cluster state's struct-of-arrays flow registry; every hot
+        #: loop below indexes its columns by row.
+        self._table = self.state.table
+        #: Per-flow efficiency factors (< 1 for straggling flows, §4.3).
+        self.flow_efficiency: dict[int, float] = {}
+
+        self._events = EventQueue()
+        self._now = 0.0
+        self._next_sync: float | None = None
+        self._waiting_dag: dict[int, CoFlow] = {}
+        #: Dependency index (coflow_id → still-unmet dependency ids) and its
+        #: inverse (dependency id → waiting coflows, arrival order), so a
+        #: coflow completion releases dependents in O(dependents) instead of
+        #: rescanning every DAG-blocked coflow.
+        self._unmet_deps: dict[int, set[int]] = {}
+        self._dep_waiters: dict[int, list[CoFlow]] = {}
+        self._finished_ids: set[int] = set()
+        self._result = SimulationResult()
+        #: Last coflow finish instant (completion times are monotone, so
+        #: this equals the makespan without retaining the coflows).
+        self._max_finish = 0.0
+        #: Rows with a positive rate under the current allocation, plus
+        #: rows that may already be complete (zero-volume on arrival).
+        #: Only these can change state between events — keeping the hot
+        #: loops off the full active set is the kernel's main optimisation.
+        #: Under ``epochs`` this is a row-keyed insertion-ordered dict
+        #: maintained in place; the legacy path rebuilds a row list per
+        #: application. Both iterate as rows.
+        self._running: "dict[int, None] | list[int]" = (
+            {} if (config.epochs and rate_perturbation is None) else []
+        )
+        #: Coflow ids with at least one running flow, precomputed at
+        #: allocation time so time advancement can mark "progressed"
+        #: coflows in the scheduling delta with one set union.
+        self._running_cids: frozenset[int] = frozenset()
+        self._maybe_done: list[tuple[int, CoFlow]] = []
+        self._coflow_of: dict[int, CoFlow] = {}
+        #: Lower bound (absolute time) before which no running flow can
+        #: satisfy the completion predicate; lets _process_completions skip
+        #: its scan on pure arrival / sync steps. Maintained by
+        #: _earliest_completion; -inf means "unknown, always scan".
+        self._no_completion_before: float = -math.inf
+        #: Rows whose completion predicate fired during the last time
+        #: advance (collected while moving bytes, so the completion pass
+        #: walks only these instead of rescanning every running flow).
+        self._completion_candidates: list[int] = []
+        #: True when the current step advanced time, i.e. the candidate
+        #: list above is authoritative. Zero-width steps (several events at
+        #: one instant) and dynamics fall back to the full scan.
+        self._advanced_this_step = False
+        #: True once ``delta.progressed`` already contains the current
+        #: ``_running_cids`` — the per-advance union is a no-op until the
+        #: delta is cleared, the running set changes, or a completion
+        #: removes ids from the progressed set.
+        self._progressed_synced = False
+
+        # ---- allocation-epoch state (config.epochs) ----------------------
+        #: Rate perturbation rewrites every rate on every application, so
+        #: nothing can be diffed; the epoch machinery disables itself.
+        self._epochs_engine = config.epochs and rate_perturbation is None
+        #: Raw flow_id → rate map of the previously applied allocation.
+        self._prev_rates: dict[int, float] = {}
+        #: row → running-flow count per coflow backing ``_running_cids``.
+        self._running_count: dict[int, int] = {}
+        #: Rows whose raw rate is positive but whose data is not yet
+        #: available (§4.3): re-evaluated on every diffed application.
+        self._gated: dict[int, None] = {}
+        #: coflow_id → index in ``state.active_coflows`` (candidate order).
+        self._active_pos: dict[int, int] = {}
+        #: Lazy completion min-heap of (finish lower bound, epoch, row).
+        self._heap: list[tuple[float, int, int]] = []
+        #: Running rows whose rate changed since their last heap entry.
+        self._unheaped: dict[int, None] = {}
+        #: True once the heap covers every running flow (warm).
+        self._heap_live = False
+        #: Next _earliest_completion should seed the heap during its scan.
+        self._seed_pending = False
+        #: Next application must be a full rebuild (first round; dynamics).
+        self._full_apply_pending = True
+        #: Events seen since the last allocation application — the reseed
+        #: heuristic's estimate of how many events share one δ window.
+        self._events_since_apply = 0
+
+        # ---- scenario stream (the external-event spine) ------------------
+        #: Attached scenario, its live iterator, and the one pulled-but-not-
+        #: yet-due event (the spine's lookahead).
+        self._source: Scenario | None = None
+        self._source_iter = None
+        self._lookahead: Event | None = None
+        #: Events already pushed from the stream into the queue (the
+        #: snapshot cursor).
+        self._consumed = 0
+        #: Largest event time pulled so far (ordering guard for scenarios
+        #: that bypass StreamScenario's own check).
+        self._last_pulled = 0.0
+        #: Memoised next-instant from a boundary probe (run_until) that the
+        #: following step() must consume instead of recomputing — keeps the
+        #: paused-and-resumed event sequence identical to a straight run.
+        self._pending_instant: float | None = None
+
+        if scenario is not None:
+            self.attach(scenario)
+
+    # ---- public API -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (the last processed instant)."""
+        return self._now
+
+    @property
+    def done(self) -> bool:
+        """True when nothing can ever happen again: the scenario stream is
+        exhausted, no external events are queued, and no coflow is active
+        or DAG-blocked."""
+        return self._exhausted()
+
+    @property
+    def result(self) -> SimulationResult:
+        """The (possibly still accumulating) simulation result."""
+        return self._result
+
+    @property
+    def scenario(self) -> Scenario | None:
+        return self._source
+
+    def attach(self, scenario: Scenario) -> "SimulationSession":
+        """Bind the external-event spine; a session drives one scenario."""
+        if self._source is not None:
+            raise SimulationError(
+                "a scenario is already attached to this session"
+            )
+        self._source = scenario
+        self._source_iter = scenario.events()
+        self._pull_lookahead()
+        return self
+
+    def run(self) -> SimulationResult:
+        """Drive the attached scenario to completion.
+
+        Scenarios that know their coflow count stop the instant the last
+        coflow completes (exactly like the classic batch ``run(coflows)``,
+        which never drained events scheduled after the final completion);
+        unbounded streams run until the spine and the cluster are empty.
+        """
+        if self._source is None:
+            raise SimulationError(
+                "no scenario attached; pass scenario= at construction, "
+                "call attach(), or use the Simulator.run(coflows) façade"
+            )
+        expected = self._source.total_coflows
+        if expected is None:
+            while self.step():
+                pass
+        else:
+            while len(self._finished_ids) < expected:
+                if not self.step():
+                    raise SimulationError(
+                        f"scenario promised {expected} coflows but the "
+                        f"stream ended after "
+                        f"{len(self._finished_ids)} completed; nothing "
+                        f"left to simulate"
+                    )
+        return self._finalize()
+
+    def step(self) -> bool:
+        """Process the next instant (events, completions, rescheduling).
+
+        Returns ``False`` — without side effects — once the simulation is
+        finished (see :attr:`done`); raises
+        :class:`~repro.errors.SimulationError` when no future instant
+        exists but unfinished coflows remain (a stalled simulation).
+        """
+        if self._exhausted():
+            return False
+        t_next = self._pending_instant
+        if t_next is None:
+            t_next = self._next_instant()
+        else:
+            self._pending_instant = None
+        if math.isinf(t_next):
+            self._raise_stuck()
+        if t_next > self.config.max_sim_time:
+            raise SimulationError(
+                f"simulation exceeded max_sim_time="
+                f"{self.config.max_sim_time}; likely a livelock"
+            )
+        self._advance_to(t_next)
+
+        changed = self._process_completions()
+        changed |= self._process_external_events()
+        if changed:
+            self._request_resync(self._now)
+
+        if self._next_sync is not None and self._next_sync <= self._now:
+            self._recompute_schedule()
+        return True
+
+    def run_until(self, t: float) -> "SimulationSession":
+        """Process every instant up to and including simulated time ``t``.
+
+        The session pauses *between instants*: ``now`` is left at the last
+        processed instant ≤ ``t`` (never advanced to ``t`` itself), so the
+        fluid state's float arithmetic is untouched by the pause and a
+        subsequent :meth:`run` replays an uninterrupted run byte for byte.
+        Returns ``self`` for chaining (``session.run_until(5.0).snapshot()``).
+        """
+        if self._source is None:
+            raise SimulationError("no scenario attached")
+        while not self._exhausted():
+            nxt = self._peek_instant()
+            if math.isinf(nxt):
+                # Nothing can ever happen again, yet work remains: raise
+                # the stall diagnostic here rather than letting a
+                # `while not session.done: run_until(...)` driver spin.
+                self._raise_stuck()
+            if nxt > t:
+                break
+            self.step()
+        return self
+
+    def _peek_instant(self) -> float:
+        """Next instant without stepping; memoised so the step() that
+        follows consumes the identical value (``_next_instant`` feeds the
+        heap-reseed heuristic, which must tick once per processed step)."""
+        if self._pending_instant is None:
+            self._pending_instant = self._next_instant()
+        return self._pending_instant
+
+    def _exhausted(self) -> bool:
+        return (
+            self._lookahead is None
+            and not self._events
+            and not self.state.active_coflows
+            and not self._waiting_dag
+        )
+
+    def _finalize(self) -> SimulationResult:
+        result = self._result
+        if self._sink is None:
+            result.makespan = max(
+                (c.finish_time or 0.0 for c in result.coflows), default=0.0
+            )
+        else:
+            result.makespan = self._max_finish
+        return result
+
+    # ---- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> SessionSnapshot:
+        """Checkpoint the paused session.
+
+        Requires a replayable scenario (list-backed, or a factory-backed
+        stream): the snapshot stores the scenario's not-yet-consumed tail
+        (:meth:`Scenario.tail` — pristine clones for materialised
+        scenarios, a skip cursor for deterministic generators). Everything
+        else (flow table, ledgers, scheduler state, event queue, epoch
+        machinery) is deep-copied, so the live session can keep running
+        unaffected.
+        """
+        source = self._source
+        if source is None:
+            raise SimulationError("no scenario attached; nothing to snapshot")
+        if not source.replayable:
+            raise SimulationError(
+                "scenario is not replayable: snapshot() needs a list-backed "
+                "scenario or a factory-backed stream "
+                "(Scenario.from_stream(lambda: ...))"
+            )
+        memo: dict[int, object] = {}
+        payload = {
+            k: deepcopy(v, memo)
+            for k, v in self.__dict__.items()
+            if k not in _STREAM_ATTRS
+        }
+        return SessionSnapshot(
+            time=self._now,
+            policy=self.scheduler.name,
+            cls=type(self),
+            payload=payload,
+            scenario=source.tail(self._consumed),
+        )
+
+    @staticmethod
+    def restore(
+        snap: SessionSnapshot,
+        *,
+        scheduler: Scheduler | None = None,
+        sink: "Callable[[CoFlow], None] | None | object" = _KEEP_SINK,
+    ) -> "SimulationSession":
+        """Revive a session from a snapshot.
+
+        The payload is deep-copied again, so one snapshot supports any
+        number of independent restores (mid-run forking). Passing
+        ``scheduler`` swaps the policy for a what-if branch: the new
+        scheduler's arrival hooks are replayed for every live coflow and
+        the next round is forced to a full rebuild — results then follow
+        the *new* policy and are naturally not byte-identical to the
+        donor's. Passing ``sink`` rebinds the finished-coflow consumer
+        (forks usually want their own aggregator — note that functions are
+        copied by reference, so inheriting a donor's sink means feeding
+        the donor's aggregator); ``sink=None`` clears it, so the branch
+        retains finished coflows in its result.
+        """
+        session: SimulationSession = object.__new__(snap.cls)
+        memo: dict[int, object] = {}
+        for k, v in snap.payload.items():
+            setattr(session, k, deepcopy(v, memo))
+        session._source = snap.scenario
+        session._source_iter = snap.scenario.events()
+        session._consumed = 0
+        session._lookahead = None
+        session._pull_lookahead()
+        if sink is not _KEEP_SINK:
+            session._sink = sink
+        if scheduler is not None:
+            session.scheduler = scheduler
+            observer = session._observer
+            if observer is not None and hasattr(observer, "bind_scheduler"):
+                observer.bind_scheduler(scheduler)
+            # Warm the new policy exactly as if it had witnessed the live
+            # coflows arrive, then rebuild all incremental bookkeeping.
+            for c in session.state.active_coflows:
+                scheduler.on_coflow_arrival(c, c.arrival_time)
+            session.state.delta.mark_full()
+            session._full_apply_pending = True
+            session._go_cold()
+            session._request_resync(session._now)
+            # Any memoised next-instant predates the forced resync.
+            session._pending_instant = None
+        return session
+
+    def fork(self) -> "SimulationSession":
+        """Snapshot + restore in one call: an independent what-if branch."""
+        return self.restore(self.snapshot())
+
+    # ---- the spine --------------------------------------------------------------
+
+    def _pull_lookahead(self) -> None:
+        """Advance the scenario stream by one event."""
+        try:
+            event = next(self._source_iter)
+        except StopIteration:
+            self._lookahead = None
+            return
+        if event.time < self._last_pulled:
+            raise SimulationError(
+                f"scenario events out of order: t={event.time} after "
+                f"t={self._last_pulled}"
+            )
+        self._last_pulled = event.time
+        self._lookahead = event
+
+    # ---- main loop -------------------------------------------------------------
+
+    def _next_instant(self) -> float:
+        """Earliest of: external event, flow completion, pending sync."""
+        self._events_since_apply += 1
+        candidates: list[float] = []
+        head = self._events.peek_time()
+        lookahead = self._lookahead
+        if lookahead is not None and (head is None or lookahead.time < head):
+            head = lookahead.time
+        if head is not None:
+            candidates.append(head)
+        if self._next_sync is not None:
+            candidates.append(self._next_sync)
+        completion = self._earliest_completion()
+        if completion is not None:
+            candidates.append(completion)
+        if not candidates:
+            return math.inf
+        return max(min(candidates), self._now)
+
+    def _flow_complete(self, f: Flow) -> bool:
+        """Completion predicate with a rate-relative guard.
+
+        Absolute byte tolerance alone is not enough: a fast flow can be
+        left with ``remaining`` just above ``epsilon_bytes`` whose transfer
+        time (< 1e-12 s) underflows float64 time addition, freezing the
+        clock. Anything needing less than ~10 ns at its current rate is
+        complete.
+        """
+        remaining = f.volume - f.bytes_sent
+        if remaining <= self.config.epsilon_bytes:
+            return True
+        return f.rate > 0 and remaining <= f.rate * 1e-8
+
+    def _earliest_completion(self) -> float | None:
+        if self._maybe_done:
+            self._no_completion_before = self._now
+            return self._now
+        if self._heap_live:
+            return self._heap_completion()
+        # Inlined _flow_complete over the table columns: this scan runs for
+        # every running flow at every event, so per-flow dispatch overhead
+        # is material — integer list indexing replaces every attribute
+        # read. When a seed was requested the same pass pushes a margined
+        # lower bound per row, warming the heap for subsequent events.
+        t = self._table
+        vol = t.volume
+        bs = t.bytes_sent
+        rt = t.rate
+        ft = t.finish_time
+        ep = t.epoch
+        seed = self._seed_pending
+        heap = self._heap
+        push = heappush
+        eps = self.config.epsilon_bytes
+        best = math.inf
+        pred_min = math.inf
+        now = self._now
+        for i in self._running:
+            if ft[i] is not None:
+                continue
+            remaining = vol[i] - bs[i]
+            rate = rt[i]
+            if remaining <= eps or (rate > 0 and remaining <= rate * 1e-8):
+                self._no_completion_before = now
+                if seed:
+                    heap.clear()  # partial seed; retry next event
+                return now
+            if rate > 0:
+                ttc = remaining / rate
+                if ttc < best:
+                    best = ttc
+                # Earliest instant the completion predicate can start
+                # firing for this flow: its tolerance window opens
+                # max(eps, rate*1e-8) bytes before the exact finish.
+                slack = eps if eps > rate * 1e-8 else rate * 1e-8
+                pred = (remaining - slack) / rate
+                if pred < pred_min:
+                    pred_min = pred
+                if seed:
+                    push(heap, (
+                        now + pred - abs(pred) * _HEAP_MARGIN_REL
+                        - _HEAP_MARGIN_ABS,
+                        ep[i], i,
+                    ))
+        if seed:
+            self._seed_pending = False
+            self._heap_live = True
+            self._unheaped.clear()
+        # Conservative margin (a few ulps) so float noise can only make us
+        # scan unnecessarily, never miss a completion.
+        self._no_completion_before = (
+            now + pred_min - abs(pred_min) * 1e-12 - 1e-15
+            if math.isfinite(pred_min) else math.inf
+        )
+        return now + best if math.isfinite(best) else None
+
+    def _heap_completion(self) -> float | None:
+        """Next completion instant via the lazy heap (epochs engine, warm).
+
+        Exactness: the full scan returns ``now + min_f(remaining_f/rate_f)``
+        and float addition is monotone, so that equals
+        ``min_f(now + remaining_f/rate_f)``. Every running flow holds a heap
+        entry whose key lower-bounds its ``now + remaining/rate`` at any
+        later event of its epoch (margin covers stepwise float drift), so
+        popping entries while the top key beats the provisional best — and
+        recomputing those few flows with the scan's exact per-event
+        arithmetic — yields the same minimum as scanning everything. Rows
+        rescheduled since the last event sit in ``_unheaped`` and are
+        scanned exactly (and re-heaped) first; stale epochs are discarded
+        (eviction bumps a row's epoch, so a recycled row can never be
+        mistaken for its previous occupant).
+        """
+        now = self._now
+        eps = self.config.epsilon_bytes
+        heap = self._heap
+        t = self._table
+        vol = t.volume
+        bs = t.bytes_sent
+        rt = t.rate
+        ft = t.finish_time
+        ep = t.epoch
+        push = heappush
+        running = self._running
+        best = math.inf  # absolute instant
+        if self._unheaped:
+            for i in self._unheaped:
+                if ft[i] is not None:
+                    continue
+                remaining = vol[i] - bs[i]
+                rate = rt[i]
+                if remaining <= eps or (
+                        rate > 0 and remaining <= rate * 1e-8):
+                    # Unheaped rows are re-examined next event, so bailing
+                    # out without clearing the set is safe.
+                    self._no_completion_before = now
+                    return now
+                if rate > 0:
+                    tt = now + remaining / rate
+                    if tt < best:
+                        best = tt
+                    slack = eps if eps > rate * 1e-8 else rate * 1e-8
+                    pred = (remaining - slack) / rate
+                    push(heap, (
+                        now + pred - abs(pred) * _HEAP_MARGIN_REL
+                        - _HEAP_MARGIN_ABS,
+                        ep[i], i,
+                    ))
+            self._unheaped.clear()
+        seen: set[int] = set()
+        repush: list[tuple[float, int, int]] = []
+        while heap and heap[0][0] < best:
+            entry = heappop(heap)
+            i = entry[2]
+            if (i not in running or ep[i] != entry[1]
+                    or ft[i] is not None or i in seen):
+                continue  # stale epoch / finished / already refreshed
+            rate = rt[i]
+            if rate <= 0:
+                continue  # silenced mid-window; reallocation re-heaps it
+            remaining = vol[i] - bs[i]
+            if remaining <= eps or remaining <= rate * 1e-8:
+                push(heap, entry)
+                for e in repush:
+                    push(heap, e)
+                self._no_completion_before = now
+                return now
+            tt = now + remaining / rate
+            if tt < best:
+                best = tt
+            slack = eps if eps > rate * 1e-8 else rate * 1e-8
+            pred = (remaining - slack) / rate
+            seen.add(i)
+            repush.append((
+                now + pred - abs(pred) * _HEAP_MARGIN_REL - _HEAP_MARGIN_ABS,
+                entry[1], i,
+            ))
+        for e in repush:
+            push(heap, e)
+        # Every running flow still has an entry, so the heap top bounds all
+        # completion windows from below (stale entries only push it lower,
+        # which is conservative: the completion pass may scan needlessly
+        # but can never be skipped wrongly).
+        self._no_completion_before = heap[0][0] if heap else math.inf
+        return best if math.isfinite(best) else None
+
+    def _go_cold(self) -> None:
+        """Drop the completion heap; fall back to full scans until reseeded."""
+        self._heap_live = False
+        self._seed_pending = False
+        self._heap.clear()
+        self._unheaped.clear()
+
+    def _advance_to(self, t: float) -> None:
+        dt = t - self._now
+        if dt < 0:
+            raise SimulationError(f"time went backwards: {self._now} -> {t}")
+        if dt > 0:
+            # Byte accounting over the table columns (same semantics as the
+            # old inlined Flow.advance), collecting rows whose completion
+            # predicate fires so the completion pass needn't rescan the
+            # whole running set.
+            tbl = self._table
+            vol = tbl.volume
+            bs = tbl.bytes_sent
+            rt = tbl.rate
+            candidates = self._completion_candidates
+            candidates.clear()
+            if t < self._no_completion_before:
+                # The pre-advance lookout proved no completion window opens
+                # by ``t``: the predicate below is false for every row, so
+                # this step only moves bytes — branchlessly. Zero-rate rows
+                # (completed mid-window, or silenced) write back their own
+                # bytes (``x + 0.0·dt == x`` for the non-negative bytes
+                # column), and finished rows sit clamped at volume, so the
+                # unconditional write is exact for every row.
+                for i in self._running:
+                    sent = bs[i] + rt[i] * dt
+                    volume = vol[i]
+                    bs[i] = sent if sent < volume else volume
+            else:
+                ft = tbl.finish_time
+                eps = self.config.epsilon_bytes
+                for i in self._running:
+                    rate = rt[i]
+                    if rate > 0 and ft[i] is None:
+                        volume = vol[i]
+                        sent = bs[i] + rate * dt
+                        if sent > volume:
+                            sent = volume
+                        bs[i] = sent
+                        remaining = volume - sent
+                        if remaining <= eps or remaining <= rate * 1e-8:
+                            candidates.append(i)
+            if not self._progressed_synced:
+                self.state.delta.progressed |= self._running_cids
+                self._progressed_synced = True
+            self._advanced_this_step = True
+        else:
+            self._advanced_this_step = False
+        self._now = t
+
+    # ---- event processing ---------------------------------------------------------
+
+    def _process_completions(self) -> bool:
+        if not self._maybe_done and self._now < self._no_completion_before:
+            # The pre-advance scan proved no flow can have completed yet
+            # (this step stops strictly before any completion window).
+            return False
+        tbl = self._table
+        vol = tbl.volume
+        bs = tbl.bytes_sent
+        rt = tbl.rate
+        ft = tbl.finish_time
+        eps = self.config.epsilon_bytes
+        raw: list[int]
+        if self._advanced_this_step:
+            # The advance loop already found every row whose completion
+            # predicate fired; no second scan over the running set needed.
+            raw = self._completion_candidates
+            self._completion_candidates = []
+        else:
+            # Zero-width step (events piling up at one instant): rates may
+            # have changed since the last advance, so scan everything —
+            # exactly what the original per-event pass did.
+            raw = []
+            for i in self._running:
+                if ft[i] is not None:
+                    continue
+                remaining = vol[i] - bs[i]
+                if remaining <= eps or (
+                        rt[i] > 0 and remaining <= rt[i] * 1e-8):
+                    raw.append(i)
+        if len(raw) > 1:
+            # The running set is maintained incrementally under epochs, so
+            # its iteration order drifts from the legacy rebuild order;
+            # restore it (active-coflow position, then flow position) so
+            # same-instant completions are recorded identically. On the
+            # legacy path the list is already in this order (stable no-op).
+            active_pos = self._active_pos
+            cid = tbl.coflow_id
+            pos = tbl.pos
+            raw.sort(key=lambda i: (active_pos[cid[i]], pos[i]))
+        coflow_of = self._coflow_of
+        cid = tbl.coflow_id
+        candidates = [(i, coflow_of[cid[i]]) for i in raw]
+        if self._maybe_done:
+            candidates.extend(self._maybe_done)
+            self._maybe_done = []
+
+        view = tbl.view
+        touched: dict[int, CoFlow] = {}
+        for i, coflow in candidates:
+            if ft[i] is not None:
+                continue
+            remaining = vol[i] - bs[i]
+            if remaining > eps and not (
+                    rt[i] > 0 and remaining <= rt[i] * 1e-8):
+                continue  # predicate no longer holds (rates changed)
+            bs[i] = vol[i]
+            rt[i] = 0.0
+            ft[i] = self._now
+            f = view[i]
+            self.state.note_flow_finished(f)
+            self.scheduler.on_flow_completion(f, coflow, self._now)
+            touched[coflow.coflow_id] = coflow
+        if not touched:
+            return False
+
+        done: set[int] = set()
+        for coflow in touched.values():
+            if coflow.all_flows_finished():
+                coflow.finish_time = self._now
+                self._finished_ids.add(coflow.coflow_id)
+                self._max_finish = self._now
+                if self._sink is None:
+                    self._result.coflows.append(coflow)
+                else:
+                    self._sink(coflow)
+                self.scheduler.on_coflow_completion(coflow, self._now)
+                done.add(coflow.coflow_id)
+                del self._coflow_of[coflow.coflow_id]
+                self._evict_coflow(coflow)
+        if done:
+            # note_coflow_finished discards finished ids from the
+            # progressed set below; the next advance must re-union so the
+            # delta matches the legacy every-advance behaviour exactly
+            # (finished ids reappear while they remain in _running_cids).
+            self._progressed_synced = False
+            self.state.active_coflows = [
+                c for c in self.state.active_coflows
+                if c.coflow_id not in done
+            ]
+            self._active_pos = {
+                c.coflow_id: i
+                for i, c in enumerate(self.state.active_coflows)
+            }
+            for coflow_id in done:
+                self.state.note_coflow_finished(coflow_id)
+                self._release_dependents_of(coflow_id)
+        return True
+
+    def _evict_coflow(self, coflow: CoFlow) -> None:
+        """Drop a finished coflow's rows from the epoch-engine bookkeeping.
+
+        The table rows themselves are evicted (values copied back into the
+        view objects, row recycled, epoch bumped) by
+        :meth:`ClusterState.note_coflow_finished`, which runs right after
+        this cleanup. ``_running_count`` is updated so future
+        ``_running_cids`` rebuilds are correct, but the current frozenset is
+        left untouched: the legacy engine also keeps a finished coflow's id
+        in the progressed mark-set until the next allocation is applied.
+        """
+        if not self._epochs_engine:
+            # Legacy path rebuilds the running list on every application;
+            # stale rows in it are harmless (finished rows are skipped by
+            # finish_time, recycled rows carry zero rate until applied).
+            return
+        rows = coflow._rows
+        if rows is None:
+            return
+        running = self._running
+        counts = self._running_count
+        gated = self._gated
+        unheaped = self._unheaped
+        cid = coflow.coflow_id
+        for i in rows:
+            gated.pop(i, None)
+            unheaped.pop(i, None)
+            if i in running:
+                del running[i]  # type: ignore[union-attr]
+                left = counts.get(cid, 0) - 1
+                if left > 0:
+                    counts[cid] = left
+                else:
+                    counts.pop(cid, None)
+
+    def _process_external_events(self) -> bool:
+        # Feed the spine: push every stream event due at this instant into
+        # the queue (the queue's (time, kind, insertion) order then merges
+        # them with derived events exactly as the batch path always did).
+        lookahead = self._lookahead
+        if lookahead is not None:
+            bound = self._now + 1e-15
+            while lookahead is not None and lookahead.time <= bound:
+                self._events.push(lookahead)
+                self._consumed += 1
+                self._pull_lookahead()
+                lookahead = self._lookahead
+        changed = False
+        while True:
+            head = self._events.peek_time()
+            if head is None or head > self._now + 1e-15:
+                break
+            event = self._events.pop()
+            if event.kind is EventKind.COFLOW_ARRIVAL:
+                self._handle_arrival(event.payload)
+                changed = True
+            elif event.kind is EventKind.DYNAMICS:
+                event.payload.apply(self, self._now)
+                if not isinstance(event.payload, _DataAvailable):
+                    # Arbitrary mutation (restarts, capacity changes, …):
+                    # incremental bookkeeping must rebuild from scratch.
+                    # Data-availability wakeups change nothing the delta
+                    # vocabulary tracks, so they stay incremental.
+                    self.state.note_dynamics()
+                    # Rates/ports may have been rewritten under the epoch
+                    # engine's feet (dynamics write through the views into
+                    # the table): drop the heap (scans are always exact)
+                    # and rebuild the diff baseline at the next round.
+                    self._full_apply_pending = True
+                    self._go_cold()
+                changed = True
+            else:  # SYNC markers never enter the external queue
+                raise SimulationError(f"unexpected event kind {event.kind}")
+        return changed
+
+    def _handle_arrival(self, coflow: CoFlow) -> None:
+        cid = coflow.coflow_id
+        if (cid in self._coflow_of or cid in self._waiting_dag
+                or cid in self._finished_ids):
+            # Batch scenarios catch this up front (validate_workload);
+            # streaming scenarios cannot enumerate the future, so the id
+            # check happens lazily at arrival.
+            raise SimulationError(f"duplicate coflow id {cid}")
+        unmet = {d for d in coflow.depends_on if d not in self._finished_ids}
+        if unmet:
+            self._waiting_dag[cid] = coflow
+            self._unmet_deps[cid] = unmet
+            for dep in unmet:
+                self._dep_waiters.setdefault(dep, []).append(coflow)
+            return
+        self._activate(coflow)
+
+    def _activate(self, coflow: CoFlow) -> None:
+        # Batch scenarios validate flow-id uniqueness up front; streams
+        # cannot, and a duplicate *live* flow id would silently corrupt
+        # the flow table (adoption overwrites ``row_of``, so allocations
+        # keyed by flow id land on the wrong row). Catch it here, with the
+        # batch validator's error text. Reusing a *finished* flow's id is
+        # allowed for streams (an unbounded generator cannot keep every id
+        # unique forever without O(total) memory) — but the epoch diff's
+        # previous-rate map is keyed by flow id and outlives eviction, so
+        # purge the predecessor's entry or the diff would mistake the
+        # newcomer's first allocation for "unchanged" and never write its
+        # rate. Rates only enter the map for *arrived* flows, and batch
+        # workloads are globally unique, so the pop never fires outside
+        # id-reusing streams (bit-identical no-op). ``flow_efficiency`` is
+        # deliberately NOT purged: efficiency is an id-keyed property of
+        # the simulation that dynamics may pre-register before the flow
+        # arrives (inject_stragglers does), and it follows a reused id
+        # until StragglerRecovery clears it.
+        row_of = self._table.row_of
+        prev_rates = self._prev_rates
+        for f in coflow.flows:
+            fid = f.flow_id
+            if fid in row_of:
+                raise SimulationError(f"duplicate flow id {fid}")
+            if prev_rates:
+                prev_rates.pop(fid, None)
+        # DAG-released stages start counting CCT from their release instant.
+        coflow.arrival_time = max(coflow.arrival_time, self._now)
+        self._active_pos[coflow.coflow_id] = len(self.state.active_coflows)
+        self.state.active_coflows.append(coflow)
+        # Adopts the coflow's flows into the flow table (rows in ``flows``
+        # order, so the legacy completion tie-break order is preserved).
+        self.state.note_activated(coflow)
+        self._coflow_of[coflow.coflow_id] = coflow
+        self.scheduler.on_coflow_arrival(coflow, self._now)
+        tbl = self._table
+        vol = tbl.volume
+        bs = tbl.bytes_sent
+        avail = tbl.available_time
+        eps = self.config.epsilon_bytes
+        now = self._now
+        for i in coflow._rows:
+            # Wake the scheduler when pipelined data becomes available
+            # (§4.3), and catch zero-volume flows that are born complete.
+            if avail[i] > now:
+                self._events.push(
+                    Event(avail[i], EventKind.DYNAMICS,
+                          _DataAvailable(avail[i]))
+                )
+            if vol[i] - bs[i] <= eps:
+                self._maybe_done.append((i, coflow))
+
+    def _release_dependents_of(self, finished_id: int) -> None:
+        waiters = self._dep_waiters.pop(finished_id, None)
+        if not waiters:
+            return
+        for c in waiters:
+            unmet = self._unmet_deps.get(c.coflow_id)
+            if unmet is None:
+                continue  # already released via another dependency list
+            unmet.discard(finished_id)
+            if not unmet:
+                del self._unmet_deps[c.coflow_id]
+                del self._waiting_dag[c.coflow_id]
+                self._activate(c)
+
+    # ---- scheduling ------------------------------------------------------------------
+
+    def _request_resync(self, t: float) -> None:
+        """Ask for a schedule recomputation, quantised to the δ grid."""
+        delta = self.config.sync_interval
+        if delta > 0:
+            t = math.ceil((t - 1e-12) / delta) * delta
+        if self._next_sync is None or t < self._next_sync:
+            self._next_sync = t
+
+    def _recompute_schedule(self) -> None:
+        self._next_sync = None
+        allocation = self.scheduler.schedule(self.state, self._now)
+        self.state.delta.clear()
+        self._apply_allocation(allocation)
+        self._result.reschedules += 1
+        if self._observer is not None:
+            self._observer.on_schedule(self.state, allocation, self._now)
+        wakeup = self.scheduler.next_wakeup(self.state, allocation, self._now)
+        # Sub-nanosecond wakeups cannot advance float64 time at realistic
+        # clock values; dropping them avoids reschedule storms.
+        if wakeup is not None and wakeup > self._now + 1e-9:
+            self._request_resync(wakeup)
+
+    def _apply_allocation(self, allocation: Allocation) -> None:
+        # The delta was just cleared and/or the running set may change:
+        # the next advance must re-union progressed coflow ids.
+        self._progressed_synced = False
+        if self._epochs_engine:
+            if self._full_apply_pending:
+                self._full_apply_pending = False
+                self._apply_full_epoch(allocation)
+            else:
+                self._apply_diff(allocation)
+            return
+        running: list[int] = []
+        running_cids: set[int] = set()
+        rates_get = allocation.rates.get
+        efficiency = self.flow_efficiency
+        perturb = self._rate_perturbation
+        state = self.state
+        now = self._now
+        tbl = self._table
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
+        view = tbl.view
+        for coflow in state.active_coflows:
+            rows = state.pending_rows(coflow)
+            if rows is None:  # pragma: no cover - engine states always track
+                rows = []
+            for i in rows:
+                if ft[i] is not None:
+                    continue
+                rate = rates_get(fid[i], 0.0)
+                if rate > 0:
+                    if avail[i] > now:
+                        # §4.3: data not yet produced cannot be sent. A
+                        # scheduler that allocates here (availability-
+                        # oblivious) has reserved the ports for nothing —
+                        # the slot is wasted, which is the behaviour the
+                        # data-unavailability experiment measures.
+                        rate = 0.0
+                    elif efficiency:
+                        rate *= efficiency.get(fid[i], 1.0)
+                    if rate > 0 and perturb is not None:
+                        rate = perturb(view[i], rate)
+                rate = rate if rate > 0.0 else 0.0
+                rt[i] = rate
+                if rate > 0:
+                    running.append(i)
+                    running_cids.add(cidc[i])
+                    if st[i] is None:
+                        st[i] = now
+        self._running = running
+        self._running_cids = frozenset(running_cids)
+
+    def _apply_full_epoch(self, allocation: Allocation) -> None:
+        """Full rebuild opening a fresh epoch baseline (first round or
+        after dynamics mutated state in ways a diff cannot describe)."""
+        self._go_cold()
+        running = self._running
+        running.clear()  # type: ignore[union-attr]  # kept: same dict object
+        counts: dict[int, int] = {}
+        gated: dict[int, None] = {}
+        rates_get = allocation.rates.get
+        efficiency = self.flow_efficiency
+        state = self.state
+        now = self._now
+        tbl = self._table
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
+        for coflow in state.active_coflows:
+            rows = state.pending_rows(coflow)
+            if rows is None:  # pragma: no cover - engine states always track
+                rows = []
+            for i in rows:
+                if ft[i] is not None:
+                    continue
+                rate = rates_get(fid[i], 0.0)
+                if rate > 0:
+                    if avail[i] > now:
+                        rate = 0.0
+                        gated[i] = None
+                    elif efficiency:
+                        rate *= efficiency.get(fid[i], 1.0)
+                rate = rate if rate > 0.0 else 0.0
+                rt[i] = rate
+                if rate > 0:
+                    running[i] = None  # type: ignore[index]
+                    cid = cidc[i]
+                    counts[cid] = counts.get(cid, 0) + 1
+                    if st[i] is None:
+                        st[i] = now
+        self._running_count = counts
+        self._running_cids = frozenset(counts)
+        self._gated = gated
+        self._prev_rates = allocation.rates
+
+    def _apply_diff(self, allocation: Allocation) -> None:
+        """Apply an allocation as a diff against the previous epoch.
+
+        Only flows whose raw rate changed — plus availability-gated flows,
+        whose effective rate can change with time alone — are touched;
+        everyone else keeps rate, membership and heap entries. The diff is
+        found with C-level dict-view set operations over the raw
+        ``flow_id → rate`` maps, then applied through the table columns
+        (one ``flow_id → row`` lookup per changed flow), so a quiet round
+        costs O(changed) instead of O(active flows).
+        """
+        new = allocation.rates
+        prev = self._prev_rates
+        dropped = prev.keys() - new.keys()
+        # Changed entries by direct probe: an int-keyed dict get plus a
+        # float compare per entry beats hashing every (flow_id, rate) tuple
+        # of both maps into item-view sets, especially for policies that
+        # rewrite every rate every round. (A missing key probes as None,
+        # which never equals a float rate, so additions are caught too.)
+        prev_get = prev.get
+        changed: list[tuple[int, float]] = []
+        changed_append = changed.append
+        for item in new.items():
+            if prev_get(item[0]) != item[1]:
+                changed_append(item)
+        gated = self._gated
+        running = self._running
+        counts = self._running_count
+
+        # Heap policy: high-churn rounds (UC-TCP rewrites global fair
+        # shares every event) would push an entry per flow per event —
+        # costlier than the plain scan — so the heap goes cold when the
+        # churn fraction spikes. When several events share each
+        # application window (δ > 0 batching completions), one seed scan
+        # still amortises over the window's remaining events, so a reseed
+        # is requested; back-to-back applications stay cold.
+        churn = len(dropped) + len(changed)
+        if churn * 2 > len(running) + 1:
+            self._go_cold()
+            if self._events_since_apply >= 2:
+                self._seed_pending = True
+        elif not self._heap_live:
+            self._seed_pending = True
+        self._events_since_apply = 0
+        track = self._heap_live
+        # Epoch bumps exist to invalidate heap entries; while the heap is
+        # cold it is empty (go_cold clears it, and a partial seed aborts by
+        # clearing again), so there is nothing to invalidate and the
+        # per-row counter churn can be skipped entirely. Entries seeded
+        # later capture whatever epoch values are current.
+        bump_epochs = track
+
+        tbl = self._table
+        row_of_get = tbl.row_of.get
+        fid = tbl.flow_id
+        cidc = tbl.coflow_id
+        ft = tbl.finish_time
+        rt = tbl.rate
+        st = tbl.start_time
+        avail = tbl.available_time
+        ep = tbl.epoch
+        unheaped = self._unheaped
+        efficiency = self.flow_efficiency
+        now = self._now
+        members_changed = False
+
+        for dropped_fid in dropped:
+            i = row_of_get(dropped_fid)
+            if i is None:
+                continue  # evicted with its finished coflow
+            if ft[i] is None and rt[i] != 0.0:
+                rt[i] = 0.0
+                if bump_epochs:
+                    ep[i] += 1
+            if i in running:
+                del running[i]  # type: ignore[union-attr]
+                members_changed = True
+                cid = cidc[i]
+                left = counts[cid] - 1
+                if left > 0:
+                    counts[cid] = left
+                else:
+                    del counts[cid]
+            if gated:
+                gated.pop(i, None)
+            if unheaped:
+                unheaped.pop(i, None)
+
+        if gated:
+            # Unchanged raw rate, but the availability window may have
+            # opened since the last round: always re-evaluate. Snapshot
+            # (by flow id) before the changed-entry pass below mutates
+            # ``gated`` — the legacy behaviour built its processing list
+            # up front.
+            new_get = new.get
+            gated_pairs = [(fid[i], new_get(fid[i], 0.0)) for i in gated]
+            pairs = chain(changed, gated_pairs)
+        else:
+            # ``changed`` is iterated directly: an intermediate (row, rate)
+            # list would cost a tuple per flow on policies that rewrite
+            # every rate every round.
+            pairs = changed
+        for changed_fid, raw in pairs:
+            i = row_of_get(changed_fid)
+            if i is None:
+                continue  # evicted with its finished coflow
+            if ft[i] is not None:
+                continue
+            rate = raw
+            if rate > 0:
+                if avail[i] > now:
+                    rate = 0.0
+                    gated[i] = None
+                else:
+                    if gated:
+                        gated.pop(i, None)
+                    if efficiency:
+                        rate *= efficiency.get(fid[i], 1.0)
+            if rate <= 0.0:
+                rate = 0.0
+            if rate != rt[i]:
+                rt[i] = rate
+                if bump_epochs:
+                    ep[i] += 1
+                if rate > 0:
+                    if i not in running:
+                        running[i] = None  # type: ignore[index]
+                        members_changed = True
+                        cid = cidc[i]
+                        counts[cid] = counts.get(cid, 0) + 1
+                    if track:
+                        unheaped[i] = None
+                    if st[i] is None:
+                        st[i] = now
+                else:
+                    if i in running:
+                        del running[i]  # type: ignore[union-attr]
+                        members_changed = True
+                        cid = cidc[i]
+                        left = counts[cid] - 1
+                        if left > 0:
+                            counts[cid] = left
+                        else:
+                            del counts[cid]
+                    if unheaped:
+                        unheaped.pop(i, None)
+        self._prev_rates = new
+        if members_changed:
+            self._running_cids = frozenset(counts)
+
+    # ---- diagnostics --------------------------------------------------------------------
+
+    def _raise_stuck(self) -> None:
+        stuck = [
+            c.coflow_id
+            for c in self.state.active_coflows
+            if not c.all_flows_finished()
+        ]
+        waiting = sorted(self._waiting_dag)
+        raise SimulationError(
+            f"simulation stalled at t={self._now}: no future events, "
+            f"active coflows {stuck}, DAG-blocked coflows {waiting}. "
+            f"This usually means the scheduler allocated zero rate to every "
+            f"remaining flow, or a DAG dependency cycle exists."
+        )
+
+    @staticmethod
+    def _validate_workload(coflows: list[CoFlow]) -> None:
+        validate_workload(coflows)
+
+
+@dataclass
+class _DataAvailable:
+    """Internal no-op dynamics action: wakes the scheduler when pipelined
+    data becomes available (§4.3)."""
+
+    time: float
+
+    def apply(self, sim: SimulationSession, now: float) -> None:
+        """No state change needed — the reschedule itself is the effect."""

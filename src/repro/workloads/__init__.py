@@ -1,6 +1,12 @@
 """Workloads: trace I/O, synthetic generators, DAG jobs, JCT accounting."""
 
-from .dag import chain_stages, critical_path_stages, fan_in_stages, validate_dag
+from .dag import (
+    chain_stages,
+    critical_path_stages,
+    fan_in_stages,
+    job_stream,
+    validate_dag,
+)
 from .jobs import (
     SHUFFLE_BUCKETS,
     JobOutcome,
@@ -16,12 +22,15 @@ from .synthetic import (
     generate_osp_like,
     osp_like_spec,
     scale_arrivals,
+    stream_poisson_coflows,
 )
 from .traces import (
     Trace,
     TraceCoflow,
     coflows_to_trace,
     dump_trace,
+    expand_trace_coflow,
+    iter_trace_coflows,
     load_trace,
     parse_trace,
     save_trace,
@@ -40,17 +49,21 @@ __all__ = [
     "coflows_to_trace",
     "critical_path_stages",
     "dump_trace",
+    "expand_trace_coflow",
     "fan_in_stages",
     "fb_like_spec",
     "generate_fb_like",
     "generate_osp_like",
+    "iter_trace_coflows",
     "job_outcomes",
+    "job_stream",
     "load_trace",
     "osp_like_spec",
     "parse_trace",
     "sample_shuffle_fractions",
     "save_trace",
     "scale_arrivals",
+    "stream_poisson_coflows",
     "trace_to_coflows",
     "validate_dag",
 ]

@@ -18,7 +18,7 @@ This module provides builders for the common DAG shapes:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..errors import ConfigError
 from ..simulator.flows import CoFlow, make_coflow
@@ -87,6 +87,21 @@ def fan_in_stages(
     )
     coflows.append(final)
     return coflows
+
+
+def job_stream(jobs: Iterable[Sequence[CoFlow]]) -> Iterator[CoFlow]:
+    """Flatten an arrival-ordered iterable of DAG jobs into a coflow stream.
+
+    Each job is a stage list built by :func:`chain_stages` /
+    :func:`fan_in_stages`: all stages of a job share one arrival time
+    (later stages are DAG-gated, not clock-gated), so flattening jobs in
+    arrival order yields a valid time-ordered stream for
+    :meth:`repro.simulator.scenario.Scenario.from_stream`. Jobs may come
+    from a generator, so an open-ended queue of analytics queries streams
+    through the simulator in O(active) memory.
+    """
+    for stages in jobs:
+        yield from stages
 
 
 def validate_dag(coflows: Iterable[CoFlow]) -> None:

@@ -35,7 +35,7 @@ from ..rng import make_rng
 from ..simulator.fabric import Fabric
 from ..simulator.flows import CoFlow
 from ..units import GBPS, MB, MSEC
-from .traces import Trace, TraceCoflow, trace_to_coflows
+from .traces import Trace, TraceCoflow, expand_trace_coflow, trace_to_coflows
 
 #: Table 1 bin definitions: (max size bytes, max width) per bin, paper order.
 BIN_SIZE_BOUNDARY = 100.0 * MB
@@ -244,6 +244,56 @@ class WorkloadGenerator:
         spec = self.spec
         horizon = total_bytes / (spec.num_machines * spec.port_rate * spec.load)
         return max(horizon, 1.0)
+
+
+def stream_poisson_coflows(
+    spec: SyntheticSpec,
+    *,
+    rate_per_sec: float,
+    num_coflows: int | None = None,
+    seed: int = 0,
+    fabric: Fabric | None = None,
+):
+    """Open-loop Poisson workload: coflows generated lazily, one per pull.
+
+    The batch generator must materialise every shape up front to size the
+    arrival horizon from the total byte count; an *open-loop* workload
+    instead fixes the arrival process — exponential inter-arrival times at
+    ``rate_per_sec`` coflows/second — and draws each coflow's shape and
+    placement from ``spec`` only when the consumer asks for it. Feeding the
+    returned generator (wrap a zero-argument factory for snapshot support)
+    into :meth:`repro.simulator.scenario.Scenario.from_stream` runs a
+    simulation in O(active-coflows) memory regardless of ``num_coflows``
+    (``None`` = unbounded: stream forever, let the session's ``run_until``
+    or the consumer decide when to stop).
+
+    Deterministic per seed: the same (spec, rate, seed) triple replays the
+    identical stream, which is what makes sessions over it resumable.
+    """
+    # Validate eagerly (a generator body would defer the error to the
+    # first pull, far from the bad call site), then hand off to the
+    # actual generator.
+    if rate_per_sec <= 0:
+        raise ConfigError(
+            f"rate_per_sec must be positive, got {rate_per_sec}"
+        )
+
+    def generate():
+        gen = WorkloadGenerator(spec, seed=seed)
+        fab = fabric or spec.make_fabric()
+        arrival = 0.0
+        flow_id = 0
+        cid = 0
+        while num_coflows is None or cid < num_coflows:
+            arrival += float(gen._rng.exponential(1.0 / rate_per_sec))
+            m, r, size, skewed = gen._draw_shape()
+            tc = gen._build_coflow(cid, arrival, m, r, size, skewed)
+            coflow = expand_trace_coflow(tc, fab, flow_id)
+            flow_id += len(coflow.flows)
+            cid += 1
+            yield coflow
+
+    return generate()
 
 
 def generate_fb_like(seed: int = 0, **spec_kwargs) -> tuple[Fabric, list[CoFlow]]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from ..errors import TraceFormatError
 from ..simulator.fabric import Fabric
@@ -159,57 +159,79 @@ def save_trace(trace: Trace, path: str | Path) -> None:
     Path(path).write_text(dump_trace(trace))
 
 
-def trace_to_coflows(trace: Trace, fabric: Fabric) -> list[CoFlow]:
-    """Expand mapper×reducer trace lines into simulator coflows.
+def expand_trace_coflow(
+    tc: TraceCoflow, fabric: Fabric, flow_id_start: int = 0
+) -> CoFlow:
+    """Expand one mapper×reducer trace line into a simulator coflow.
 
     Each reducer's bytes are split evenly over the mappers (the standard
     coflow-benchmark interpretation); a mapper co-located with a reducer on
     the same machine still generates a flow because sender and receiver
     ports are distinct directions of the NIC. Arrival times convert from
-    milliseconds to seconds.
+    milliseconds to seconds. Flow ids are assigned sequentially from
+    ``flow_id_start``; the returned coflow's width tells the caller where
+    the next block starts.
+    """
+    flow_id = flow_id_start
+    flows: list[Flow] = []
+    for reducer, total in tc.reducers:
+        per_mapper = total / len(tc.mappers)
+        if per_mapper <= 0:
+            continue
+        for mapper in tc.mappers:
+            flows.append(
+                Flow(
+                    flow_id=flow_id,
+                    coflow_id=tc.coflow_id,
+                    src=fabric.sender_port(mapper),
+                    dst=fabric.receiver_port(reducer),
+                    volume=per_mapper,
+                )
+            )
+            flow_id += 1
+    if not flows:
+        # Degenerate zero-byte coflow: keep one token flow so the
+        # coflow still arrives/completes in the simulation.
+        mapper, (reducer, _) = tc.mappers[0], tc.reducers[0]
+        flows.append(
+            Flow(flow_id=flow_id, coflow_id=tc.coflow_id,
+                 src=fabric.sender_port(mapper),
+                 dst=fabric.receiver_port(reducer), volume=0.0)
+        )
+        flow_id += 1
+    return CoFlow(
+        coflow_id=tc.coflow_id,
+        arrival_time=tc.arrival_ms * MSEC,
+        flows=flows,
+    )
+
+
+def trace_to_coflows(trace: Trace, fabric: Fabric) -> list[CoFlow]:
+    """Expand every trace line into simulator coflows (see
+    :func:`expand_trace_coflow` for the flow-expansion rules)."""
+    return list(iter_trace_coflows(trace, fabric))
+
+
+def iter_trace_coflows(trace: Trace, fabric: Fabric) -> Iterator[CoFlow]:
+    """Lazily expand trace lines into coflows, in trace order.
+
+    The streaming twin of :func:`trace_to_coflows`: coflow objects are
+    created one at a time as the consumer pulls, so a trace fed into
+    :meth:`repro.simulator.scenario.Scenario.from_stream` holds only the
+    active coflows in memory. Flow-id numbering matches the batch expansion
+    exactly. The coflow-benchmark format is arrival-ordered by convention;
+    the scenario layer rejects out-of-order streams at the offending line.
     """
     if fabric.num_machines < trace.num_ports:
         raise TraceFormatError(
             f"trace needs {trace.num_ports} machines, fabric has "
             f"{fabric.num_machines}"
         )
-    coflows: list[CoFlow] = []
     flow_id = 0
     for tc in trace.coflows:
-        flows: list[Flow] = []
-        for reducer, total in tc.reducers:
-            per_mapper = total / len(tc.mappers)
-            if per_mapper <= 0:
-                continue
-            for mapper in tc.mappers:
-                flows.append(
-                    Flow(
-                        flow_id=flow_id,
-                        coflow_id=tc.coflow_id,
-                        src=fabric.sender_port(mapper),
-                        dst=fabric.receiver_port(reducer),
-                        volume=per_mapper,
-                    )
-                )
-                flow_id += 1
-        if not flows:
-            # Degenerate zero-byte coflow: keep one token flow so the
-            # coflow still arrives/completes in the simulation.
-            mapper, (reducer, _) = tc.mappers[0], tc.reducers[0]
-            flows.append(
-                Flow(flow_id=flow_id, coflow_id=tc.coflow_id,
-                     src=fabric.sender_port(mapper),
-                     dst=fabric.receiver_port(reducer), volume=0.0)
-            )
-            flow_id += 1
-        coflows.append(
-            CoFlow(
-                coflow_id=tc.coflow_id,
-                arrival_time=tc.arrival_ms * MSEC,
-                flows=flows,
-            )
-        )
-    return coflows
+        coflow = expand_trace_coflow(tc, fabric, flow_id)
+        flow_id += len(coflow.flows)
+        yield coflow
 
 
 def coflows_to_trace(coflows: Iterable[CoFlow], fabric: Fabric) -> Trace:

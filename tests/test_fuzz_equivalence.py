@@ -4,11 +4,15 @@ The fixed-workload equivalence suite (tests/test_incremental.py,
 tests/test_epochs.py) pins the triple-path invariant on curated inputs;
 this module hammers it with ~20 seeded random small workloads mixing
 staggered arrivals, DAG dependencies, zero-byte flows and delayed data
-availability. For every registered scheduler the three engine paths —
+availability. For every registered scheduler the engine paths —
 
 * ``epochs`` (allocation-epoch engine, the default),
 * ``--no-epochs`` (pre-epoch incremental engine),
-* ``--no-incremental`` (full-recompute scheduling)
+* ``--no-incremental`` (full-recompute scheduling),
+* ``stream`` (the same workload pulled lazily through a generator-backed
+  :class:`~repro.simulator.scenario.Scenario`),
+* ``resumed`` (every 5th seed: pause mid-run, ``snapshot()``,
+  ``restore()`` and run the revived session to completion)
 
 must produce byte-identical CCTs, completion orders, reschedule counts and
 makespans. Workloads are deterministic functions of their seed, so any
@@ -29,8 +33,10 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.schedulers.registry import available_policies, make_scheduler
-from repro.simulator.engine import run_policy
+from repro.simulator.engine import run_policy, run_scenario
 from repro.simulator.fabric import Fabric, PortLedger
+from repro.simulator.scenario import Scenario
+from repro.simulator.session import SimulationSession
 from repro.simulator.flows import CoFlow, Flow, clone_coflows
 from repro.simulator.ratealloc import (
     equal_rate_for_coflow,
@@ -121,9 +127,35 @@ def test_random_workloads_triple_path_identical(policy):
                 fabric, cfg,
             )
             prints[path_name] = fingerprint(result)
-        assert prints["epochs"] == prints["no-epochs"] == prints[
-            "no-incremental"
-        ], f"engine paths diverged: policy={policy} seed={seed}"
+        # Fourth path: the same workload fed lazily through a generator-
+        # backed scenario stream (the session kernel's open-loop input).
+        cfg = SimulationConfig(sync_interval=8e-3)
+        ordered = sorted(coflows, key=lambda c: c.arrival_time)
+        prints["stream"] = fingerprint(run_scenario(
+            make_scheduler(policy, cfg),
+            Scenario.from_stream(
+                lambda: iter(clone_coflows(ordered)),
+                total_coflows=len(ordered),
+            ),
+            fabric, cfg,
+        ))
+        # Fifth path (every 5th seed — deep copies are not free): pause
+        # mid-run, checkpoint, and resume from the snapshot.
+        if seed % 5 == 0:
+            session = SimulationSession(
+                fabric, make_scheduler(policy, cfg), cfg,
+                scenario=Scenario.from_coflows(clone_coflows(coflows)),
+            )
+            session.run_until(0.3)
+            snap = session.snapshot()
+            prints["resumed"] = fingerprint(
+                SimulationSession.restore(snap).run()
+            )
+        reference = prints["epochs"]
+        assert all(p == reference for p in prints.values()), (
+            f"engine paths diverged: policy={policy} seed={seed} "
+            f"({[k for k, p in prints.items() if p != reference]})"
+        )
 
 
 def _random_attached_flows(rng: random.Random, machines: int):

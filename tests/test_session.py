@@ -1,0 +1,535 @@
+"""Scenario/session kernel: streaming, snapshot/restore, lifecycle.
+
+The equivalence contract extended to the new input/control plane: for every
+registered scheduler, a generator-fed streaming scenario and a
+snapshot → restore → run resumption must be *byte-identical* to the classic
+batch ``run(coflows)`` — same CCT bits, same completion order, same
+reschedule count, same makespan. Plus lifecycle semantics: pausing between
+instants, multi-restore independence, sink-based O(active) retention, lazy
+stream validation, and dynamics routed through the spine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.schedulers.registry import available_policies, make_scheduler
+from repro.simulator.dynamics import FlowSlowdown, PortDegradation
+from repro.simulator.engine import Simulator, run_policy, run_scenario
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import CoFlow, clone_coflows, make_coflow
+from repro.simulator.scenario import ListScenario, Scenario, StreamScenario
+from repro.simulator.session import SimulationSession
+
+from test_fuzz_equivalence import fingerprint, random_workload
+
+
+def _cfg(**kw) -> SimulationConfig:
+    kw.setdefault("sync_interval", 8e-3)
+    return SimulationConfig(**kw)
+
+
+def _session(policy: str, fabric, cfg, **kw) -> SimulationSession:
+    return SimulationSession(fabric, make_scheduler(policy, cfg), cfg, **kw)
+
+
+def _stream_factory(coflows):
+    """Replayable arrival-ordered coflow stream over fresh clones.
+
+    Each invocation re-clones, so a restored session never shares mutable
+    coflow state with the donor's already-consumed prefix.
+    """
+    ordered = sorted(coflows, key=lambda c: c.arrival_time)
+
+    def factory():
+        return iter(clone_coflows(ordered))
+
+    return factory
+
+
+class TestStreamingEquivalence:
+    """Generator-fed scenarios reproduce batch runs bit for bit."""
+
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_stream_matches_batch(self, policy):
+        fabric, coflows = random_workload(5)
+        cfg = _cfg()
+        batch = fingerprint(
+            run_policy(make_scheduler(policy, cfg), clone_coflows(coflows),
+                       fabric, cfg)
+        )
+        scenario = Scenario.from_stream(
+            _stream_factory(coflows), total_coflows=len(coflows)
+        )
+        stream = fingerprint(
+            run_scenario(make_scheduler(policy, cfg), scenario, fabric, cfg)
+        )
+        assert stream == batch, f"streaming diverged for {policy}"
+
+    def test_list_scenario_and_session_api(self):
+        fabric, coflows = random_workload(2)
+        cfg = _cfg()
+        batch = fingerprint(
+            run_policy(make_scheduler("saath", cfg), clone_coflows(coflows),
+                       fabric, cfg)
+        )
+        scenario = Scenario.from_coflows(clone_coflows(coflows))
+        assert isinstance(scenario, ListScenario)
+        assert scenario.total_coflows == len(coflows)
+        session = _session("saath", fabric, cfg, scenario=scenario)
+        assert fingerprint(session.run()) == batch
+        assert session.done
+
+    def test_unbounded_stream_runs_to_exhaustion(self):
+        fabric, coflows = random_workload(7)
+        cfg = _cfg()
+        # total_coflows deliberately unknown: the session must detect
+        # exhaustion (stream dry + cluster empty) on its own.
+        scenario = Scenario.from_stream(_stream_factory(coflows))
+        result = run_scenario(
+            make_scheduler("saath", cfg), scenario, fabric, cfg
+        )
+        assert len(result.coflows) == len(coflows)
+
+
+class TestSnapshotRestore:
+    """snapshot() → restore() → run() is byte-identical to a straight run."""
+
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_mid_run_resume_matches_batch(self, policy):
+        fabric, coflows = random_workload(5)
+        cfg = _cfg()
+        batch_result = run_policy(
+            make_scheduler(policy, cfg), clone_coflows(coflows), fabric, cfg
+        )
+        batch = fingerprint(batch_result)
+        mid = batch_result.makespan / 2
+
+        session = _session(
+            policy, fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(mid)
+        assert session.now <= mid
+        snap = session.snapshot()
+        assert snap.time == session.now
+        donor = fingerprint(session.run())
+        resumed = fingerprint(SimulationSession.restore(snap).run())
+        assert donor == batch, f"paused run diverged for {policy}"
+        assert resumed == batch, f"restored run diverged for {policy}"
+
+    def test_factory_stream_snapshot(self):
+        fabric, coflows = random_workload(9)
+        cfg = _cfg()
+        batch = fingerprint(
+            run_policy(make_scheduler("aalo", cfg), clone_coflows(coflows),
+                       fabric, cfg)
+        )
+        scenario = Scenario.from_stream(
+            _stream_factory(coflows), total_coflows=len(coflows)
+        )
+        session = _session("aalo", fabric, cfg, scenario=scenario)
+        session.run_until(0.2)
+        snap = session.snapshot()
+        assert fingerprint(SimulationSession.restore(snap).run()) == batch
+        assert fingerprint(session.run()) == batch
+
+    def test_multiple_restores_are_independent(self):
+        fabric, coflows = random_workload(4)
+        cfg = _cfg()
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(0.1)
+        snap = session.snapshot()
+        first = SimulationSession.restore(snap)
+        second = SimulationSession.restore(snap)
+        a = fingerprint(first.run())
+        # Running the first restore must not have advanced the second.
+        assert second.now == snap.time
+        b = fingerprint(second.run())
+        c = fingerprint(session.run())
+        assert a == b == c
+
+    def test_fork_is_snapshot_plus_restore(self):
+        fabric, coflows = random_workload(6)
+        cfg = _cfg()
+        session = _session(
+            "varys-sebf", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(0.1)
+        branch = session.fork()
+        assert fingerprint(branch.run()) == fingerprint(session.run())
+
+    def test_what_if_policy_swap(self):
+        """A fork may swap the policy: the branch completes under the new
+        scheduler while the donor's trajectory is untouched."""
+        fabric, coflows = random_workload(1)
+        cfg = _cfg()
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(0.1)
+        snap = session.snapshot()
+        branch = SimulationSession.restore(
+            snap, scheduler=make_scheduler("uc-tcp", cfg)
+        )
+        what_if = branch.run()
+        donor = session.run()
+        assert len(what_if.coflows) == len(donor.coflows) == len(coflows)
+        assert sorted(c.coflow_id for c in what_if.coflows) == sorted(
+            c.coflow_id for c in donor.coflows
+        )
+
+    def test_what_if_outcomes_warm_started_sweep(self):
+        from repro.experiments.runner import what_if_outcomes
+
+        fabric, coflows = random_workload(2)
+        cfg = _cfg()
+        batch = fingerprint(run_policy(
+            make_scheduler("saath", cfg), clone_coflows(coflows), fabric, cfg
+        ))
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(0.2)
+        outcomes = what_if_outcomes(
+            session.snapshot(), ["saath", "aalo", "uc-tcp"], cfg
+        )
+        assert set(outcomes) == {"saath", "aalo", "uc-tcp"}
+        # The donor-policy branch is bit-exact with an uninterrupted run.
+        assert fingerprint(outcomes["saath"]) == batch
+        for result in outcomes.values():
+            assert len(result.coflows) == len(coflows)
+
+    def test_what_if_outcomes_from_sink_mode_donor(self):
+        """Branches retain their own results and never feed the donor's
+        sink aggregator."""
+        from repro.experiments.runner import what_if_outcomes
+
+        fabric, coflows = random_workload(2)
+        cfg = _cfg()
+        donor_seen: list[int] = []
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+            sink=lambda c: donor_seen.append(c.coflow_id),
+        )
+        session.run_until(0.2)
+        donor_count_at_snapshot = len(donor_seen)
+        outcomes = what_if_outcomes(session.snapshot(), ["saath", "aalo"],
+                                    cfg)
+        # Branch completions went into branch results, not the donor sink.
+        assert len(donor_seen) == donor_count_at_snapshot
+        for result in outcomes.values():
+            assert len(result.coflows) == len(coflows) - donor_count_at_snapshot
+
+    def test_run_raises_when_stream_breaks_its_promise(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 10.0)])]
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_stream(iter(coflows), total_coflows=3),
+        )
+        with pytest.raises(SimulationError,
+                           match="promised 3 coflows.*ended after 1"):
+            session.run()
+
+    def test_snapshot_requires_replayable_scenario(self):
+        fabric, coflows = random_workload(3)
+        cfg = _cfg()
+        one_shot = Scenario.from_stream(
+            iter(sorted(clone_coflows(coflows),
+                        key=lambda c: c.arrival_time))
+        )
+        session = _session("saath", fabric, cfg, scenario=one_shot)
+        with pytest.raises(SimulationError, match="replayable"):
+            session.snapshot()
+
+
+class TestLifecycle:
+    def test_run_until_pauses_between_instants(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg(sync_interval=0.0)
+        coflows = [
+            make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 500.0)]),
+            make_coflow(1, 2.0, [(1, fabric.receiver_port(2), 700.0)],
+                        flow_id_start=10),
+        ]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_coflows(coflows)
+        )
+        session.run_until(1.0)
+        # now sits at the last processed instant ≤ 1.0 (arrival or
+        # scheduler wakeup), never at the arbitrary pause bound itself.
+        assert session.now <= 1.0
+        assert not session.done
+        assert len(session.result.coflows) == 0  # nothing finished yet
+        assert session.step()  # keeps going past the pause bound
+        session.run_until(6.0)
+        assert len(session.result.coflows) == 1  # coflow 0 done at t=5
+        session.run()
+        assert len(session.result.coflows) == 2  # coflow 1 done at t=9
+        assert session.result.makespan == pytest.approx(9.0)
+
+    def test_step_after_done_returns_false(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 100.0)])]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_coflows(coflows)
+        )
+        session.run()
+        assert session.done
+        assert session.step() is False
+
+    def test_run_requires_scenario(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        with pytest.raises(SimulationError, match="no scenario"):
+            _session("saath", fabric, cfg).run()
+
+    def test_attach_twice_rejected(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(
+                [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 1.0)])]
+            ),
+        )
+        with pytest.raises(SimulationError, match="already attached"):
+            session.attach(Scenario.from_coflows([]))
+
+    def test_simulator_facade_is_a_session(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        sim = Simulator(fabric, make_scheduler("saath", cfg), cfg)
+        assert isinstance(sim, SimulationSession)
+        result = sim.run(
+            [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 100.0)])]
+        )
+        assert result.cct(0) == pytest.approx(1.0)
+
+    def test_sink_mode_drops_retention(self):
+        fabric, coflows = random_workload(8)
+        cfg = _cfg()
+        batch = run_policy(
+            make_scheduler("saath", cfg), clone_coflows(coflows), fabric, cfg
+        )
+        seen: dict[int, float] = {}
+        session = _session(
+            "saath", fabric, cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+            sink=lambda c: seen.setdefault(c.coflow_id, c.cct()),
+        )
+        result = session.run()
+        assert result.coflows == []  # nothing retained
+        assert seen == batch.ccts()
+        assert result.makespan == batch.makespan
+        assert result.reschedules == batch.reschedules
+
+
+class TestStreamValidation:
+    def test_out_of_order_stream_raises(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [
+            make_coflow(0, 1.0, [(0, fabric.receiver_port(1), 100.0)]),
+            make_coflow(1, 0.5, [(1, fabric.receiver_port(2), 100.0)],
+                        flow_id_start=10),
+        ]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_stream(iter(coflows))
+        )
+        with pytest.raises(SimulationError, match="out of order"):
+            session.run()
+
+    def test_duplicate_coflow_id_in_stream_raises(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [
+            make_coflow(7, 0.0, [(0, fabric.receiver_port(1), 100.0)]),
+            make_coflow(7, 0.5, [(1, fabric.receiver_port(2), 100.0)],
+                        flow_id_start=10),
+        ]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_stream(iter(coflows))
+        )
+        with pytest.raises(SimulationError, match="duplicate coflow id"):
+            session.run()
+
+    def test_duplicate_flow_id_in_stream_raises(self):
+        """A stream cannot be validated up front; a duplicate *live* flow
+        id must fail loudly instead of corrupting the flow table."""
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [
+            make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 1000.0)],
+                        flow_id_start=7),
+            make_coflow(1, 0.1, [(1, fabric.receiver_port(2), 1000.0)],
+                        flow_id_start=7),
+        ]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_stream(iter(coflows))
+        )
+        with pytest.raises(SimulationError, match="duplicate flow id 7"):
+            session.run()
+
+    def test_run_until_surfaces_stall(self):
+        """A stalled cluster raises from run_until too, instead of letting
+        a `while not session.done` driver spin forever."""
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        # Unsatisfiable DAG dependency: streams skip up-front validation,
+        # so the coflow waits forever.
+        coflows = [
+            make_coflow(1, 0.0, [(0, fabric.receiver_port(1), 100.0)],
+                        depends_on=(99,)),
+        ]
+        session = _session(
+            "saath", fabric, cfg, scenario=Scenario.from_stream(iter(coflows))
+        )
+        with pytest.raises(SimulationError, match="stalled"):
+            while not session.done:
+                session.run_until(10.0)
+
+    def test_stream_may_reuse_finished_flow_ids(self):
+        """Unbounded streams may recycle a *finished* flow's id; the
+        newcomer must not inherit the predecessor's epoch-diff rate or
+        straggler efficiency."""
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        coflows = [
+            make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 100.0)],
+                        flow_id_start=7),
+            # Arrives the instant coflow 0 finishes, reusing flow id 7 on
+            # the same ports — the scheduler will grant the same rate,
+            # which the prev-rate probe must not treat as "unchanged".
+            make_coflow(1, 1.0, [(0, fabric.receiver_port(1), 100.0)],
+                        flow_id_start=7),
+        ]
+        result = run_scenario(
+            make_scheduler("saath", cfg),
+            Scenario.from_stream(iter(coflows), total_coflows=2),
+            fabric, cfg,
+        )
+        assert len(result.coflows) == 2
+        assert result.cct(1) == pytest.approx(1.0)
+
+    def test_list_scenario_rejects_second_consumer(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        scenario = Scenario.from_coflows(
+            [make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 10.0)])]
+        )
+        _session("saath", fabric, cfg, scenario=scenario).run()
+        with pytest.raises(SimulationError, match="already driven"):
+            _session("saath", fabric, cfg, scenario=scenario)
+
+    def test_restore_rebinds_observer_to_swapped_scheduler(self):
+        class Recorder:
+            def __init__(self):
+                self.scheduler = None
+
+            def bind_scheduler(self, scheduler):
+                self.scheduler = scheduler
+
+            def on_schedule(self, state, allocation, now):
+                pass
+
+        fabric, coflows = random_workload(3)
+        cfg = _cfg()
+        session = SimulationSession(
+            fabric, make_scheduler("saath", cfg), cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+            observer=Recorder(),
+        )
+        session.run_until(0.1)
+        swapped = make_scheduler("aalo", cfg)
+        branch = SimulationSession.restore(session.snapshot(),
+                                           scheduler=swapped)
+        assert branch._observer.scheduler is swapped
+        branch.run()
+
+    def test_stream_rejects_junk_payload(self):
+        fabric = Fabric(num_machines=4, port_rate=100.0)
+        cfg = _cfg()
+        with pytest.raises(SimulationError, match="scenario stream yielded"):
+            # The spine pulls one event ahead, so the junk is rejected the
+            # moment the scenario is attached.
+            _session(
+                "saath", fabric, cfg,
+                scenario=Scenario.from_stream(iter([object()])),
+            )
+
+    def test_one_shot_stream_consumed_once(self):
+        scenario = Scenario.from_stream(iter([]))
+        assert list(scenario.events()) == []
+        with pytest.raises(SimulationError, match="already consumed"):
+            scenario.events()
+
+    def test_poisson_stream_validates_eagerly(self):
+        from repro.errors import ConfigError
+        from repro.workloads.synthetic import (
+            fb_like_spec,
+            stream_poisson_coflows,
+        )
+
+        with pytest.raises(ConfigError, match="rate_per_sec"):
+            stream_poisson_coflows(
+                fb_like_spec(num_machines=10, num_coflows=5),
+                rate_per_sec=0.0,
+            )
+
+
+class TestDynamicsOnTheSpine:
+    """Dynamics actions ride the same event stream as arrivals."""
+
+    def _workload(self, fabric) -> list[CoFlow]:
+        return [
+            make_coflow(0, 0.0, [(0, fabric.receiver_port(1), 400.0),
+                                 (1, fabric.receiver_port(2), 400.0)]),
+            make_coflow(1, 1.0, [(2, fabric.receiver_port(3), 200.0)],
+                        flow_id_start=10),
+        ]
+
+    def _dynamics(self):
+        return [
+            FlowSlowdown(time=0.5, flow_id=0, efficiency=0.5),
+            PortDegradation(time=1.5, port=2, factor=0.5),
+        ]
+
+    def test_batch_scenario_and_stream_agree(self):
+        fabric = Fabric(num_machines=5, port_rate=100.0)
+        cfg = _cfg()
+        batch = fingerprint(run_policy(
+            make_scheduler("saath", cfg), self._workload(fabric), fabric,
+            cfg, dynamics=self._dynamics(),
+        ))
+        from_scenario = fingerprint(run_scenario(
+            make_scheduler("saath", cfg),
+            Scenario.from_coflows(self._workload(fabric), self._dynamics()),
+            fabric, cfg,
+        ))
+        streamed = fingerprint(run_scenario(
+            make_scheduler("saath", cfg),
+            Scenario.from_stream(iter(self._workload(fabric)),
+                                 dynamics=self._dynamics(),
+                                 total_coflows=2),
+            fabric, cfg,
+        ))
+        assert batch == from_scenario == streamed
+
+    def test_stream_scenario_type(self):
+        scenario = Scenario.from_stream(iter([]), dynamics=self._dynamics())
+        assert isinstance(scenario, StreamScenario)
+        times = [e.time for e in scenario.events()]
+        assert times == sorted(times)

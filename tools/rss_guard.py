@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Peak-RSS guard: streaming scenarios must run in O(active) memory.
+
+Simulates the same lightly-loaded 100k-coflow open-loop workload twice, in
+two fresh child processes:
+
+* **streaming** — coflows come from a generator-backed
+  :class:`~repro.simulator.scenario.Scenario`, finished coflows go to a
+  counting ``sink``; the session holds only the active set.
+* **materialized** — the classic path: the full ``list[CoFlow]`` is built
+  up front and every finished coflow is retained in the result.
+
+Each child reports its own peak RSS (``ru_maxrss``); the parent asserts
+the streaming run stays under a fixed budget that the materialized run
+demonstrably exceeds. This is the regression gate for the session kernel's
+O(active-flows) memory claim — if someone reintroduces an O(total)
+structure on the streaming path (retained results, materialised event
+lists, per-coflow caches that never evict), this trips.
+
+Usage::
+
+    python tools/rss_guard.py --check              # CI entry point
+    python tools/rss_guard.py --mode streaming     # one child, prints JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+
+#: Fixed budget (MB) separating the two paths at --coflows 100000: the
+#: streaming run sits well below it (~27 MB incl. interpreter), the
+#: materialized run well above (~115 MB).
+DEFAULT_BUDGET_MB = 70.0
+
+
+def _workload_params():
+    return dict(machines=20, port_rate=1e6, volume=1e5, spacing=0.05)
+
+
+def _coflow_stream(n: int):
+    """Deterministic two-flow coflows, lightly loaded (O(1) active)."""
+    from repro.simulator.flows import CoFlow, Flow
+
+    p = _workload_params()
+    machines = p["machines"]
+    half = machines // 2
+    t = 0.0
+    for i in range(n):
+        src = i % half
+        dst = machines + half + (i % half)  # receiver port id
+        dst2 = machines + half + ((i + 1) % half)
+        flows = [
+            Flow(flow_id=2 * i, coflow_id=i, src=src, dst=dst,
+                 volume=p["volume"]),
+            Flow(flow_id=2 * i + 1, coflow_id=i, src=src, dst=dst2,
+                 volume=p["volume"] / 2),
+        ]
+        yield CoFlow(coflow_id=i, arrival_time=t, flows=flows)
+        t += p["spacing"]
+
+
+def _run_child(mode: str, n: int) -> None:
+    from repro.config import SimulationConfig
+    from repro.schedulers.registry import make_scheduler
+    from repro.simulator.engine import Simulator
+    from repro.simulator.fabric import Fabric
+    from repro.simulator.scenario import Scenario
+    from repro.simulator.session import SimulationSession
+
+    p = _workload_params()
+    fabric = Fabric(num_machines=p["machines"], port_rate=p["port_rate"])
+    config = SimulationConfig(port_rate=p["port_rate"])
+    scheduler = make_scheduler("saath", config)
+
+    finished = 0
+    if mode == "streaming":
+        def sink(_c):
+            nonlocal finished
+            finished += 1
+
+        session = SimulationSession(
+            fabric, scheduler, config,
+            scenario=Scenario.from_stream(lambda: _coflow_stream(n),
+                                          total_coflows=n),
+            sink=sink,
+        )
+        result = session.run()
+    else:
+        coflows = list(_coflow_stream(n))
+        result = Simulator(fabric, scheduler, config).run(coflows)
+        finished = len(result.coflows)
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but *bytes* on macOS.
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    print(json.dumps({
+        "mode": mode,
+        "finished": finished,
+        "makespan": result.makespan,
+        "peak_rss_mb": peak / divisor,
+    }))
+
+
+def _spawn(mode: str, n: int) -> dict:
+    env = dict(os.environ)
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(repo, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--mode", mode, "--coflows", str(n)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=["streaming", "materialized"],
+                        help="run one measurement child (internal)")
+    parser.add_argument("--coflows", type=int, default=100_000)
+    parser.add_argument("--budget-mb", type=float, default=DEFAULT_BUDGET_MB)
+    parser.add_argument("--check", action="store_true",
+                        help="run both children and assert the budget split")
+    args = parser.parse_args()
+
+    if args.mode:
+        _run_child(args.mode, args.coflows)
+        return 0
+
+    streaming = _spawn("streaming", args.coflows)
+    materialized = _spawn("materialized", args.coflows)
+    print(f"coflows:            {args.coflows}")
+    print(f"streaming peak RSS:    {streaming['peak_rss_mb']:8.1f} MB "
+          f"({streaming['finished']} finished)")
+    print(f"materialized peak RSS: {materialized['peak_rss_mb']:8.1f} MB "
+          f"({materialized['finished']} finished)")
+    print(f"budget:                {args.budget_mb:8.1f} MB")
+
+    ok = True
+    if streaming["finished"] != args.coflows:
+        print("FAIL: streaming run lost coflows")
+        ok = False
+    if streaming["makespan"] != materialized["makespan"]:
+        print("FAIL: streaming and materialized runs disagree on makespan")
+        ok = False
+    if args.check:
+        if streaming["peak_rss_mb"] >= args.budget_mb:
+            print("FAIL: streaming path exceeded the memory budget — "
+                  "something on the spine is O(total coflows) again")
+            ok = False
+        if materialized["peak_rss_mb"] <= args.budget_mb:
+            print("NOTE: materialized path under budget too; the guard "
+                  "cannot distinguish the paths at this scale")
+            ok = False
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
