@@ -10,7 +10,9 @@ Sub-commands:
 * ``simulate`` — run one policy on a trace file or a synthetic workload and
   print CCT statistics (``--policy``, ``--trace``/``--synthetic``;
   ``--no-incremental`` selects the full-recompute scheduling path;
-  ``--streaming`` drives the run through a lazily-pulled scenario stream).
+  ``--streaming`` drives the run through a lazily-pulled scenario stream;
+  ``--topology leaf-spine --oversub 4`` simulates an oversubscribed
+  leaf–spine fabric instead of the paper's big switch).
 * ``sweep`` — run a policy × seed grid through the parallel sweep runner
   and print per-run mean/median CCTs plus cache statistics.
 * ``gen-trace`` — emit a synthetic workload in coflow-benchmark format.
@@ -36,6 +38,7 @@ from .experiments.runner import RunSpec, WorkloadSpec
 from .schedulers.registry import available_policies, make_scheduler
 from .simulator.engine import run_policy, run_scenario
 from .simulator.scenario import Scenario
+from .simulator.topology import PATH_SELECTORS, TopologySpec
 from .units import MSEC
 from .workloads.synthetic import (
     WorkloadGenerator,
@@ -43,6 +46,43 @@ from .workloads.synthetic import (
     osp_like_spec,
 )
 from .workloads.traces import dump_trace, load_trace, trace_to_coflows
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    """Fabric-topology knobs shared by ``simulate`` and ``sweep``."""
+    parser.add_argument("--topology", choices=["big-switch", "leaf-spine"],
+                        default="big-switch",
+                        help="fabric model (default: the paper's "
+                             "non-blocking big switch)")
+    parser.add_argument("--oversub", type=float, default=1.0,
+                        help="leaf-spine oversubscription ratio (rack edge "
+                             "bandwidth / fabric bandwidth; default 1)")
+    parser.add_argument("--racks", type=int, default=None,
+                        help="number of racks (default: ~sqrt(machines))")
+    parser.add_argument("--spines", type=int, default=None,
+                        help="number of spine switches (default: 2)")
+    parser.add_argument("--path-select", choices=list(PATH_SELECTORS),
+                        default="ecmp",
+                        help="cross-rack path selector (default: ecmp)")
+
+
+def _topology_spec(args: argparse.Namespace) -> TopologySpec | None:
+    """Build the topology spec from CLI args; None = big-switch default."""
+    if args.topology == "big-switch":
+        if (args.oversub != 1.0 or args.racks is not None
+                or args.spines is not None or args.path_select != "ecmp"):
+            raise ReproError(
+                "--oversub/--racks/--spines/--path-select require "
+                "--topology leaf-spine"
+            )
+        return None
+    return TopologySpec(
+        kind="leaf-spine",
+        oversub=args.oversub,
+        racks=args.racks,
+        spines=args.spines,
+        path_select=args.path_select,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                "scenario stream instead of a materialised "
                                "batch (results are identical; open-loop "
                                "generators run in O(active) memory)")
+    _add_topology_args(simulate)
 
     sweep = sub.add_parser(
         "sweep", help="run a policy x seed grid through the sweep runner"
@@ -109,6 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", type=Path, default=None)
     sweep.add_argument("--no-incremental", action="store_true")
     sweep.add_argument("--no-epochs", action="store_true")
+    _add_topology_args(sweep)
 
     gen = sub.add_parser("gen-trace", help="emit a synthetic trace")
     gen.add_argument("--family", choices=["fb-like", "osp-like"],
@@ -129,11 +171,14 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     runner = sweep_runner.configure(jobs=args.jobs, cache_dir=args.cache_dir)
     base = WorkloadSpec(family=args.family, machines=args.machines,
                         coflows=args.coflows, seed=args.seed)
+    topo_spec = _topology_spec(args)
+    encoded_topology = topo_spec.encode() if topo_spec is not None else ()
     specs = [
         spec
         for policy in args.policy
         for spec in sweep_runner.fan_out_seeds(
-            RunSpec(policy=policy, workload=base, config=config),
+            RunSpec(policy=policy, workload=base, config=config,
+                    topology=encoded_topology),
             range(args.seed, args.seed + args.seeds),
         )
     ]
@@ -177,17 +222,22 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         )
 
     scheduler = make_scheduler(args.policy, config)
+    topo_spec = _topology_spec(args)
+    topology = topo_spec.build(fabric) if topo_spec is not None else None
     if args.streaming:
         ordered = sorted(coflows, key=lambda c: c.arrival_time)
         scenario = Scenario.from_stream(
             iter(ordered), total_coflows=len(ordered)
         )
-        result = run_scenario(scheduler, scenario, fabric, config)
+        result = run_scenario(scheduler, scenario, fabric, config,
+                              topology=topology)
     else:
-        result = run_policy(scheduler, coflows, fabric, config)
+        result = run_policy(scheduler, coflows, fabric, config,
+                            topology=topology)
     summary = DistributionSummary.of([c.cct() for c in result.coflows])
     return "\n".join([
         f"policy: {args.policy}",
+        f"topology: {topology if topology is not None else 'big-switch'}",
         f"coflows finished: {summary.count}",
         f"CCT mean: {summary.mean:.4f} s",
         f"CCT p10/p50/p90: {summary.p10:.4f} / {summary.p50:.4f} / "

@@ -32,6 +32,7 @@ from ..schedulers.queues import QueueTracker
 from ..simulator.flows import CoFlow, Flow
 from ..simulator.ratealloc import (
     equal_rate_for_coflow,
+    equal_rate_for_coflow_paths,
     equal_rate_for_coflow_rows,
     greedy_residual_rates,
     greedy_residual_rates_rows,
@@ -117,6 +118,34 @@ class SaathScheduler(Scheduler):
         #: per-flow recount in admission and D2 rate assignment whenever
         #: they exactly describe the schedulable set.
         use_counts = self.config.epochs
+
+        paths = state.paths
+        if paths is not None:
+            # Path-aware round (multi-tier topology): all-or-none admission
+            # and the D2 equal rate run over *link* counts, so a coflow is
+            # admitted only when every core link on its flows' paths still
+            # has capacity, and its rate saturates at the true bottleneck.
+            missed_path: list[list[Flow]] = []
+            for coflow in order:
+                flows = state.schedulable_flows(coflow, now)
+                if not flows:
+                    continue
+                counts = state.link_counts(coflow, now, flows=flows)
+                if self._all_or_none_admissible(flows, ledger, counts):
+                    rates = equal_rate_for_coflow_paths(
+                        coflow, ledger, paths,
+                        flows=flows, link_counts=counts,
+                    )
+                    if rates:
+                        allocation.rates.update(rates)
+                        allocation.scheduled_coflows.add(coflow.coflow_id)
+                        continue
+                missed_path.append(flows)
+            if self.work_conservation and missed_path:
+                # greedy_residual_rates fills through ledger.fill, which a
+                # LinkLedger bounds by (and charges to) the whole path.
+                self._work_conserve(missed_path, ledger, allocation)
+            return allocation
 
         if state.rows_tracked():
             # Row path: admission, D2 rates and work conservation all walk

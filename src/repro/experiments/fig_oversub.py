@@ -1,0 +1,118 @@
+"""Oversubscription sensitivity sweep (beyond-paper extension of §6.3).
+
+The paper's evaluation (§6) assumes a non-blocking big switch, so its
+sensitivity study (Fig. 14) never varies the *fabric*. This experiment adds
+that missing axis: every registered policy runs on a leaf–spine topology
+(see :mod:`repro.simulator.topology`) at oversubscription ratios 1–8, plus
+the big-switch reference, on the FB-like workload. Reported per policy and
+ratio: the median CCT and its slowdown relative to the same policy on the
+big switch.
+
+Expected shape: at 1:1 the leaf–spine fabric tracks the big switch closely
+(only ECMP hash collisions on spine links separate them); as the ratio
+grows, cross-rack traffic queues at leaf uplinks and the policies that
+schedule around contention (Saath's all-or-none + LCoF, the clairvoyant
+baselines) degrade more gracefully than contention-blind ones (UC-TCP,
+per-port FIFO). All runs go through the sweep runner, so they fan out and
+cache like every other figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import DistributionSummary
+from ..analysis.report import format_table
+from ..schedulers.registry import available_policies
+from ..simulator.topology import TopologySpec
+from .common import (
+    ExperimentScale,
+    default_experiment_config,
+    workload_spec_for,
+)
+from .runner import RunSpec, run_specs
+
+#: Leaf-spine oversubscription ratios swept (1 = rack-level non-blocking).
+RATIOS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+
+#: Label used for the big-switch reference column.
+BIG_SWITCH = "big-switch"
+
+
+@dataclass
+class FigOversubResult:
+    """Per-policy CCT summaries across fabric configurations."""
+
+    #: policy -> fabric label ("big-switch" or "oversub=R") -> summary.
+    summaries: dict[str, dict[str, DistributionSummary]]
+    #: Fabric labels in sweep order (render column order).
+    labels: tuple[str, ...]
+
+
+def _label(ratio: float) -> str:
+    return f"oversub={ratio:g}"
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        *,
+        policies: tuple[str, ...] | None = None,
+        ratios: tuple[float, ...] = RATIOS,
+        path_select: str = "ecmp",
+        seed: int = 7) -> FigOversubResult:
+    """Sweep every policy across oversubscription ratios (one runner batch)."""
+    if policies is None:
+        policies = tuple(available_policies())
+    workload = workload_spec_for("fb-like", scale, seed)
+    config = default_experiment_config()
+    fabrics: list[tuple[str, tuple]] = [(BIG_SWITCH, ())]
+    fabrics.extend(
+        (_label(r),
+         TopologySpec(kind="leaf-spine", oversub=r,
+                      path_select=path_select).encode())
+        for r in ratios
+    )
+    specs = [
+        RunSpec(policy=p, workload=workload, config=config, topology=t)
+        for _, t in fabrics for p in policies
+    ]
+    outcomes = iter(run_specs(specs))
+    summaries: dict[str, dict[str, DistributionSummary]] = {
+        p: {} for p in policies
+    }
+    for label, _ in fabrics:
+        for policy in policies:
+            outcome = next(outcomes)
+            summaries[policy][label] = DistributionSummary.of(
+                list(outcome.ccts.values())
+            )
+    return FigOversubResult(
+        summaries=summaries, labels=tuple(label for label, _ in fabrics)
+    )
+
+
+def render(result: FigOversubResult) -> str:
+    rows = []
+    for policy, by_label in sorted(result.summaries.items()):
+        base = by_label[BIG_SWITCH].p50
+        row: list[object] = [policy]
+        for label in result.labels:
+            p50 = by_label[label].p50
+            if label == BIG_SWITCH:
+                row.append(p50)
+            else:
+                slowdown = p50 / base if base > 0 else float("inf")
+                row.append(f"{p50:.3f} ({slowdown:.2f}x)")
+        rows.append(row)
+    headers = ["policy"] + [
+        f"{label} p50" if label == BIG_SWITCH else f"{label} p50 (vs bs)"
+        for label in result.labels
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Fig. O — median CCT vs leaf-spine oversubscription "
+            "(extension of the §6.3 sensitivity axis; slowdowns relative "
+            "to the big-switch fabric)"
+        ),
+    )

@@ -3,7 +3,8 @@
 Each entry maps an experiment id to its module's ``run``/``render`` pair:
 Fig. 2 (§2.3 out-of-sync), Fig. 3 (§2.4 offline policies), Fig. 9 (§6.1
 headline speedups), Figs. 10–13 (§6.2 design breakdown), Fig. 14 (§6.3
-sensitivity), Figs. 15–16 (§7 testbed/JCT) and Table 2 (§7.3 overhead).
+sensitivity), Figs. 15–16 (§7 testbed/JCT), Table 2 (§7.3 overhead) and
+the fig-oversub leaf–spine oversubscription extension.
 Used by the CLI (``saath-repro run-experiment``) and the benchmark harness;
 see ``docs/EXPERIMENTS.md`` for the full figure-to-module table.
 """
@@ -24,6 +25,7 @@ from . import (
     fig14_sensitivity,
     fig15_testbed,
     fig16_jct,
+    fig_oversub,
     table2_overhead,
 )
 from .common import ExperimentScale
@@ -60,6 +62,9 @@ _EXPERIMENTS: dict[str, Experiment] = {
                    fig15_testbed.run, fig15_testbed.render),
         Experiment("fig16", "JCT speedup by shuffle fraction (§7.2)",
                    fig16_jct.run, fig16_jct.render),
+        Experiment("fig-oversub",
+                   "leaf-spine oversubscription sensitivity (extension)",
+                   fig_oversub.run, fig_oversub.render),
         Experiment("table2", "scheduler overhead breakdown (§7.3)",
                    table2_overhead.run, table2_overhead.render),
     ]

@@ -9,8 +9,9 @@ bag a first-class object:
   bit-identically, because generation is fully seeded;
 * :class:`RunSpec` — one simulation run: a workload spec, a policy name, a
   :class:`~repro.config.SimulationConfig`, an optional arrival-time
-  scaling (the Fig. 14d knob) and an optional encoded dynamics injection
-  (failures/stragglers; part of the cache identity);
+  scaling (the Fig. 14d knob), an optional encoded dynamics injection
+  (failures/stragglers) and an optional encoded topology (oversubscribed
+  leaf–spine fabrics) — all part of the cache identity;
 * :class:`SweepRunner` — executes a list of specs, deduplicating repeats,
   fanning out over a ``ProcessPoolExecutor`` when more than one job is
   allowed, and consulting an optional on-disk :class:`ResultCache` first;
@@ -48,6 +49,7 @@ from ..schedulers.registry import make_scheduler
 from ..simulator.dynamics import decode_actions, encode_actions
 from ..simulator.engine import run_policy
 from ..simulator.flows import clone_coflows
+from ..simulator.topology import TopologySpec
 from ..workloads.synthetic import (
     SyntheticSpec,
     WorkloadGenerator,
@@ -59,7 +61,10 @@ from ..workloads.synthetic import (
 #: Bump when simulation semantics change, invalidating every cached result.
 #: v2: cache keys include the dynamics-injection content hash, so results
 #: computed under different failure/straggler scenarios can never alias.
-CACHE_VERSION = 2
+#: v3: cache keys content-hash the topology spec (oversubscribed leaf–spine
+#: fabrics); big-switch specs keep the v2 payload shape (the default
+#: topology contributes nothing to the key beyond the version bump).
+CACHE_VERSION = 3
 
 _FAMILIES = {
     "fb-like": fb_like_spec,
@@ -103,6 +108,12 @@ class RunSpec:
     #: JSON-able content identity that workers decode back into live
     #: actions. Use :meth:`with_dynamics` to set from action objects.
     dynamics: tuple = ()
+    #: Encoded topology spec (see
+    #: :meth:`repro.simulator.topology.TopologySpec.encode`): ``()`` is
+    #: the big-switch default; anything else names a multi-tier fabric
+    #: that workers rebuild over the workload's host-port fabric. Use
+    #: :meth:`with_topology` to set from a :class:`TopologySpec`.
+    topology: tuple = ()
 
     def with_dynamics(self, actions) -> "RunSpec":
         """Copy of this spec carrying ``actions`` (encoded canonically)."""
@@ -110,26 +121,34 @@ class RunSpec:
 
         return replace(self, dynamics=encode_actions(actions))
 
+    def with_topology(self, spec: TopologySpec) -> "RunSpec":
+        """Copy of this spec carrying ``spec`` (encoded canonically)."""
+        from dataclasses import replace
+
+        return replace(self, topology=spec.encode())
+
     def cache_key(self) -> str:
         """Stable content hash identifying this run across processes.
 
         The hash covers everything the outcome depends on — policy,
-        workload recipe, config, arrival scaling *and* the dynamics
-        injection — so cached results can never be reused across different
-        failure/straggler scenarios.
+        workload recipe, config, arrival scaling, the dynamics injection
+        *and* the topology — so cached results can never be reused across
+        different failure scenarios or fabric geometries. The big-switch
+        default omits the topology key entirely, keeping default run keys
+        identical to the v2 format modulo the version bump (asserted by
+        the cache-key regression test).
         """
-        payload = json.dumps(
-            {
-                "v": CACHE_VERSION,
-                "policy": self.policy,
-                "workload": asdict(self.workload),
-                "config": asdict(self.config),
-                "arrival_scale": self.arrival_scale,
-                "dynamics": self.dynamics,
-            },
-            sort_keys=True,
-            default=str,
-        )
+        body = {
+            "v": CACHE_VERSION,
+            "policy": self.policy,
+            "workload": asdict(self.workload),
+            "config": asdict(self.config),
+            "arrival_scale": self.arrival_scale,
+            "dynamics": self.dynamics,
+        }
+        if self.topology:
+            body["topology"] = self.topology
+        payload = json.dumps(body, sort_keys=True, default=str)
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -183,9 +202,14 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     if spec.arrival_scale != 1.0:
         scale_arrivals(coflows, spec.arrival_scale)
     scheduler = make_scheduler(spec.policy, spec.config)
+    topology = (
+        TopologySpec.decode(spec.topology).build(fabric)
+        if spec.topology else None
+    )
     result = run_policy(
         scheduler, coflows, fabric, spec.config,
         dynamics=decode_actions(spec.dynamics),
+        topology=topology,
     )
     return RunOutcome(
         spec=spec,

@@ -109,7 +109,11 @@ class AaloScheduler(Scheduler):
         # equal-queue runs directly, so the per-port pass needn't re-slice.
         queue_of = self.tracker.queue_of
         arrival_order = self._arrival_order
-        if state.rows_tracked():
+        # Path-aware states stay on the object path: every grant below goes
+        # through ledger.fill_capped, which a LinkLedger bounds by (and
+        # charges to) the flow's whole link path — the row path's inlined
+        # port-only fill would ignore core links.
+        if state.paths is None and state.rows_tracked():
             return self._schedule_rows(state, now)
         ordered = sorted(
             state.active_coflows,

@@ -76,9 +76,20 @@ class BaraatFifoLmScheduler(Scheduler):
                     eligible.append(f)
             if not eligible:
                 continue
+            # Multi-tier topologies: a flow's grant is additionally capped
+            # by every core link on its path (extra_links is empty on the
+            # big-switch default, leaving the classic arithmetic intact);
+            # LinkLedger.commit then charges the same links.
+            extra_links = (
+                state.paths.extra_links if state.paths is not None
+                else None
+            )
             fair = ledger.residual(port) / len(eligible)
             for f in eligible:
                 rate = min(fair, ledger.residual(f.dst))
+                if extra_links is not None:
+                    for link in extra_links(f.src, f.dst):
+                        rate = min(rate, ledger.residual(link))
                 if rate <= 0:
                     continue
                 ledger.commit(f.src, f.dst, rate)
@@ -89,6 +100,9 @@ class BaraatFifoLmScheduler(Scheduler):
             # Leftovers (receiver-capped flows) spill to eligible flows.
             for f in eligible:
                 extra = min(ledger.residual(f.src), ledger.residual(f.dst))
+                if extra_links is not None:
+                    for link in extra_links(f.src, f.dst):
+                        extra = min(extra, ledger.residual(link))
                 if extra <= 0:
                     continue
                 ledger.commit(f.src, f.dst, extra)

@@ -23,7 +23,11 @@ from typing import Callable
 
 from ..config import SimulationConfig
 from ..simulator.flows import CoFlow
-from ..simulator.ratealloc import greedy_residual_rates, madd_rates
+from ..simulator.ratealloc import (
+    greedy_residual_rates,
+    madd_rates,
+    madd_rates_paths,
+)
 from ..simulator.state import ClusterState
 from .base import Allocation, Scheduler
 
@@ -51,11 +55,17 @@ class OrderedClairvoyantScheduler(Scheduler):
         ledger = self._round_ledger(state)
         allocation = Allocation()
         skipped: list[CoFlow] = []
+        paths = state.paths
         for coflow in order:
             flows = state.schedulable_flows(coflow, now)
             if not flows:
                 continue
-            rates = madd_rates(coflow, ledger, flows=flows)
+            if paths is not None:
+                # Multi-tier topology: Γ and the committed rates must
+                # respect core links, not just host ports.
+                rates = madd_rates_paths(coflow, ledger, paths, flows=flows)
+            else:
+                rates = madd_rates(coflow, ledger, flows=flows)
             if rates:
                 allocation.rates.update(rates)
                 allocation.scheduled_coflows.add(coflow.coflow_id)

@@ -27,6 +27,7 @@ from ..simulator.ratealloc import (
     greedy_residual_rates,
     greedy_residual_rates_rows,
     madd_rates,
+    madd_rates_paths,
     madd_rates_rows,
 )
 from ..simulator.state import ClusterState
@@ -65,7 +66,12 @@ class VarysSebfScheduler(Scheduler):
 
     def schedule(self, state: ClusterState, now: float) -> Allocation:
         self._refresh_gamma_cache(state)
-        if state.rows_tracked():
+        # Path-aware states take the object path with the path-aware MADD:
+        # Γ then covers core links, so rates respect the true bottleneck
+        # (SEBF *ordering* keeps the paper's host-port Γ — the clairvoyant
+        # priority is a policy choice, the rate feasibility is not).
+        paths = state.paths
+        if paths is None and state.rows_tracked():
             return self._schedule_rows(state, now)
         order = sorted(
             state.active_coflows,
@@ -78,7 +84,10 @@ class VarysSebfScheduler(Scheduler):
             flows = state.schedulable_flows(coflow, now)
             if not flows:
                 continue
-            rates = madd_rates(coflow, ledger, flows=flows)
+            if paths is not None:
+                rates = madd_rates_paths(coflow, ledger, paths, flows=flows)
+            else:
+                rates = madd_rates(coflow, ledger, flows=flows)
             if rates:
                 allocation.rates.update(rates)
                 allocation.scheduled_coflows.add(coflow.coflow_id)

@@ -131,12 +131,69 @@ class PortRecovery:
         sim.state.capacity_override.pop(self.port, None)
 
 
+def _link_base_capacity(sim, link: int) -> float:
+    """Nominal capacity of ``link``, resolved through the topology layer.
+
+    On a multi-tier topology any link id — host port or core link — is
+    valid; on the big-switch default only host ports exist. Either lookup
+    raises :class:`~repro.errors.ConfigError` naming the offending link id
+    when it is out of range.
+    """
+    topology = getattr(sim.state, "topology", None)
+    if topology is not None:
+        return topology.link_capacity(link)
+    return sim.fabric.capacity(link)
+
+
+@dataclass
+class LinkDegradation:
+    """Persistent capacity loss at *any* link of the topology.
+
+    The multi-tier generalisation of :class:`PortDegradation`: ``link``
+    may name a host port or a core link (a leaf uplink or spine downlink
+    of a :class:`~repro.simulator.topology.LeafSpineTopology`). ``factor``
+    scales the link's nominal capacity — 0.5 models a congested or
+    flapping link, 0 takes it down entirely (flows whose path crosses it
+    stall until :class:`LinkRecovery`, unless the path selector routed
+    them elsewhere). Applying a core-link degradation on a big-switch
+    simulation raises :class:`~repro.errors.ConfigError` naming the link.
+    """
+
+    time: float
+    link: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.factor <= 1:
+            raise ConfigError(f"factor must be in [0, 1], got {self.factor}")
+
+    def apply(self, sim, now: float) -> None:
+        base = _link_base_capacity(sim, self.link)
+        sim.state.capacity_override[self.link] = base * self.factor
+
+
+@dataclass
+class LinkRecovery:
+    """Restore a degraded link (host port or core link) to full capacity."""
+
+    time: float
+    link: int
+
+    def apply(self, sim, now: float) -> None:
+        # Validate the id through the topology layer even though the pop
+        # itself would tolerate junk: a typo'd recovery should fail loudly,
+        # not silently recover nothing.
+        _link_base_capacity(sim, self.link)
+        sim.state.capacity_override.pop(self.link, None)
+
+
 #: Dynamics action classes by name — the vocabulary of
 #: :func:`encode_actions` / :func:`decode_actions`.
 ACTION_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (FlowRestart, FlowSlowdown, StragglerRecovery,
-                PortDegradation, PortRecovery)
+                PortDegradation, PortRecovery,
+                LinkDegradation, LinkRecovery)
 }
 
 

@@ -26,6 +26,7 @@ from ..schedulers.base import Scheduler
 from .fabric import Fabric
 from .flows import CoFlow, Flow
 from .scenario import Scenario
+from .topology import Topology
 from .session import (  # noqa: F401  (re-exported legacy names)
     DynamicsAction,
     ScheduleObserver,
@@ -53,6 +54,7 @@ class Simulator(SimulationSession):
         config: SimulationConfig,
         *,
         dynamics: Iterable[DynamicsAction] = (),
+        topology: "Topology | None" = None,
         rate_perturbation: Callable[[Flow, float], float] | None = None,
         observer: "ScheduleObserver | None" = None,
         sink: Callable[[CoFlow], None] | None = None,
@@ -61,6 +63,7 @@ class Simulator(SimulationSession):
             fabric,
             scheduler,
             config,
+            topology=topology,
             rate_perturbation=rate_perturbation,
             observer=observer,
             sink=sink,
@@ -89,6 +92,7 @@ def run_policy(
     config: SimulationConfig,
     *,
     dynamics: Iterable[DynamicsAction] = (),
+    topology: "Topology | None" = None,
     rate_perturbation: Callable[[Flow, float], float] | None = None,
     observer: ScheduleObserver | None = None,
 ) -> SimulationResult:
@@ -98,6 +102,7 @@ def run_policy(
         scheduler,
         config,
         dynamics=dynamics,
+        topology=topology,
         rate_perturbation=rate_perturbation,
         observer=observer,
     )
@@ -110,6 +115,7 @@ def run_scenario(
     fabric: Fabric,
     config: SimulationConfig,
     *,
+    topology: "Topology | None" = None,
     rate_perturbation: Callable[[Flow, float], float] | None = None,
     observer: ScheduleObserver | None = None,
     sink: Callable[[CoFlow], None] | None = None,
@@ -120,6 +126,7 @@ def run_scenario(
         scheduler,
         config,
         scenario=scenario,
+        topology=topology,
         rate_perturbation=rate_perturbation,
         observer=observer,
         sink=sink,

@@ -26,8 +26,12 @@ class Fabric:
     """A big-switch fabric with ``num_machines`` machines.
 
     Every port has the same capacity ``port_rate`` (bytes/second), matching
-    the paper's homogeneous 1 Gbps setting; heterogeneous capacities can be
-    modelled by :class:`repro.simulator.dynamics.LinkDegradation`.
+    the paper's homogeneous 1 Gbps setting; heterogeneous capacities are
+    modelled with dynamics actions —
+    :class:`repro.simulator.dynamics.PortDegradation` for host ports, or
+    :class:`repro.simulator.dynamics.LinkDegradation` for any link of a
+    multi-tier :class:`repro.simulator.topology.Topology` (which wraps a
+    fabric with core links and their own capacities).
     """
 
     num_machines: int
@@ -116,7 +120,14 @@ class PortLedger:
             fabric.capacity(p) for p in fabric.all_ports()
         ]
         if capacity_override:
+            num_ports = fabric.num_ports
             for port, cap in capacity_override.items():
+                if not 0 <= port < num_ports:
+                    raise ConfigError(
+                        f"capacity override for unknown link {port}: "
+                        f"big-switch fabric has ports [0, {num_ports}) — "
+                        f"core-link overrides need a multi-tier topology"
+                    )
                 if cap < 0:
                     raise ConfigError(
                         f"capacity override for port {port} must be >= 0"

@@ -25,6 +25,15 @@ same order* (bit-identical outputs, asserted by the equivalence tests):
   engine-driven states — per-flow state is read by integer-indexing the
   table columns and the ledger's dense per-port lists, with no attribute
   or dict dispatch in the fill loops.
+
+Multi-tier topologies add a third form: ``*_paths`` twins
+(:func:`max_min_fair_paths`, :func:`madd_rates_paths`,
+:func:`equal_rate_for_coflow_paths`) that treat every flow as a *path* of
+links — sender port, receiver port, plus the core links a
+:class:`~repro.simulator.topology.PathMap` assigns to the pair — so the
+computed rates saturate at the true bottleneck link. On a big-switch
+topology every path is just ``(src, dst)`` and the path twins are
+bit-identical to the port-only forms (asserted by the fuzz suite).
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from .flows import CoFlow, Flow
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (state -> fabric)
     from .state import FlowTable
+    from .topology import PathMap
 
 
 def max_min_fair(
@@ -564,6 +574,229 @@ def equal_rate_for_coflow_rows(
         if new_used > cap * _CAPACITY_TOLERANCE:
             raise CapacityViolationError(str(dst), new_used, cap)
         lused[dst] = new_used if new_used < cap else cap
+    return rates
+
+
+def max_min_fair_paths(
+    flows: Sequence[Flow],
+    paths: "PathMap",
+    ledger: PortLedger,
+    *,
+    rate_cap: float | None = None,
+    commit: bool = True,
+) -> dict[int, float]:
+    """Path-aware twin of :func:`max_min_fair`: progressive filling over
+    *every link* of each flow's path.
+
+    Each flow constrains — and is constrained by — its sender port, its
+    receiver port and the core links ``paths`` assigns to the pair, so the
+    fair share saturates at the true bottleneck (an oversubscribed spine
+    uplink, say) instead of only at host ports. The filling loop is the
+    object form's with "port" generalised to "link": links are indexed in
+    first-seen order (per flow: sender, receiver, then core links) and the
+    tie-break is the first link in that order among equal shares. On a
+    big-switch topology every path is ``(src, dst)`` and this function is
+    **bit-identical** to :func:`max_min_fair` (asserted by the fuzz suite).
+
+    ``commit=True`` commits through ``ledger.commit`` — on a
+    :class:`~repro.simulator.topology.LinkLedger` that charges the whole
+    path, consistent with the rates just computed.
+    """
+    active_map: dict[int, Flow] = {
+        f.flow_id: f for f in flows if f.finish_time is None
+    }
+    if not active_map:
+        return {}
+    active = list(active_map.values())
+    fids = list(active_map)
+    if rate_cap is not None and rate_cap <= 0:
+        return dict.fromkeys(fids, 0.0)
+
+    extra_links = paths.extra_links
+    # Dense link indexing in first-seen order (per flow: src, dst, extras).
+    link_index: dict[int, int] = {}
+    residual: list[float] = []
+    live: list[int] = []
+    #: dense link -> flow positions crossing it, in flow order.
+    members: list[list[int]] = []
+    num_flows = len(active)
+    #: flow position -> dense indices of every link on its path.
+    path_idx: list[tuple[int, ...]] = [()] * num_flows
+    ledger_residual = ledger.residual
+    for i, f in enumerate(active):
+        idx = []
+        for link in (f.src, f.dst, *extra_links(f.src, f.dst)):
+            j = link_index.get(link)
+            if j is None:
+                j = link_index[link] = len(residual)
+                residual.append(ledger_residual(link))
+                live.append(1)
+                members.append([i])
+            else:
+                live[j] += 1
+                members[j].append(i)
+            idx.append(j)
+        path_idx[i] = tuple(idx)
+
+    frozen = bytearray(num_flows)
+    rate_of: list[float] = [0.0] * num_flows
+    num_links = len(residual)
+    remaining = num_flows
+
+    while remaining:
+        # Tightest link among those with unfrozen flows (ascending dense
+        # index == first-seen order, the object form's tie-break).
+        best_j = -1
+        best_share = math.inf
+        for j in range(num_links):
+            count = live[j]
+            if count == 0:
+                continue
+            share = residual[j] / count
+            if share < best_share:
+                best_share = share
+                best_j = j
+        if best_j < 0:
+            break
+
+        if rate_cap is not None and rate_cap < best_share:
+            for i in range(num_flows):
+                if not frozen[i]:
+                    rate_of[i] = rate_cap
+            break
+
+        # Freeze the flows on the bottleneck link at the fair share,
+        # subtracting it from every link of each frozen flow's path (same
+        # per-update negative clamp as the object form).
+        for i in members[best_j]:
+            if frozen[i]:
+                continue
+            frozen[i] = 1
+            rate_of[i] = best_share
+            for j in path_idx[i]:
+                nr = residual[j] - best_share
+                residual[j] = nr if nr >= 0 else 0.0
+                live[j] -= 1
+            remaining -= 1
+
+    rates = dict(zip(fids, rate_of))
+    if commit:
+        ledger_commit = ledger.commit
+        for f, rate in zip(active, rate_of):
+            if rate > 0:
+                ledger_commit(f.src, f.dst, rate)
+    return rates
+
+
+def madd_rates_paths(
+    coflow: CoFlow,
+    ledger: PortLedger,
+    paths: "PathMap",
+    *,
+    flows: Iterable[Flow] | None = None,
+) -> dict[int, float]:
+    """Path-aware twin of :func:`madd_rates`: Γ over every path link.
+
+    The coflow's bottleneck completion time Γ is the maximum over all
+    *links* (host ports plus assigned core links) of the link's remaining
+    byte load divided by its residual capacity, so an oversubscribed core
+    link correctly stretches the whole coflow. Returns ``{}`` when any
+    needed link has no residual. Bit-identical to :func:`madd_rates` when
+    no path crosses a core link.
+    """
+    todo = [f for f in (flows if flows is not None else coflow.flows)
+            if f.finish_time is None and f.volume - f.bytes_sent > 0]
+    if not todo:
+        return {}
+
+    extra_links = paths.extra_links
+    link_bytes: dict[int, float] = {}
+    get = link_bytes.get
+    for f in todo:
+        remaining = f.volume - f.bytes_sent
+        link_bytes[f.src] = get(f.src, 0.0) + remaining
+        link_bytes[f.dst] = get(f.dst, 0.0) + remaining
+        for link in extra_links(f.src, f.dst):
+            link_bytes[link] = get(link, 0.0) + remaining
+
+    gamma = 0.0
+    link_residual = ledger.residual
+    for link, volume in link_bytes.items():
+        residual = link_residual(link)
+        if residual <= 0:
+            return {}
+        share = volume / residual
+        if share > gamma:
+            gamma = share
+    if gamma <= 0:
+        return {}
+
+    rates = {f.flow_id: (f.volume - f.bytes_sent) / gamma for f in todo}
+    commit = ledger.commit
+    for f in todo:
+        commit(f.src, f.dst, rates[f.flow_id])
+    return rates
+
+
+def equal_rate_for_coflow_paths(
+    coflow: CoFlow,
+    ledger: PortLedger,
+    paths: "PathMap",
+    *,
+    flows: Sequence[Flow] | None = None,
+    link_counts: dict[int, int] | None = None,
+) -> dict[int, float]:
+    """Path-aware twin of :func:`equal_rate_for_coflow` (Saath's D2 rule).
+
+    Flow ``f``'s cap becomes the minimum over *every link on its path* of
+    ``residual(link) / n_link`` (``n_link`` = the coflow's schedulable
+    flows crossing the link), and the coflow rate is the minimum cap over
+    its flows. ``link_counts`` optionally supplies the per-link counts
+    over exactly ``flows`` (see
+    :meth:`~repro.simulator.state.ClusterState.link_counts`) — the minimum
+    over the same multiset of caps, so the two branches agree bitwise.
+    Commits go through ``ledger.commit`` (path-charging on a
+    :class:`~repro.simulator.topology.LinkLedger`). Bit-identical to the
+    port-only form when no path crosses a core link.
+    """
+    todo = [f for f in (flows if flows is not None else coflow.flows)
+            if f.finish_time is None]
+    if not todo:
+        return {}
+
+    extra_links = paths.extra_links
+    residual = ledger.residual
+    rate = math.inf
+    if link_counts is not None:
+        for link, count in link_counts.items():
+            cap = residual(link) / count
+            if cap < rate:
+                rate = cap
+    else:
+        count_at_link: dict[int, int] = defaultdict(int)
+        for f in todo:
+            count_at_link[f.src] += 1
+            count_at_link[f.dst] += 1
+            for link in extra_links(f.src, f.dst):
+                count_at_link[link] += 1
+        for f in todo:
+            cap = residual(f.src) / count_at_link[f.src]
+            if cap < rate:
+                rate = cap
+            cap = residual(f.dst) / count_at_link[f.dst]
+            if cap < rate:
+                rate = cap
+            for link in extra_links(f.src, f.dst):
+                cap = residual(link) / count_at_link[link]
+                if cap < rate:
+                    rate = cap
+    if not math.isfinite(rate) or rate <= 0:
+        return {}
+
+    rates = {f.flow_id: rate for f in todo}
+    commit = ledger.commit
+    for f in todo:
+        commit(f.src, f.dst, rate)
     return rates
 
 

@@ -84,13 +84,14 @@ from itertools import chain
 from typing import Callable, Protocol
 
 from ..config import SimulationConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..schedulers.base import Allocation, Scheduler
 from .events import Event, EventKind, EventQueue
 from .fabric import Fabric
 from .flows import CoFlow, Flow
 from .scenario import Scenario, validate_workload
 from .state import ClusterState
+from .topology import Topology
 
 
 class DynamicsAction(Protocol):
@@ -227,6 +228,7 @@ class SimulationSession:
         config: SimulationConfig,
         *,
         scenario: Scenario | None = None,
+        topology: "Topology | None" = None,
         rate_perturbation: Callable[[Flow, float], float] | None = None,
         observer: "ScheduleObserver | None" = None,
         sink: Callable[[CoFlow], None] | None = None,
@@ -234,6 +236,16 @@ class SimulationSession:
         self.fabric = fabric
         self.scheduler = scheduler
         self.config = config
+        #: Fabric topology (None = the classic big switch). Must be built
+        #: over a fabric with the same geometry as ``fabric``.
+        if topology is not None and (
+                topology.fabric.num_machines != fabric.num_machines
+                or topology.fabric.port_rate != fabric.port_rate):
+            raise ConfigError(
+                f"topology fabric {topology.fabric} does not match the "
+                f"session fabric {fabric}"
+            )
+        self.topology = topology
         #: Optional testbed-mode hook mapping (flow, allocated rate) to the
         #: *achieved* rate — models imperfect rate enforcement (§7 setup).
         self._rate_perturbation = rate_perturbation
@@ -245,7 +257,7 @@ class SimulationSession:
         #: Finished-coflow consumer for O(active) streaming runs.
         self._sink = sink
 
-        self.state = ClusterState(fabric=fabric)
+        self.state = ClusterState(fabric=fabric, topology=topology)
         #: The cluster state's struct-of-arrays flow registry; every hot
         #: loop below indexes its columns by row.
         self._table = self.state.table

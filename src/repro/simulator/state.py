@@ -29,6 +29,14 @@ Incremental scheduling support lives here too:
   engine's completion notifications, so rate allocators and admission checks
   work in O(groups)/O(ports) instead of recounting every flow each round
   (:meth:`ClusterState.port_counts`, :meth:`ClusterState.flow_groups`).
+
+Multi-tier topologies (see :mod:`repro.simulator.topology`) plug in here:
+a :class:`ClusterState` built with a topology that has core links runs in
+*path-aware* mode — :meth:`ClusterState.make_ledger` returns a
+:class:`~repro.simulator.topology.LinkLedger`, and
+:meth:`ClusterState.link_counts` projects the flow-group compaction onto
+whole link paths for admission and equal-rate assignment. The big-switch
+default (``topology=None``) is untouched by construction.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from dataclasses import dataclass, field
 
 from .fabric import Fabric, PortLedger
 from .flows import CoFlow, Flow
+from .topology import LinkLedger, PathMap, Topology
 
 
 class FlowTable:
@@ -236,6 +245,14 @@ class ClusterState:
     delta: SchedulingDelta = field(default_factory=SchedulingDelta)
     #: Struct-of-arrays hot state of every active flow (see module doc).
     table: FlowTable = field(default_factory=FlowTable)
+    #: Fabric topology (``None`` = the classic big switch). A topology
+    #: with core links switches the state into *path-aware* mode: ledgers
+    #: become :class:`~repro.simulator.topology.LinkLedger`\ s and the
+    #: schedulers route contention/admission through link paths.
+    topology: Topology | None = None
+    #: Per-run path assignment (built automatically from ``topology`` when
+    #: it has core links; ``None`` on the big-switch default).
+    paths: PathMap | None = field(default=None, repr=False)
 
     # Internal caches; never part of the public snapshot semantics.
     _by_id: dict[int, CoFlow] = field(default_factory=dict, repr=False)
@@ -264,11 +281,42 @@ class ClusterState:
     #: coflow_id -> max ``available_time`` over its flows (static bound used
     #: to decide when the compaction caches equal the schedulable set).
     _max_avail: dict[int, float] = field(default_factory=dict, repr=False)
+    #: coflow_id -> {link: pending flows crossing it} (path-aware twin of
+    #: ``_port_counts``: includes the core links of each flow's path).
+    _link_counts: dict[int, dict[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if (self.paths is None and self.topology is not None
+                and self.topology.num_core_links):
+            self.paths = PathMap(self.topology)
+
+    # ---- topology ---------------------------------------------------------
+
+    @property
+    def path_aware(self) -> bool:
+        """True when the topology has core links, i.e. flow paths matter.
+
+        Schedulers must then route admission and rate assignment through
+        the path-aware allocator twins; on the big-switch default this is
+        False and every classic code path runs unchanged.
+        """
+        return self.paths is not None
 
     # ---- ledgers ----------------------------------------------------------
 
     def make_ledger(self) -> PortLedger:
-        """Fresh residual-capacity ledger honouring dynamic overrides."""
+        """Fresh residual-capacity ledger honouring dynamic overrides.
+
+        A :class:`~repro.simulator.topology.LinkLedger` over every link in
+        path-aware mode, the classic :class:`PortLedger` otherwise.
+        """
+        if self.paths is not None:
+            return LinkLedger(
+                self.topology, self.paths,
+                capacity_override=self.capacity_override,
+            )
         return PortLedger(self.fabric, capacity_override=self.capacity_override)
 
     def acquire_ledger(self) -> PortLedger:
@@ -281,9 +329,7 @@ class ClusterState:
         """
         ledger = self._cached_ledger
         if ledger is None or self._cached_override != self.capacity_override:
-            ledger = PortLedger(
-                self.fabric, capacity_override=self.capacity_override
-            )
+            ledger = self.make_ledger()
             self._cached_ledger = ledger
             self._cached_override = dict(self.capacity_override)
         else:
@@ -412,6 +458,55 @@ class ClusterState:
                     counts[dst] = get(dst, 0) + n
             self._port_counts[coflow.coflow_id] = counts
         return counts
+
+    def link_counts(self, coflow: CoFlow, now: float,
+                    flows: "list[Flow] | None" = None) -> dict[int, int]:
+        """Per-*link* schedulable-flow counts (path-aware compaction).
+
+        The path-aware twin of :meth:`port_counts`: each schedulable flow
+        contributes to its sender port, its receiver port and every core
+        link on its assigned path. Unlike :meth:`port_counts` this never
+        returns ``None`` — when some pending flow is availability-gated at
+        ``now`` the counts are computed over the exact schedulable subset
+        (uncached; pass ``flows`` to reuse an already-gathered
+        ``schedulable_flows(coflow, now)`` list instead of re-deriving
+        it); availability-clean coflows use a per-coflow cache maintained
+        incrementally from completion notifications. Only valid in
+        path-aware mode (``paths`` must be set).
+        """
+        paths = self.paths
+        extra_links = paths.extra_links
+        if self.respect_availability and self.max_available_time(coflow) > now:
+            counts: dict[int, int] = {}
+            get = counts.get
+            if flows is None:
+                flows = self.schedulable_flows(coflow, now)
+            for f in flows:
+                src, dst = f.src, f.dst
+                counts[src] = get(src, 0) + 1
+                counts[dst] = get(dst, 0) + 1
+                for link in extra_links(src, dst):
+                    counts[link] = get(link, 0) + 1
+            return counts
+        cached = self._link_counts.get(coflow.coflow_id)
+        if cached is None:
+            cached = {}
+            get = cached.get
+            buckets = self._buckets(coflow)
+            if buckets is not None:
+                groups = {key: len(rows) for key, rows in buckets.items()}
+            else:
+                groups = {
+                    key: len(bucket)
+                    for key, bucket in self.flow_groups(coflow).items()
+                }
+            for (src, dst), n in groups.items():
+                cached[src] = get(src, 0) + n
+                cached[dst] = get(dst, 0) + n
+                for link in extra_links(src, dst):
+                    cached[link] = get(link, 0) + n
+            self._link_counts[coflow.coflow_id] = cached
+        return cached
 
     def _buckets(
         self, coflow: CoFlow
@@ -561,6 +656,15 @@ class ClusterState:
                     counts[port] = left
                 else:
                     counts.pop(port, None)
+        if self.paths is not None:
+            lcounts = self._link_counts.get(cid)
+            if lcounts is not None:
+                for link in (src, dst, *self.paths.extra_links(src, dst)):
+                    left = lcounts.get(link, 0) - 1
+                    if left > 0:
+                        lcounts[link] = left
+                    else:
+                        lcounts.pop(link, None)
         self.delta.flow_completed.add(cid)
 
     def note_coflow_finished(self, coflow_id: int) -> None:
@@ -576,6 +680,7 @@ class ClusterState:
         self._pending_rows.pop(coflow_id, None)
         self._pending.pop(coflow_id, None)
         self._port_counts.pop(coflow_id, None)
+        self._link_counts.pop(coflow_id, None)
         self._group_rows.pop(coflow_id, None)
         self._groups.pop(coflow_id, None)
         self._max_avail.pop(coflow_id, None)
@@ -601,5 +706,6 @@ class ClusterState:
         self._cached_ledger = None
         self._cached_override = None
         self._port_counts.clear()
+        self._link_counts.clear()
         self._group_rows.clear()
         self._groups.clear()

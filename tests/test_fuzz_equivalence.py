@@ -12,7 +12,12 @@ availability. For every registered scheduler the engine paths —
 * ``stream`` (the same workload pulled lazily through a generator-backed
   :class:`~repro.simulator.scenario.Scenario`),
 * ``resumed`` (every 5th seed: pause mid-run, ``snapshot()``,
-  ``restore()`` and run the revived session to completion)
+  ``restore()`` and run the revived session to completion),
+* ``leaf-spine`` (every 5th seed: the same workload on a *single-rack*
+  :class:`~repro.simulator.topology.LeafSpineTopology` — core links exist,
+  so every scheduler takes its path-aware branch and allocates through a
+  :class:`~repro.simulator.topology.LinkLedger`, but no path crosses a
+  core link, so the results must not move a bit)
 
 must produce byte-identical CCTs, completion orders, reschedule counts and
 makespans. Workloads are deterministic functions of their seed, so any
@@ -21,7 +26,9 @@ failure reproduces exactly.
 A second fuzz pins the row-path rate allocators to their object-path twins
 bit-for-bit (rates *and* resulting ledger state) — the schedulers pick the
 row path whenever the cluster state is table-tracked, so the twins must
-never drift.
+never drift. The path-aware allocator twins (``*_paths``) join the same
+fuzz with a big-switch path map: on paths with no core links they must be
+bit-identical to the port-only forms.
 """
 
 from __future__ import annotations
@@ -40,15 +47,19 @@ from repro.simulator.session import SimulationSession
 from repro.simulator.flows import CoFlow, Flow, clone_coflows
 from repro.simulator.ratealloc import (
     equal_rate_for_coflow,
+    equal_rate_for_coflow_paths,
     equal_rate_for_coflow_rows,
     greedy_residual_rates,
     greedy_residual_rates_rows,
     madd_rates,
+    madd_rates_paths,
     madd_rates_rows,
     max_min_fair,
+    max_min_fair_paths,
     max_min_fair_rows,
 )
 from repro.simulator.state import FlowTable
+from repro.simulator.topology import BigSwitchTopology, LeafSpineTopology, PathMap
 
 NUM_WORKLOADS = 20
 
@@ -151,6 +162,17 @@ def test_random_workloads_triple_path_identical(policy):
             prints["resumed"] = fingerprint(
                 SimulationSession.restore(snap).run()
             )
+            # Sixth path: a single-rack leaf-spine topology. Core links
+            # exist (path-aware machinery fully engaged: LinkLedger,
+            # link counts, *_paths allocators) but every flow is
+            # rack-local, so nothing may change byte-for-byte.
+            prints["leaf-spine"] = fingerprint(run_policy(
+                make_scheduler(policy, cfg), clone_coflows(coflows),
+                fabric, cfg,
+                topology=LeafSpineTopology(
+                    fabric, racks=1, spines=2, oversub=1.0
+                ),
+            ))
         reference = prints["epochs"]
         assert all(p == reference for p in prints.values()), (
             f"engine paths diverged: policy={policy} seed={seed} "
@@ -177,14 +199,20 @@ def _random_attached_flows(rng: random.Random, machines: int):
     return flows, table, rows
 
 
-@pytest.mark.parametrize("allocator", ["mmf", "madd", "equal", "greedy"])
+@pytest.mark.parametrize("allocator", [
+    "mmf", "madd", "equal", "greedy",
+    "mmf-paths", "madd-paths", "equal-paths",
+])
 def test_row_allocators_match_object_allocators(allocator):
-    """Row-path allocators are bit-identical to the object forms — same
-    rates, same residual ledger — across random instances."""
+    """Row-path and path-aware allocators are bit-identical to the object
+    forms — same rates, same residual ledger — across random instances
+    (the ``*_paths`` twins run with a big-switch path map: every path is
+    ``(src, dst)``, so the port-only arithmetic must reproduce exactly)."""
     rng = random.Random(2024)
     machines = 8
     fabric = Fabric(num_machines=machines, port_rate=1e6)
     coflow_stub = CoFlow(coflow_id=1, arrival_time=0.0, flows=[])
+    paths = PathMap(BigSwitchTopology(fabric))
     for trial in range(120):
         flows, table, rows = _random_attached_flows(rng, machines)
         obj_ledger = PortLedger(fabric)
@@ -207,6 +235,24 @@ def test_row_allocators_match_object_allocators(allocator):
                 coflow_stub, obj_ledger, flows=flows
             )
             got = equal_rate_for_coflow_rows(rows, table, row_ledger)
+        elif allocator == "mmf-paths":
+            cap = rng.choice([None, None, 0.0, 1e3, 2e9])
+            expected = max_min_fair(flows, obj_ledger, rate_cap=cap)
+            got = max_min_fair_paths(
+                flows, paths, row_ledger, rate_cap=cap
+            )
+        elif allocator == "madd-paths":
+            expected = madd_rates(coflow_stub, obj_ledger, flows=flows)
+            got = madd_rates_paths(
+                coflow_stub, row_ledger, paths, flows=flows
+            )
+        elif allocator == "equal-paths":
+            expected = equal_rate_for_coflow(
+                coflow_stub, obj_ledger, flows=flows
+            )
+            got = equal_rate_for_coflow_paths(
+                coflow_stub, row_ledger, paths, flows=flows
+            )
         else:
             expected = greedy_residual_rates(flows, obj_ledger)
             got = greedy_residual_rates_rows(rows, table, row_ledger)

@@ -13,6 +13,10 @@ Checks:
    the experiments/ and workloads/ packages state which paper artifact
    they serve (a "Fig.", "§" or "Table" reference), matching the style of
    engine.py / saath.py.
+3. Every public class in the modules listed in PUBLIC_API_MODULES —
+   currently the topology subsystem — carries a docstring: these modules
+   are the extension surface users subclass, so an undocumented class is
+   an API regression.
 
 Exits non-zero with a summary of violations.
 """
@@ -29,6 +33,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 #: Packages whose modules must cite the paper artifact they reproduce.
 PAPER_REF_PACKAGES = ("src/repro/experiments", "src/repro/workloads")
 PAPER_REF_RE = re.compile(r"Fig\.?\s*\d|§\s*\d|Table\s*\d")
+#: Modules whose public classes must all carry docstrings (the
+#: user-subclassable extension surface).
+PUBLIC_API_MODULES = ("src/repro/simulator/topology.py",)
 
 
 def check_markdown_links() -> list[str]:
@@ -72,8 +79,31 @@ def check_module_docstrings() -> list[str]:
     return errors
 
 
+def check_public_classes() -> list[str]:
+    """Public classes in PUBLIC_API_MODULES must have docstrings."""
+    errors = []
+    for rel in PUBLIC_API_MODULES:
+        py = ROOT / rel
+        if not py.exists():
+            errors.append(f"{rel}: file missing (PUBLIC_API_MODULES)")
+            continue
+        tree = ast.parse(py.read_text())
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not ast.get_docstring(node):
+                errors.append(
+                    f"{rel}:{node.lineno}: public class {node.name} "
+                    f"lacks a docstring"
+                )
+    return errors
+
+
 def main() -> int:
-    errors = check_markdown_links() + check_module_docstrings()
+    errors = (check_markdown_links() + check_module_docstrings()
+              + check_public_classes())
     for error in errors:
         print(error)
     if errors:
