@@ -34,12 +34,14 @@ from .experiments.registry import (
     get_experiment,
     run_and_render,
 )
-from .experiments.runner import RunSpec, WorkloadSpec
+from .experiments.runner import RunSpec, WorkloadSpec, collective_spec
 from .schedulers.registry import available_policies, make_scheduler
 from .simulator.engine import run_policy, run_scenario
+from .simulator.fabric import Fabric
 from .simulator.scenario import Scenario
 from .simulator.topology import PATH_SELECTORS, TopologySpec
-from .units import MSEC
+from .units import MB, MSEC
+from .workloads.collectives import PATTERNS, collective_jobs
 from .workloads.synthetic import (
     WorkloadGenerator,
     fb_like_spec,
@@ -85,6 +87,48 @@ def _topology_spec(args: argparse.Namespace) -> TopologySpec | None:
     )
 
 
+def _add_collective_args(parser: argparse.ArgumentParser) -> None:
+    """Collective-workload knobs shared by ``simulate`` and ``sweep``."""
+    parser.add_argument("--pattern", choices=list(PATTERNS), default="ring",
+                        help="collective pattern (default: ring all-reduce)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="training workers (one machine each)")
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="training iterations per job")
+    parser.add_argument("--volume-mb", type=float, default=64.0,
+                        help="per-worker gradient volume in MB")
+    parser.add_argument("--servers", type=int, default=2,
+                        help="parameter servers (ps pattern only)")
+    parser.add_argument("--train-jobs", type=int, default=1,
+                        help="number of training jobs sharing the fabric")
+    parser.add_argument("--placement", choices=["packed", "spread"],
+                        default="packed",
+                        help="worker placement across racks")
+    parser.add_argument("--placement-racks", type=int, default=1,
+                        help="rack count the placement assumes (match "
+                             "--racks when using a leaf-spine topology)")
+    parser.add_argument("--compute-gap-ms", type=float, default=0.0,
+                        help="idealised per-iteration compute floor")
+    parser.add_argument("--arrival-gap", type=float, default=0.0,
+                        help="mean inter-arrival gap between jobs (s)")
+
+
+def _collective_kwargs(args: argparse.Namespace) -> dict:
+    """Generator kwargs shared by the simulate/sweep collective paths."""
+    return dict(
+        pattern=args.pattern,
+        workers=args.workers,
+        iterations=args.iterations,
+        volume=args.volume_mb * MB,
+        jobs=args.train_jobs,
+        servers=args.servers if args.pattern == "ps" else 0,
+        racks=args.placement_racks,
+        placement=args.placement,
+        compute_gap=args.compute_gap_ms * MSEC,
+        arrival_gap=args.arrival_gap,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="saath-repro",
@@ -115,6 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="coflow-benchmark trace file")
     source.add_argument("--synthetic", choices=["fb-like", "osp-like"],
                         default="fb-like")
+    source.add_argument("--workload", choices=["collective"],
+                        help="structured workload family (collective "
+                             "training jobs; see --pattern and friends)")
     simulate.add_argument("--machines", type=int, default=50)
     simulate.add_argument("--coflows", type=int, default=150)
     simulate.add_argument("--seed", type=int, default=7)
@@ -130,6 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                "scenario stream instead of a materialised "
                                "batch (results are identical; open-loop "
                                "generators run in O(active) memory)")
+    _add_collective_args(simulate)
     _add_topology_args(simulate)
 
     sweep = sub.add_parser(
@@ -137,7 +185,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--policy", nargs="+", default=["saath"],
                        choices=available_policies())
-    sweep.add_argument("--family", choices=["fb-like", "osp-like"],
+    sweep.add_argument("--family",
+                       choices=["fb-like", "osp-like", "collective"],
                        default="fb-like")
     sweep.add_argument("--machines", type=int, default=50)
     sweep.add_argument("--coflows", type=int, default=150)
@@ -150,6 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", type=Path, default=None)
     sweep.add_argument("--no-incremental", action="store_true")
     sweep.add_argument("--no-epochs", action="store_true")
+    _add_collective_args(sweep)
     _add_topology_args(sweep)
 
     gen = sub.add_parser("gen-trace", help="emit a synthetic trace")
@@ -169,8 +219,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         epochs=not args.no_epochs,
     )
     runner = sweep_runner.configure(jobs=args.jobs, cache_dir=args.cache_dir)
-    base = WorkloadSpec(family=args.family, machines=args.machines,
-                        coflows=args.coflows, seed=args.seed)
+    if args.family == "collective":
+        base = collective_spec(machines=args.machines, seed=args.seed,
+                               **_collective_kwargs(args))
+    else:
+        base = WorkloadSpec(family=args.family, machines=args.machines,
+                            coflows=args.coflows, seed=args.seed)
     topo_spec = _topology_spec(args)
     encoded_topology = topo_spec.encode() if topo_spec is not None else ()
     specs = [
@@ -208,11 +262,15 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     )
     if args.trace is not None:
         trace = load_trace(args.trace)
-        from .simulator.fabric import Fabric
-
         fabric = Fabric(num_machines=trace.num_ports,
                         port_rate=config.port_rate)
         coflows = trace_to_coflows(trace, fabric)
+    elif args.workload == "collective":
+        fabric = Fabric(num_machines=args.machines,
+                        port_rate=config.port_rate)
+        jobs = collective_jobs(fabric, seed=args.seed,
+                               **_collective_kwargs(args))
+        coflows = [c for job in jobs for c in job]
     else:
         spec_fn = fb_like_spec if args.synthetic == "fb-like" else osp_like_spec
         spec = spec_fn(num_machines=args.machines, num_coflows=args.coflows)

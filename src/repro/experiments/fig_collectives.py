@@ -1,0 +1,152 @@
+"""Collective-workload sweep: per-iteration time vs oversubscription.
+
+The paper's entire evaluation (§6) is shuffle-shaped. This beyond-paper
+experiment asks its central question — do coflow schedulers still win when
+traffic has *structure*? — on ML-training traffic: every registered policy
+runs ring all-reduce, tree all-reduce, all-to-all and parameter-server
+training jobs (see :mod:`repro.workloads.collectives`) on a leaf–spine
+fabric at oversubscription ratios 1, 4 and 8, with workers *spread*
+round-robin across racks so nearly every collective flow crosses the core.
+
+The reported metric is the **per-iteration time**: the elapsed time from a
+training iteration's release (job arrival, or the previous iteration's
+final collective completing) to the completion of its own final collective.
+Every pattern is a pure stage chain, so an iteration's duration is exactly
+the sum of its stage coflows' CCTs
+(:func:`repro.workloads.collectives.iteration_times`); the table shows the
+mean over all jobs × iterations, with the slowdown relative to the same
+policy on the non-blocking (1:1) fabric.
+
+Expected shape: all-or-none policies (Saath) and clairvoyant bottleneck
+schedulers keep ring steps moving together, while per-flow fair sharing
+(UC-TCP) lets one congested uplink stall a whole iteration; oversubscription
+amplifies the gap because collectives synchronise on the slowest chunk.
+All runs go through the sweep runner, so they fan out and cache like every
+other figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import DistributionSummary
+from ..analysis.report import format_table
+from ..schedulers.registry import available_policies
+from ..simulator.topology import TopologySpec
+from ..units import MB
+from .common import ExperimentScale, default_experiment_config
+from .runner import RunSpec, collective_jobs_for, collective_spec, run_specs
+from ..workloads.collectives import iteration_times
+
+#: Collective patterns swept (every shape the generator family emits).
+PATTERNS_SWEPT: tuple[str, ...] = ("ring", "tree", "all-to-all", "ps")
+
+#: Leaf-spine oversubscription ratios swept (1 = non-blocking).
+RATIOS: tuple[float, ...] = (1.0, 4.0, 8.0)
+
+#: Per-scale workload dimensions:
+#: (machines, racks, workers, servers, iterations, jobs, volume_bytes).
+_DIMENSIONS: dict[ExperimentScale, tuple[int, int, int, int, int, int, float]] = {
+    ExperimentScale.TINY: (8, 2, 4, 2, 2, 1, 16 * MB),
+    ExperimentScale.SMALL: (16, 4, 8, 4, 3, 2, 64 * MB),
+    ExperimentScale.PAPER: (32, 4, 16, 8, 5, 4, 256 * MB),
+}
+
+
+@dataclass
+class FigCollectivesResult:
+    """Per-pattern, per-policy iteration-time summaries across ratios."""
+
+    #: pattern -> policy -> ratio label -> per-iteration time summary.
+    summaries: dict[str, dict[str, dict[str, DistributionSummary]]]
+    patterns: tuple[str, ...]
+    #: Ratio labels in sweep order (render column order).
+    labels: tuple[str, ...]
+
+
+def _label(ratio: float) -> str:
+    return f"oversub={ratio:g}"
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL,
+        *,
+        policies: tuple[str, ...] | None = None,
+        patterns: tuple[str, ...] = PATTERNS_SWEPT,
+        ratios: tuple[float, ...] = RATIOS,
+        placement: str = "spread",
+        seed: int = 7) -> FigCollectivesResult:
+    """Sweep policies × patterns × oversubscription (one runner batch)."""
+    if policies is None:
+        policies = tuple(available_policies())
+    machines, racks, workers, servers, iterations, jobs, volume = (
+        _DIMENSIONS[scale]
+    )
+    config = default_experiment_config()
+    workloads = {
+        pattern: collective_spec(
+            machines=machines, pattern=pattern, workers=workers,
+            iterations=iterations, volume=volume, jobs=jobs,
+            servers=servers if pattern == "ps" else 0, racks=racks,
+            placement=placement, arrival_gap=0.1, seed=seed,
+        )
+        for pattern in patterns
+    }
+    topologies = [
+        (_label(r),
+         TopologySpec(kind="leaf-spine", oversub=r, racks=racks).encode())
+        for r in ratios
+    ]
+    specs = [
+        RunSpec(policy=p, workload=workloads[pattern], config=config,
+                topology=t)
+        for pattern in patterns for _, t in topologies for p in policies
+    ]
+    outcomes = iter(run_specs(specs))
+    summaries: dict[str, dict[str, dict[str, DistributionSummary]]] = {}
+    for pattern in patterns:
+        _, pattern_jobs = collective_jobs_for(workloads[pattern])
+        per_policy: dict[str, dict[str, DistributionSummary]] = {
+            p: {} for p in policies
+        }
+        for label, _ in topologies:
+            for policy in policies:
+                outcome = next(outcomes)
+                times = [
+                    t for job in pattern_jobs
+                    for t in iteration_times(job, outcome.ccts)
+                ]
+                per_policy[policy][label] = DistributionSummary.of(times)
+        summaries[pattern] = per_policy
+    return FigCollectivesResult(
+        summaries=summaries, patterns=tuple(patterns),
+        labels=tuple(label for label, _ in topologies),
+    )
+
+
+def render(result: FigCollectivesResult) -> str:
+    sections = []
+    for pattern in result.patterns:
+        rows = []
+        for policy, by_label in sorted(result.summaries[pattern].items()):
+            base = by_label[result.labels[0]].mean
+            row: list[object] = [policy]
+            for i, label in enumerate(result.labels):
+                mean = by_label[label].mean
+                if i == 0:
+                    row.append(f"{mean:.3f}")
+                else:
+                    slowdown = mean / base if base > 0 else float("inf")
+                    row.append(f"{mean:.3f} ({slowdown:.2f}x)")
+            rows.append(row)
+        headers = ["policy"] + [
+            f"{label} iter-time" if i == 0 else f"{label} iter-time (vs 1:1)"
+            for i, label in enumerate(result.labels)
+        ]
+        sections.append(format_table(
+            headers, rows,
+            title=(
+                f"Fig. C [{pattern}] — mean per-iteration time (s) vs "
+                f"leaf-spine oversubscription (workers spread across racks)"
+            ),
+        ))
+    return "\n\n".join(sections)

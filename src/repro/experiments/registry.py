@@ -25,6 +25,7 @@ from . import (
     fig14_sensitivity,
     fig15_testbed,
     fig16_jct,
+    fig_collectives,
     fig_oversub,
     table2_overhead,
 )
@@ -62,6 +63,10 @@ _EXPERIMENTS: dict[str, Experiment] = {
                    fig15_testbed.run, fig15_testbed.render),
         Experiment("fig16", "JCT speedup by shuffle fraction (§7.2)",
                    fig16_jct.run, fig16_jct.render),
+        Experiment("fig-collectives",
+                   "collective training workloads vs oversubscription "
+                   "(extension)",
+                   fig_collectives.run, fig_collectives.render),
         Experiment("fig-oversub",
                    "leaf-spine oversubscription sensitivity (extension)",
                    fig_oversub.run, fig_oversub.render),

@@ -50,6 +50,8 @@ from ..simulator.dynamics import decode_actions, encode_actions
 from ..simulator.engine import run_policy
 from ..simulator.flows import clone_coflows
 from ..simulator.topology import TopologySpec
+from ..units import GBPS
+from ..workloads.collectives import materialize_collective
 from ..workloads.synthetic import (
     SyntheticSpec,
     WorkloadGenerator,
@@ -71,27 +73,104 @@ _FAMILIES = {
     "osp-like": osp_like_spec,
 }
 
+#: Structured (non-synthetic-shuffle) families with their own generators.
+COLLECTIVE_FAMILY = "collective"
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Recipe for a synthetic workload any process can rebuild identically."""
 
-    family: str  # "fb-like" | "osp-like"
+    family: str  # "fb-like" | "osp-like" | "collective"
     machines: int
+    #: Coflow count for the shuffle families; *training-job* count for the
+    #: collective family (stage-coflow counts follow from ``params``).
     coflows: int
     seed: int = 7
+    #: Extra generator knobs as a canonical ``((key, value), ...)`` tuple,
+    #: sorted by key — hashable, JSON-able, order-stable. Empty for the
+    #: shuffle families; the collective family carries its pattern recipe
+    #: here (see :func:`collective_spec`).
+    params: tuple = ()
 
     def __post_init__(self) -> None:
-        if self.family not in _FAMILIES:
+        known = sorted(_FAMILIES) + [COLLECTIVE_FAMILY]
+        if self.family not in known:
             raise ReproError(
-                f"unknown workload family {self.family!r}; "
-                f"known: {sorted(_FAMILIES)}"
+                f"unknown workload family {self.family!r}; known: {known}"
+            )
+        if self.family == COLLECTIVE_FAMILY and not self.params:
+            raise ReproError(
+                "collective workloads need a params recipe; "
+                "build specs with collective_spec(...)"
             )
 
     def synthetic_spec(self) -> SyntheticSpec:
+        if self.family not in _FAMILIES:
+            raise ReproError(
+                f"{self.family!r} workloads have no synthetic shuffle spec"
+            )
         return _FAMILIES[self.family](
             num_machines=self.machines, num_coflows=self.coflows
         )
+
+
+def collective_spec(
+    *,
+    machines: int,
+    pattern: str,
+    workers: int,
+    iterations: int,
+    volume: float,
+    jobs: int = 1,
+    servers: int = 0,
+    racks: int = 1,
+    placement: str = "packed",
+    compute_gap: float = 0.0,
+    arrival_gap: float = 0.0,
+    seed: int = 7,
+) -> WorkloadSpec:
+    """Canonical :class:`WorkloadSpec` for a collective training workload.
+
+    The recipe round-trips through :func:`collective_jobs_for` /
+    ``materialize_collective`` bit-identically in any process — the same
+    contract the shuffle families get from seeded generation.
+    """
+    params = (
+        ("arrival_gap", arrival_gap),
+        ("compute_gap", compute_gap),
+        ("iterations", iterations),
+        ("jobs", jobs),
+        ("pattern", pattern),
+        ("placement", placement),
+        ("racks", racks),
+        ("servers", servers),
+        ("volume", volume),
+        ("workers", workers),
+    )
+    return WorkloadSpec(
+        family=COLLECTIVE_FAMILY, machines=machines, coflows=jobs,
+        seed=seed, params=params,
+    )
+
+
+def collective_jobs_for(workload: WorkloadSpec) -> tuple:
+    """``(fabric, [TrainingJob, ...])`` rebuilt from a collective spec.
+
+    Experiments use the job objects' iteration metadata
+    (:func:`repro.workloads.collectives.iteration_times`) to turn a run's
+    CCT map into per-iteration times; generation is pure, so the metadata
+    always matches what :func:`execute_spec` simulated.
+    """
+    if workload.family != COLLECTIVE_FAMILY:
+        raise ReproError(
+            f"collective_jobs_for needs a collective spec, "
+            f"got family {workload.family!r}"
+        )
+    return materialize_collective(
+        workload.machines, workload.seed, dict(workload.params),
+        port_rate=GBPS,
+    )
 
 
 @dataclass(frozen=True)
@@ -138,10 +217,16 @@ class RunSpec:
         identical to the v2 format modulo the version bump (asserted by
         the cache-key regression test).
         """
+        workload = asdict(self.workload)
+        if not workload.get("params"):
+            # Empty params (every pre-collective family) are dropped so the
+            # payload — and therefore every existing on-disk cache key —
+            # stays byte-identical to the v3 format.
+            workload.pop("params", None)
         body = {
             "v": CACHE_VERSION,
             "policy": self.policy,
-            "workload": asdict(self.workload),
+            "workload": workload,
             "config": asdict(self.config),
             "arrival_scale": self.arrival_scale,
             "dynamics": self.dynamics,
@@ -177,11 +262,15 @@ def _fresh_workload(workload: WorkloadSpec) -> tuple:
     """(fabric, fresh mutable coflows) for one run of ``workload``."""
     memo = _WORKLOAD_MEMO.get(workload)
     if memo is None:
-        synth = workload.synthetic_spec()
-        fabric = synth.make_fabric()
-        pristine = WorkloadGenerator(
-            synth, seed=workload.seed
-        ).generate_coflows(fabric)
+        if workload.family == COLLECTIVE_FAMILY:
+            fabric, jobs = collective_jobs_for(workload)
+            pristine = [c for job in jobs for c in job]
+        else:
+            synth = workload.synthetic_spec()
+            fabric = synth.make_fabric()
+            pristine = WorkloadGenerator(
+                synth, seed=workload.seed
+            ).generate_coflows(fabric)
         if len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_MAX:
             _WORKLOAD_MEMO.clear()
         memo = _WORKLOAD_MEMO[workload] = (fabric, pristine)

@@ -89,6 +89,55 @@ class FlowSlowdown:
 
 
 @dataclass
+class StragglerEvent:
+    """A straggling *worker machine*: every flow it sends runs slow.
+
+    The machine-level generalisation of :class:`FlowSlowdown`, built for
+    collective/training workloads (see
+    :mod:`repro.workloads.collectives`) where "worker 3 is slow" means all
+    of worker 3's ring chunks, tree contributions and PS pushes — across
+    every stage and iteration — achieve only ``efficiency`` of their
+    allocated rate. Applies to the machine's currently-active flows *and*
+    to every flow it sends for the rest of the episode (the session tags
+    newly arriving flows at activation).
+
+    ``efficiency=1.0`` ends the episode: the machine's registration and its
+    active flows' slowdowns are cleared, restoring full speed from the next
+    allocation round.
+
+    ``worker`` is a machine id; an unknown id raises
+    :class:`~repro.errors.ConfigError` naming it.
+    """
+
+    time: float
+    worker: int
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    def apply(self, sim, now: float) -> None:
+        port = sim.fabric.sender_port(self.worker)  # validates the id
+        recovered = self.efficiency >= 1.0
+        if recovered:
+            sim.machine_efficiency.pop(port, None)
+        else:
+            sim.machine_efficiency[port] = self.efficiency
+        for coflow in sim.state.active_coflows:
+            for f in coflow.flows:
+                if f.src != port or f.finished:
+                    continue
+                if recovered:
+                    sim.flow_efficiency.pop(f.flow_id, None)
+                else:
+                    sim.flow_efficiency[f.flow_id] = self.efficiency
+                    f.rate *= self.efficiency
+
+
+@dataclass
 class StragglerRecovery:
     """End of a straggler episode: the flow runs at full efficiency again."""
 
@@ -191,7 +240,8 @@ class LinkRecovery:
 #: :func:`encode_actions` / :func:`decode_actions`.
 ACTION_TYPES: dict[str, type] = {
     cls.__name__: cls
-    for cls in (FlowRestart, FlowSlowdown, StragglerRecovery,
+    for cls in (FlowRestart, FlowSlowdown, StragglerEvent,
+                StragglerRecovery,
                 PortDegradation, PortRecovery,
                 LinkDegradation, LinkRecovery)
 }

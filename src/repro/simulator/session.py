@@ -263,6 +263,12 @@ class SimulationSession:
         self._table = self.state.table
         #: Per-flow efficiency factors (< 1 for straggling flows, §4.3).
         self.flow_efficiency: dict[int, float] = {}
+        #: Per-machine efficiency factors (sender-port keyed) set by
+        #: :class:`~repro.simulator.dynamics.StragglerEvent`: a straggling
+        #: *worker machine* slows every flow it sends, including flows that
+        #: arrive while the episode lasts (see :meth:`_activate`). Empty in
+        #: the default path, so untouched runs stay byte-identical.
+        self.machine_efficiency: dict[int, float] = {}
 
         self._events = EventQueue()
         self._now = 0.0
@@ -1080,6 +1086,14 @@ class SimulationSession:
         # order, so the legacy completion tie-break order is preserved).
         self.state.note_activated(coflow)
         self._coflow_of[coflow.coflow_id] = coflow
+        if self.machine_efficiency:
+            # Flows arriving at a straggling machine inherit its efficiency
+            # for the rest of the episode (StragglerEvent semantics).
+            fe = self.flow_efficiency
+            for f in coflow.flows:
+                eff = self.machine_efficiency.get(f.src)
+                if eff is not None:
+                    fe[f.flow_id] = eff
         self.scheduler.on_coflow_arrival(coflow, self._now)
         tbl = self._table
         vol = tbl.volume

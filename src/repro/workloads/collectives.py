@@ -1,0 +1,530 @@
+"""Collective-communication workloads: training jobs as coflow DAGs.
+
+The paper's evaluation is entirely shuffle-shaped — every coflow is an
+unstructured mapper→reducer transfer. ML training traffic is the opposite
+extreme: a *structured* sequence of collectives (all-reduce, all-to-all,
+parameter-server push/pull) repeated every iteration, with a dependency
+chain between iterations. This module generates that traffic shape on the
+existing coflow machinery so the registered policies can be compared on it.
+
+Every collective **step** is one coflow; a collective is a linear chain of
+step coflows built with :func:`~repro.workloads.dag.chain_stages` (the
+§4.3 multi-stage machinery — a beyond-paper extension, not a figure); a
+*training job* is ``iterations`` repetitions of one collective, chained so
+iteration ``k+1``'s first step depends on iteration ``k``'s last step. All
+patterns therefore produce pure chain DAGs, which makes the per-iteration
+time metric exact: the engine starts a stage's CCT clock at DAG release, so
+the duration of iteration ``k`` equals the sum of its stages' CCTs (see
+:func:`iteration_times`).
+
+Patterns (``N`` workers, gradient volume ``V`` per worker):
+
+* ``ring`` — ring all-reduce: ``2·(N−1)`` dependent steps; in each step
+  worker ``i`` sends one ``V/N`` chunk to worker ``(i+1) mod N`` (the
+  reduce-scatter half, then the all-gather half). Each worker sends exactly
+  ``2·(N−1)·V/N`` bytes per all-reduce.
+* ``tree`` — binary-tree all-reduce: reduce-up (leaves toward the root,
+  one step per depth level, each edge carrying ``V``) then broadcast-down
+  (root toward the leaves).
+* ``all-to-all`` — one dense step: every ordered worker pair exchanges
+  ``V/N`` (MoE dispatch / DLRM embedding exchange shape).
+* ``ps`` — parameter-server: a push step (every worker sends ``V/S`` to
+  each of ``S`` servers) then a dependent pull step (each server sends the
+  updated shard back to every worker).
+
+Rack-aware placement (:func:`place_workers`) maps workers onto machines of
+a fabric partitioned into racks (the same geometry as
+:class:`~repro.simulator.topology.LeafSpineTopology`): ``"packed"`` fills
+racks in order — collectives stay mostly rack-local; ``"spread"``
+round-robins across racks — nearly every flow crosses the core, which is
+what makes oversubscribed fabrics interesting.
+
+Skew/straggler semantics: a *generation-time* skew
+(``volume_skew={worker: factor}``) scales every byte a worker sends —
+modelling imbalanced sharding; a *runtime* straggler is injected with
+:class:`~repro.simulator.dynamics.StragglerEvent`, which scales a worker
+machine's achieved send throughput mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import ConfigError
+from ..rng import make_rng
+from ..simulator.fabric import Fabric
+from ..simulator.flows import CoFlow
+from .dag import chain_stages
+
+#: Pattern names accepted by :func:`training_job` / the CLI / the sweep.
+PATTERNS: tuple[str, ...] = ("ring", "tree", "all-to-all", "ps")
+
+Transfers = list[tuple[int, int, float]]
+
+
+# ---- placement -------------------------------------------------------------
+
+
+def place_workers(
+    count: int,
+    fabric: Fabric,
+    *,
+    racks: int = 1,
+    placement: str = "packed",
+) -> list[int]:
+    """Map ``count`` workers onto distinct machines, rack-aware.
+
+    The fabric's ``n`` machines are partitioned into ``racks`` contiguous
+    racks of ``ceil(n / racks)`` machines — exactly the geometry of
+    :class:`~repro.simulator.topology.LeafSpineTopology`, so placements line
+    up with the topology built over the same fabric.
+
+    * ``"packed"`` — workers occupy machines ``0, 1, 2, …``: racks fill one
+      after another and traffic stays as rack-local as possible.
+    * ``"spread"`` — workers round-robin across racks (worker ``w`` goes to
+      rack ``w mod racks``), maximising cross-rack traffic.
+
+    Returns the worker→machine mapping (one distinct machine per worker).
+    """
+    n = fabric.num_machines
+    if count < 1:
+        raise ConfigError(f"need at least 1 worker, got {count}")
+    if count > n:
+        raise ConfigError(
+            f"cannot place {count} workers on {n} machines "
+            f"(one machine per worker)"
+        )
+    if not 1 <= racks <= n:
+        raise ConfigError(
+            f"racks must be in [1, {n}] for {n} machines, got {racks}"
+        )
+    stride = math.ceil(n / racks)
+    if placement == "packed":
+        return list(range(count))
+    if placement == "spread":
+        # Interleave racks: take slot 0 of every rack, then slot 1, …
+        # Short tail racks (n % racks != 0) are skipped naturally, so the
+        # order enumerates all n machines exactly once.
+        order = [
+            rack * stride + slot
+            for slot in range(stride)
+            for rack in range(racks)
+            if rack * stride + slot < n
+        ]
+        return order[:count]
+    raise ConfigError(
+        f"unknown placement {placement!r}; known: 'packed', 'spread'"
+    )
+
+
+# ---- per-pattern stage builders --------------------------------------------
+
+
+def _ring_transfers(fabric: Fabric, workers: Sequence[int], volume: float,
+                    rounds: int | None) -> list[Transfers]:
+    n = len(workers)
+    if n < 2:
+        raise ConfigError(f"ring all-reduce needs >= 2 workers, got {n}")
+    steps = 2 * (n - 1) if rounds is None else rounds
+    if steps < 1:
+        raise ConfigError(f"ring all-reduce needs >= 1 round, got {steps}")
+    chunk = volume / n
+    step = [
+        (workers[i], fabric.receiver_port(workers[(i + 1) % n]), chunk)
+        for i in range(n)
+    ]
+    return [list(step) for _ in range(steps)]
+
+
+def _tree_transfers(fabric: Fabric, workers: Sequence[int],
+                    volume: float) -> list[Transfers]:
+    n = len(workers)
+    if n < 2:
+        raise ConfigError(f"tree all-reduce needs >= 2 workers, got {n}")
+    depth_of = [int(math.floor(math.log2(i + 1))) for i in range(n)]
+    max_depth = depth_of[-1]
+    # Reduce-up: deepest level first, every node sends to its parent.
+    stages: list[Transfers] = []
+    for d in range(max_depth, 0, -1):
+        stages.append([
+            (workers[i], fabric.receiver_port(workers[(i - 1) // 2]), volume)
+            for i in range(n) if depth_of[i] == d
+        ])
+    # Broadcast-down: mirror image, parents send to children.
+    for d in range(1, max_depth + 1):
+        stages.append([
+            (workers[(i - 1) // 2], fabric.receiver_port(workers[i]), volume)
+            for i in range(n) if depth_of[i] == d
+        ])
+    return stages
+
+
+def _all_to_all_transfers(fabric: Fabric, workers: Sequence[int],
+                          volume: float) -> list[Transfers]:
+    n = len(workers)
+    if n < 2:
+        raise ConfigError(f"all-to-all needs >= 2 workers, got {n}")
+    chunk = volume / n
+    return [[
+        (workers[i], fabric.receiver_port(workers[j]), chunk)
+        for i in range(n) for j in range(n) if i != j
+    ]]
+
+
+def _ps_transfers(fabric: Fabric, workers: Sequence[int],
+                  servers: Sequence[int], volume: float) -> list[Transfers]:
+    if not workers:
+        raise ConfigError("parameter-server needs >= 1 worker")
+    if not servers:
+        raise ConfigError("parameter-server needs >= 1 server")
+    if set(workers) & set(servers):
+        raise ConfigError(
+            "parameter-server workers and servers must be disjoint machines"
+        )
+    shard = volume / len(servers)
+    push = [
+        (w, fabric.receiver_port(s), shard) for w in workers for s in servers
+    ]
+    pull = [
+        (s, fabric.receiver_port(w), shard) for s in servers for w in workers
+    ]
+    return [push, pull]
+
+
+def _pattern_transfers(
+    pattern: str,
+    fabric: Fabric,
+    workers: Sequence[int],
+    volume: float,
+    *,
+    servers: Sequence[int] = (),
+    rounds: int | None = None,
+) -> list[Transfers]:
+    if volume <= 0:
+        raise ConfigError(f"collective volume must be > 0, got {volume}")
+    if pattern == "ring":
+        return _ring_transfers(fabric, workers, volume, rounds)
+    if pattern == "tree":
+        return _tree_transfers(fabric, workers, volume)
+    if pattern == "all-to-all":
+        return _all_to_all_transfers(fabric, workers, volume)
+    if pattern == "ps":
+        return _ps_transfers(fabric, workers, servers, volume)
+    raise ConfigError(
+        f"unknown collective pattern {pattern!r}; known: {PATTERNS}"
+    )
+
+
+# ---- public pattern builders (one collective = one coflow chain) -----------
+
+
+def ring_allreduce(
+    base_id: int,
+    arrival_time: float,
+    fabric: Fabric,
+    workers: Sequence[int],
+    volume: float,
+    *,
+    rounds: int | None = None,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """One ring all-reduce as ``2·(N−1)`` chained step coflows.
+
+    ``workers`` are machine ids (see :func:`place_workers`); ``volume`` is
+    the per-worker gradient size in bytes. ``rounds`` overrides the step
+    count (default ``2·(N−1)``: reduce-scatter then all-gather).
+    """
+    return chain_stages(
+        base_id, arrival_time,
+        _pattern_transfers("ring", fabric, workers, volume, rounds=rounds),
+        flow_id_start=flow_id_start, job_id=job_id,
+    )
+
+
+def tree_allreduce(
+    base_id: int,
+    arrival_time: float,
+    fabric: Fabric,
+    workers: Sequence[int],
+    volume: float,
+    *,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """One binary-tree all-reduce: reduce-up then broadcast-down stages."""
+    return chain_stages(
+        base_id, arrival_time,
+        _pattern_transfers("tree", fabric, workers, volume),
+        flow_id_start=flow_id_start, job_id=job_id,
+    )
+
+
+def all_to_all(
+    base_id: int,
+    arrival_time: float,
+    fabric: Fabric,
+    workers: Sequence[int],
+    volume: float,
+    *,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """One dense N×N exchange as a single coflow (in a 1-stage chain)."""
+    return chain_stages(
+        base_id, arrival_time,
+        _pattern_transfers("all-to-all", fabric, workers, volume),
+        flow_id_start=flow_id_start, job_id=job_id,
+    )
+
+
+def parameter_server(
+    base_id: int,
+    arrival_time: float,
+    fabric: Fabric,
+    workers: Sequence[int],
+    servers: Sequence[int],
+    volume: float,
+    *,
+    flow_id_start: int = 0,
+    job_id: int | None = None,
+) -> list[CoFlow]:
+    """One PS exchange: push coflow then dependent pull coflow."""
+    return chain_stages(
+        base_id, arrival_time,
+        _pattern_transfers("ps", fabric, workers, volume, servers=servers),
+        flow_id_start=flow_id_start, job_id=job_id,
+    )
+
+
+# ---- training jobs ---------------------------------------------------------
+
+
+@dataclass
+class TrainingJob:
+    """A multi-iteration training job: a chain DAG of collective steps.
+
+    Behaves as a sequence of its stage coflows, so an iterable of jobs
+    feeds straight into :func:`~repro.workloads.dag.job_stream` and from
+    there into :meth:`~repro.simulator.scenario.Scenario.from_stream`.
+    """
+
+    job_id: int
+    pattern: str
+    arrival_time: float
+    #: Worker machine ids, in worker-index order.
+    workers: list[int]
+    #: Server machine ids (``ps`` pattern only; empty otherwise).
+    servers: list[int]
+    #: Every stage coflow of every iteration, in chain order.
+    coflows: list[CoFlow] = field(repr=False)
+    #: Stage coflow ids per iteration: ``iteration_stages[k]`` lists
+    #: iteration ``k``'s coflow ids in dependency order.
+    iteration_stages: list[tuple[int, ...]]
+
+    def __iter__(self) -> Iterator[CoFlow]:
+        return iter(self.coflows)
+
+    def __len__(self) -> int:
+        return len(self.coflows)
+
+    def __getitem__(self, i):
+        return self.coflows[i]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.iteration_stages)
+
+
+def training_job(
+    pattern: str,
+    iterations: int,
+    compute_gap: float = 0.0,
+    *,
+    fabric: Fabric,
+    workers: Sequence[int],
+    volume: float,
+    servers: Sequence[int] = (),
+    arrival_time: float = 0.0,
+    base_id: int = 0,
+    flow_id_start: int = 0,
+    job_id: int = 0,
+    volume_skew: Mapping[int, float] | None = None,
+) -> TrainingJob:
+    """``iterations`` repetitions of one collective, chained into a job.
+
+    Iteration ``k+1``'s first step depends on iteration ``k``'s last step
+    (the backward pass needs the previous update). ``compute_gap`` models
+    per-iteration compute as a fixed cadence: iteration ``k``'s first-step
+    flows carry ``available_time = arrival_time + k·compute_gap`` — an
+    idealised lower bound (compute overlapping communication), not a
+    measured GPU time; the DAG still forbids starting before iteration
+    ``k−1`` finishes.
+
+    ``volume_skew`` maps *worker index* → volume factor and scales every
+    byte that worker sends (imbalanced sharding / stuck-partition skew).
+    Unknown worker indices raise :class:`~repro.errors.ConfigError`.
+    """
+    if iterations < 1:
+        raise ConfigError(f"need >= 1 iteration, got {iterations}")
+    if compute_gap < 0:
+        raise ConfigError(f"compute_gap must be >= 0, got {compute_gap}")
+    step_transfers = _pattern_transfers(
+        pattern, fabric, workers, volume, servers=servers
+    )
+    stages_per_iter = len(step_transfers)
+    all_transfers = [list(step) for _ in range(iterations)
+                     for step in step_transfers]
+    coflows = chain_stages(
+        base_id, arrival_time, all_transfers,
+        flow_id_start=flow_id_start, job_id=job_id,
+    )
+    iteration_stages = [
+        tuple(c.coflow_id
+              for c in coflows[k * stages_per_iter:(k + 1) * stages_per_iter])
+        for k in range(iterations)
+    ]
+    if compute_gap > 0:
+        for k, stage_ids in enumerate(iteration_stages):
+            if k == 0:
+                continue
+            first = coflows[k * stages_per_iter]
+            for f in first.flows:
+                f.available_time = arrival_time + k * compute_gap
+    if volume_skew:
+        machine_factor = {}
+        for w, factor in volume_skew.items():
+            if not 0 <= w < len(workers):
+                raise ConfigError(
+                    f"volume_skew names unknown worker {w}; "
+                    f"workers are 0..{len(workers) - 1}"
+                )
+            if factor <= 0:
+                raise ConfigError(
+                    f"volume_skew factor must be > 0, got {factor} "
+                    f"for worker {w}"
+                )
+            machine_factor[workers[w]] = factor
+        for c in coflows:
+            for f in c.flows:
+                factor = machine_factor.get(f.src)
+                if factor is not None:
+                    f.volume *= factor
+    return TrainingJob(
+        job_id=job_id, pattern=pattern, arrival_time=arrival_time,
+        workers=list(workers), servers=list(servers),
+        coflows=coflows, iteration_stages=iteration_stages,
+    )
+
+
+def iteration_times(job: TrainingJob,
+                    ccts: Mapping[int, float]) -> list[float]:
+    """Per-iteration durations of ``job`` from a run's CCT map.
+
+    Every pattern is a pure stage chain and the engine starts each stage's
+    CCT clock at DAG release (the previous stage's completion instant), so
+    iteration ``k``'s duration — from the job arrival or the end of
+    iteration ``k−1`` to the completion of iteration ``k``'s final
+    collective — is exactly the sum of its stage CCTs. Compute-gap idle
+    time is charged to the stage that waited, so it is included.
+    """
+    return [
+        sum(ccts[cid] for cid in stage_ids)
+        for stage_ids in job.iteration_stages
+    ]
+
+
+# ---- workload-level generation (sweep runner / CLI entry point) ------------
+
+
+def collective_jobs(
+    fabric: Fabric,
+    *,
+    pattern: str,
+    workers: int,
+    iterations: int,
+    volume: float,
+    jobs: int = 1,
+    servers: int = 0,
+    racks: int = 1,
+    placement: str = "packed",
+    compute_gap: float = 0.0,
+    arrival_gap: float = 0.0,
+    seed: int | None = None,
+) -> list[TrainingJob]:
+    """Generate ``jobs`` identical training jobs, arrival-staggered.
+
+    Workers (and, for ``ps``, servers — placed after the workers in the
+    same sweep) are mapped onto machines once via :func:`place_workers`;
+    every job shares the placement, so jobs contend for the same ports
+    exactly like successive training runs sharing a cluster slice.
+
+    Arrivals: job ``j`` arrives at ``j·arrival_gap``; with a ``seed``,
+    inter-arrival gaps are instead exponential with mean ``arrival_gap``
+    (deterministic per seed). Coflow and flow ids are globally unique
+    across jobs.
+    """
+    if jobs < 1:
+        raise ConfigError(f"need >= 1 job, got {jobs}")
+    if arrival_gap < 0:
+        raise ConfigError(f"arrival_gap must be >= 0, got {arrival_gap}")
+    n_servers = servers if pattern == "ps" else 0
+    machines = place_workers(
+        workers + n_servers, fabric, racks=racks, placement=placement,
+    )
+    worker_machines = machines[:workers]
+    server_machines = machines[workers:]
+    if arrival_gap > 0 and seed is not None:
+        rng = make_rng(seed)
+        gaps = rng.exponential(arrival_gap, size=jobs)
+        arrivals = [float(sum(gaps[:j])) for j in range(jobs)]
+    else:
+        arrivals = [j * arrival_gap for j in range(jobs)]
+    out: list[TrainingJob] = []
+    base_id = 0
+    fid = 0
+    for j in range(jobs):
+        job = training_job(
+            pattern, iterations, compute_gap,
+            fabric=fabric, workers=worker_machines, volume=volume,
+            servers=server_machines, arrival_time=arrivals[j],
+            base_id=base_id, flow_id_start=fid, job_id=j,
+        )
+        base_id += len(job.coflows)
+        fid += sum(len(c.flows) for c in job.coflows)
+        out.append(job)
+    return out
+
+
+def materialize_collective(
+    machines: int,
+    seed: int,
+    params: Mapping[str, object],
+    *,
+    port_rate: float,
+) -> tuple[Fabric, list[TrainingJob]]:
+    """Build ``(fabric, jobs)`` from a sweep-runner collective recipe.
+
+    ``params`` is the decoded ``WorkloadSpec.params`` mapping (see
+    :func:`repro.experiments.runner.collective_spec`); generation is a pure
+    function of ``(machines, seed, params)``, so worker processes rebuild
+    the workload bit-identically.
+    """
+    fabric = Fabric(num_machines=machines, port_rate=port_rate)
+    jobs = collective_jobs(
+        fabric,
+        pattern=str(params["pattern"]),
+        workers=int(params["workers"]),
+        iterations=int(params["iterations"]),
+        volume=float(params["volume"]),
+        jobs=int(params.get("jobs", 1)),
+        servers=int(params.get("servers", 0)),
+        racks=int(params.get("racks", 1)),
+        placement=str(params.get("placement", "packed")),
+        compute_gap=float(params.get("compute_gap", 0.0)),
+        arrival_gap=float(params.get("arrival_gap", 0.0)),
+        seed=seed,
+    )
+    return fabric, jobs

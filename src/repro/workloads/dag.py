@@ -108,7 +108,10 @@ def validate_dag(coflows: Iterable[CoFlow]) -> None:
     """Check that DAG references resolve and contain no cycles.
 
     Raises :class:`~repro.errors.ConfigError` on an unknown dependency or a
-    dependency cycle (which would deadlock the simulation).
+    dependency cycle (which would deadlock the simulation); the cycle error
+    spells out the full dependency path (``DAG cycle: a -> b -> c -> a``).
+    Traversal is iterative, so arbitrarily deep chains (thousand-stage
+    training jobs) validate without hitting the interpreter recursion limit.
     """
     by_id = {c.coflow_id: c for c in coflows}
     for c in by_id.values():
@@ -120,22 +123,29 @@ def validate_dag(coflows: Iterable[CoFlow]) -> None:
 
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {cid: WHITE for cid in by_id}
-
-    def visit(cid: int, stack: list[int]) -> None:
-        colour[cid] = GREY
-        stack.append(cid)
-        for dep in by_id[cid].depends_on:
-            if colour[dep] == GREY:
-                cycle = stack[stack.index(dep):] + [dep]
-                raise ConfigError(f"DAG cycle: {' -> '.join(map(str, cycle))}")
-            if colour[dep] == WHITE:
-                visit(dep, stack)
-        stack.pop()
-        colour[cid] = BLACK
-
-    for cid in by_id:
-        if colour[cid] == WHITE:
-            visit(cid, [])
+    for root in by_id:
+        if colour[root] != WHITE:
+            continue
+        colour[root] = GREY
+        path = [root]
+        stack = [iter(by_id[root].depends_on)]
+        while stack:
+            advanced = False
+            for dep in stack[-1]:
+                if colour[dep] == GREY:
+                    cycle = path[path.index(dep):] + [dep]
+                    raise ConfigError(
+                        f"DAG cycle: {' -> '.join(map(str, cycle))}"
+                    )
+                if colour[dep] == WHITE:
+                    colour[dep] = GREY
+                    path.append(dep)
+                    stack.append(iter(by_id[dep].depends_on))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[path.pop()] = BLACK
+                stack.pop()
 
 
 def critical_path_stages(coflows: Iterable[CoFlow]) -> list[int]:
@@ -146,22 +156,31 @@ def critical_path_stages(coflows: Iterable[CoFlow]) -> list[int]:
     """
     by_id = {c.coflow_id: c for c in coflows}
     validate_dag(by_id.values())
+    # Iterative post-order (deep chains must not exhaust the recursion
+    # limit); ties keep the first-seen dependency, matching dict order.
     memo: dict[int, list[int]] = {}
-
-    def longest(cid: int) -> list[int]:
-        if cid in memo:
-            return memo[cid]
-        best: list[int] = []
-        for dep in by_id[cid].depends_on:
-            cand = longest(dep)
-            if len(cand) > len(best):
-                best = cand
-        memo[cid] = best + [cid]
-        return memo[cid]
+    for root in by_id:
+        stack = [root]
+        while stack:
+            cid = stack[-1]
+            if cid in memo:
+                stack.pop()
+                continue
+            pending = [d for d in by_id[cid].depends_on if d not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            best: list[int] = []
+            for dep in by_id[cid].depends_on:
+                cand = memo[dep]
+                if len(cand) > len(best):
+                    best = cand
+            memo[cid] = best + [cid]
+            stack.pop()
 
     overall: list[int] = []
     for cid in by_id:
-        cand = longest(cid)
+        cand = memo[cid]
         if len(cand) > len(overall):
             overall = cand
     return overall

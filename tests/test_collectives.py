@@ -1,0 +1,268 @@
+"""Collective-communication workload generators (workloads/collectives)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.engine import run_policy, run_scenario
+from repro.simulator.fabric import Fabric
+from repro.simulator.flows import clone_coflows
+from repro.simulator.scenario import Scenario
+from repro.workloads.collectives import (
+    PATTERNS,
+    all_to_all,
+    collective_jobs,
+    iteration_times,
+    parameter_server,
+    place_workers,
+    ring_allreduce,
+    training_job,
+    tree_allreduce,
+)
+from repro.workloads.dag import job_stream, validate_dag
+
+
+def _fabric(n=12):
+    return Fabric(num_machines=n, port_rate=100.0)
+
+
+def _job(pattern, fabric, workers, iterations=1, volume=400.0, **kw):
+    servers = kw.pop("servers", ())
+    if pattern == "ps" and not servers:
+        servers = [w + len(workers) for w in range(2)]
+    return training_job(pattern, iterations, fabric=fabric, workers=workers,
+                        volume=volume, servers=servers, **kw)
+
+
+# ---- generator invariants (property tests) ---------------------------------
+
+
+class TestRingInvariants:
+    @given(n=st.integers(min_value=2, max_value=10),
+           volume=st.floats(min_value=1.0, max_value=1e9,
+                            allow_nan=False, allow_infinity=False))
+    @settings(max_examples=60, deadline=None)
+    def test_per_worker_bytes_conserved(self, n, volume):
+        """Each worker sends exactly 2·(N−1)·V/N bytes per all-reduce."""
+        fab = _fabric(n)
+        workers = list(range(n))
+        stages = ring_allreduce(0, 0.0, fab, workers, volume)
+        assert len(stages) == 2 * (n - 1)
+        sent = {w: 0.0 for w in workers}
+        for c in stages:
+            assert len(c.flows) == n
+            for f in c.flows:
+                sent[f.src] += f.volume
+        expected = 2 * (n - 1) * volume / n
+        for w in workers:
+            assert sent[w] == pytest.approx(expected, rel=1e-12)
+
+    def test_each_step_is_a_ring(self):
+        fab = _fabric(4)
+        stages = ring_allreduce(0, 0.0, fab, [0, 1, 2, 3], 400.0)
+        for c in stages:
+            edges = {(f.src, fab.machine_of(f.dst)) for f in c.flows}
+            assert edges == {(0, 1), (1, 2), (2, 3), (3, 0)}
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+@given(n=st.integers(min_value=2, max_value=9),
+       iterations=st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_validate_dag_accepts_every_pattern(pattern, n, iterations):
+    """Every generated job is a valid DAG (no cycles, resolved refs)."""
+    fab = _fabric(n + 3)
+    job = _job(pattern, fab, list(range(n)), iterations=iterations,
+               servers=[n, n + 1] if pattern == "ps" else ())
+    validate_dag(job.coflows)
+    assert job.iterations == iterations
+    ids = [c.coflow_id for c in job]
+    assert len(set(ids)) == len(ids)
+    assert sorted(cid for stage in job.iteration_stages for cid in stage) \
+        == sorted(ids)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_iteration_dependency_chain(pattern):
+    """Iteration k+1's first stage depends on iteration k's final stage."""
+    fab = _fabric(8)
+    job = _job(pattern, fab, [0, 1, 2, 3], iterations=3)
+    by_id = {c.coflow_id: c for c in job}
+    for k in range(1, job.iterations):
+        first = by_id[job.iteration_stages[k][0]]
+        prev_last = job.iteration_stages[k - 1][-1]
+        assert first.depends_on == (prev_last,)
+    # Within an iteration the stages chain linearly too.
+    for stage_ids in job.iteration_stages:
+        for a, b in zip(stage_ids, stage_ids[1:]):
+            assert by_id[b].depends_on == (a,)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_iterations_execute_in_order(pattern):
+    """Simulated: no iteration-k+1 flow starts before iteration k ends."""
+    fab = _fabric(8)
+    cfg = SimulationConfig(port_rate=100.0)
+    job = _job(pattern, fab, [0, 1, 2, 3], iterations=2)
+    res = run_policy(make_scheduler("saath", cfg), job.coflows, fab, cfg)
+    first_finish = res.coflow(job.iteration_stages[0][-1]).finish_time
+    for cid in job.iteration_stages[1]:
+        for f in res.coflow(cid).flows:
+            assert f.start_time is None or f.start_time >= first_finish
+    # Per-iteration times from CCTs match the finish-time arithmetic.
+    times = iteration_times(job, res.ccts())
+    assert times[0] == pytest.approx(first_finish - job.arrival_time)
+    last_finish = res.coflow(job.iteration_stages[1][-1]).finish_time
+    assert times[1] == pytest.approx(last_finish - first_finish)
+
+
+# ---- placement -------------------------------------------------------------
+
+
+class TestPlacement:
+    @given(n=st.integers(min_value=2, max_value=32),
+           count=st.integers(min_value=1, max_value=32),
+           racks=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_placements_stay_within_rack_bounds(self, n, count, racks):
+        fab = _fabric(n)
+        if count > n or racks > n:
+            with pytest.raises(ConfigError):
+                place_workers(count, fab, racks=racks, placement="packed")
+            return
+        stride = math.ceil(n / racks)
+        for placement in ("packed", "spread"):
+            machines = place_workers(count, fab, racks=racks,
+                                     placement=placement)
+            assert len(machines) == count
+            assert len(set(machines)) == count  # one machine per worker
+            for m in machines:
+                assert 0 <= m < n
+                assert m // stride < racks  # within configured rack bounds
+        # Packed fills the fewest racks possible.
+        packed = place_workers(count, fab, racks=racks, placement="packed")
+        assert max(m // stride for m in packed) == (count - 1) // stride
+        # Spread balances: a rack more than one below the heaviest load can
+        # only be a short tail rack that is completely full.
+        spread = place_workers(count, fab, racks=racks, placement="spread")
+        loads = [0] * racks
+        sizes = [0] * racks
+        for m in spread:
+            loads[m // stride] += 1
+        for m in range(n):
+            sizes[m // stride] += 1
+        heaviest = max(loads)
+        for r in range(racks):
+            assert loads[r] >= heaviest - 1 or loads[r] == sizes[r]
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigError, match="placement"):
+            place_workers(2, _fabric(4), placement="diagonal")
+
+    def test_too_many_workers_rejected(self):
+        with pytest.raises(ConfigError, match="4 machines"):
+            place_workers(5, _fabric(4))
+
+
+# ---- jobs, skew, errors ----------------------------------------------------
+
+
+class TestTrainingJob:
+    def test_compute_gap_sets_available_floors(self):
+        fab = _fabric(6)
+        job = _job("ring", fab, [0, 1, 2], iterations=3, compute_gap=0.5,
+                   arrival_time=1.0)
+        for k, stage_ids in enumerate(job.iteration_stages):
+            first = next(c for c in job if c.coflow_id == stage_ids[0])
+            expected = 1.0 + k * 0.5 if k > 0 else 0.0
+            for f in first.flows:
+                assert f.available_time == expected
+
+    def test_volume_skew_scales_one_workers_sends(self):
+        fab = _fabric(6)
+        plain = _job("ring", fab, [0, 1, 2], volume=300.0)
+        skewed = training_job("ring", 1, fabric=fab, workers=[0, 1, 2],
+                              volume=300.0, volume_skew={1: 2.0})
+        for c_plain, c_skew in zip(plain, skewed):
+            for f_plain, f_skew in zip(c_plain.flows, c_skew.flows):
+                factor = 2.0 if f_plain.src == 1 else 1.0
+                assert f_skew.volume == pytest.approx(
+                    f_plain.volume * factor
+                )
+
+    def test_volume_skew_unknown_worker_rejected(self):
+        fab = _fabric(6)
+        with pytest.raises(ConfigError, match="unknown worker 7"):
+            training_job("ring", 1, fabric=fab, workers=[0, 1, 2],
+                         volume=300.0, volume_skew={7: 2.0})
+
+    def test_ps_requires_disjoint_servers(self):
+        fab = _fabric(6)
+        with pytest.raises(ConfigError, match="disjoint"):
+            parameter_server(0, 0.0, fab, [0, 1], [1, 2], 100.0)
+
+    def test_unknown_pattern_rejected(self):
+        fab = _fabric(6)
+        with pytest.raises(ConfigError, match="unknown collective pattern"):
+            training_job("butterfly", 1, fabric=fab, workers=[0, 1],
+                         volume=1.0)
+
+    def test_tree_and_all_to_all_shapes(self):
+        fab = _fabric(8)
+        tree = tree_allreduce(0, 0.0, fab, list(range(7)), 100.0)
+        # 7 workers -> depth 2: two reduce stages + two broadcast stages.
+        assert len(tree) == 4
+        assert sum(len(c.flows) for c in tree) == 2 * 6  # one edge per link
+        dense = all_to_all(0, 0.0, fab, list(range(5)), 100.0)
+        assert len(dense) == 1
+        assert len(dense[0].flows) == 5 * 4
+
+
+class TestCollectiveJobs:
+    def test_ids_globally_unique_across_jobs(self):
+        fab = _fabric(8)
+        jobs = collective_jobs(fab, pattern="ring", workers=4, iterations=2,
+                               volume=100.0, jobs=3, arrival_gap=0.5)
+        cids = [c.coflow_id for j in jobs for c in j]
+        fids = [f.flow_id for j in jobs for c in j for f in c.flows]
+        assert len(set(cids)) == len(cids)
+        assert len(set(fids)) == len(fids)
+        assert [j.arrival_time for j in jobs] == [0.0, 0.5, 1.0]
+        validate_dag([c for j in jobs for c in j])
+
+    def test_seeded_arrivals_deterministic(self):
+        fab = _fabric(8)
+        a = collective_jobs(fab, pattern="ring", workers=4, iterations=1,
+                            volume=100.0, jobs=4, arrival_gap=0.5, seed=3)
+        b = collective_jobs(fab, pattern="ring", workers=4, iterations=1,
+                            volume=100.0, jobs=4, arrival_gap=0.5, seed=3)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_jobs_stream_through_scenario_spine(self):
+        """job_stream(jobs) through Scenario.from_stream == batch run."""
+        fab = _fabric(8)
+        cfg = SimulationConfig(port_rate=100.0)
+        jobs = collective_jobs(fab, pattern="tree", workers=5, iterations=2,
+                               volume=200.0, jobs=2, arrival_gap=1.0)
+        batch = [c for j in jobs for c in j]
+        res_batch = run_policy(
+            make_scheduler("saath", cfg), clone_coflows(batch), fab, cfg
+        )
+        res_stream = run_scenario(
+            make_scheduler("saath", cfg),
+            Scenario.from_stream(
+                lambda: job_stream(
+                    collective_jobs(fab, pattern="tree", workers=5,
+                                    iterations=2, volume=200.0, jobs=2,
+                                    arrival_gap=1.0)
+                ),
+                total_coflows=len(batch),
+            ),
+            fab, cfg,
+        )
+        assert res_stream.ccts() == res_batch.ccts()
+        assert res_stream.makespan == res_batch.makespan

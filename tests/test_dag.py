@@ -126,6 +126,43 @@ class TestValidateDag:
         with pytest.raises(ConfigError, match="cycle"):
             validate_dag([a])
 
+    def test_cycle_error_reports_full_path(self):
+        """The error spells out the whole cycle, not just the entry node —
+        a 3-cycle entered from an outside node must render as
+        ``1 -> 2 -> 3 -> 1`` (in dependency order)."""
+        entry = make_coflow(0, 0.0, [(0, 10, 1.0)], depends_on=(1,))
+        a = make_coflow(1, 0.0, [(1, 11, 1.0)], depends_on=(2,))
+        b = make_coflow(2, 0.0, [(2, 12, 1.0)], depends_on=(3,))
+        c = make_coflow(3, 0.0, [(3, 13, 1.0)], depends_on=(1,))
+        with pytest.raises(ConfigError,
+                           match=r"DAG cycle: 1 -> 2 -> 3 -> 1"):
+            validate_dag([entry, a, b, c])
+
+    def test_deep_chain_validates_without_recursion_limit(self):
+        """Thousand-stage chains (multi-iteration training jobs) must not
+        blow the interpreter recursion limit; regression for the old
+        recursive DFS."""
+        depth = 5000
+        coflows = [
+            make_coflow(i, 0.0, [(0, 10, 1.0)],
+                        depends_on=(i + 1,) if i + 1 < depth else ())
+            for i in range(depth)
+        ]
+        validate_dag(coflows)
+        path = critical_path_stages(coflows)
+        assert len(path) == depth
+        assert path[0] == depth - 1 and path[-1] == 0
+
+    def test_deep_cycle_reported_without_recursion_limit(self):
+        depth = 5000
+        coflows = [
+            make_coflow(i, 0.0, [(0, 10, 1.0)],
+                        depends_on=((i + 1) % depth,))
+            for i in range(depth)
+        ]
+        with pytest.raises(ConfigError, match="cycle"):
+            validate_dag(coflows)
+
 
 class TestCriticalPath:
     def test_chain_critical_path(self):

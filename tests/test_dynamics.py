@@ -15,6 +15,7 @@ from repro.simulator.dynamics import (
     FlowSlowdown,
     PortDegradation,
     PortRecovery,
+    StragglerEvent,
     StragglerRecovery,
     inject_failures,
     inject_stragglers,
@@ -194,3 +195,102 @@ class TestDynamicsEndToEnd:
         res = run_policy(SaathScheduler(cfg), coflows, spec.make_fabric(),
                          cfg, dynamics=actions)
         assert len(res.coflows) == 15
+
+
+class TestWorkerStragglers:
+    """StragglerEvent: machine-level slowdowns on collective workloads."""
+
+    def _workload(self, fab):
+        from repro.workloads.collectives import collective_jobs
+
+        return collective_jobs(fab, pattern="ring", workers=4, iterations=2,
+                               volume=400.0)
+
+    def _run(self, policy, dynamics=()):
+        from repro.schedulers.registry import make_scheduler
+
+        fab = _fabric()
+        cfg = SimulationConfig(port_rate=100.0)
+        jobs = self._workload(fab)
+        coflows = clone_coflows([c for j in jobs for c in j])
+        res = run_policy(make_scheduler(policy, cfg), coflows, fab, cfg,
+                         dynamics=list(dynamics))
+        return jobs, res
+
+    def test_slowed_worker_lengthens_iterations_under_every_policy(self):
+        from repro.schedulers.registry import available_policies
+        from repro.workloads.collectives import iteration_times
+
+        for policy in available_policies():
+            jobs, base = self._run(policy)
+            _, slow = self._run(policy, [
+                StragglerEvent(time=0.0, worker=1, efficiency=0.25)
+            ])
+            base_iters = iteration_times(jobs[0], base.ccts())
+            slow_iters = iteration_times(jobs[0], slow.ccts())
+            for k, (b, s) in enumerate(zip(base_iters, slow_iters)):
+                assert s > b, (
+                    f"policy {policy}: straggler did not lengthen "
+                    f"iteration {k} ({s} <= {b})"
+                )
+
+    def test_recovery_restores_baseline(self):
+        _, base = self._run("saath")
+        # Slowdown + same-instant recovery: no byte moves while slow,
+        # so the run must be bit-identical to the baseline.
+        _, recovered = self._run("saath", [
+            StragglerEvent(time=0.0, worker=1, efficiency=0.25),
+            StragglerEvent(time=0.0, worker=1, efficiency=1.0),
+        ])
+        assert recovered.ccts() == base.ccts()
+        assert recovered.makespan == base.makespan
+        # Mid-run recovery lands between the baseline and a full episode.
+        _, slow = self._run("saath", [
+            StragglerEvent(time=0.0, worker=1, efficiency=0.25),
+        ])
+        _, partial = self._run("saath", [
+            StragglerEvent(time=0.0, worker=1, efficiency=0.25),
+            StragglerEvent(time=base.makespan / 2, worker=1, efficiency=1.0),
+        ])
+        assert base.makespan < partial.makespan < slow.makespan
+
+    def test_unknown_worker_named_in_error(self):
+        with pytest.raises(ConfigError, match="machine 99"):
+            self._run("saath", [
+                StragglerEvent(time=0.0, worker=99, efficiency=0.5)
+            ])
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError, match="efficiency"):
+            StragglerEvent(time=0.0, worker=1, efficiency=0.0)
+        with pytest.raises(ConfigError, match="efficiency"):
+            StragglerEvent(time=0.0, worker=1, efficiency=1.5)
+
+    def test_late_arrivals_inherit_machine_efficiency(self):
+        """A coflow arriving mid-episode is slowed too (the session tags
+        flows from straggling machines at activation)."""
+        fab = _fabric()
+        cfg = SimulationConfig(port_rate=100.0)
+
+        def build():
+            return [
+                make_coflow(0, 0.0, [(0, fab.receiver_port(1), 100.0)],
+                            flow_id_start=0),
+                make_coflow(1, 2.0, [(1, fab.receiver_port(2), 100.0)],
+                            flow_id_start=10),
+            ]
+
+        res = run_policy(
+            SaathScheduler(cfg), build(), fab, cfg,
+            dynamics=[StragglerEvent(time=0.0, worker=1, efficiency=0.5)],
+        )
+        # Machine 0 is unaffected; machine 1's flow (arriving at t=2,
+        # well after the event) runs at half speed: 100 B at 50 B/s.
+        assert res.cct(0) == pytest.approx(1.0)
+        assert res.cct(1) == pytest.approx(2.0)
+
+    def test_encode_decode_roundtrip(self):
+        from repro.simulator.dynamics import decode_actions, encode_actions
+
+        actions = [StragglerEvent(time=1.5, worker=3, efficiency=0.3)]
+        assert decode_actions(encode_actions(actions)) == actions

@@ -126,57 +126,112 @@ ENGINE_PATHS = (
 )
 
 
+def assert_six_paths_identical(policy, fabric, coflows, seed, *,
+                               deep_paths, pause_at=0.3, label=""):
+    """Run ``coflows`` under every engine path and pin byte-identity.
+
+    Always: epochs / no-epochs / no-incremental / stream. With
+    ``deep_paths`` (deep copies are not free, so callers sample): also
+    snapshot-resume and the single-rack leaf-spine topology.
+    """
+    prints = {}
+    for path_name, cfg_kw in ENGINE_PATHS:
+        cfg = SimulationConfig(sync_interval=8e-3, **cfg_kw)
+        result = run_policy(
+            make_scheduler(policy, cfg), clone_coflows(coflows),
+            fabric, cfg,
+        )
+        prints[path_name] = fingerprint(result)
+    # Fourth path: the same workload fed lazily through a generator-
+    # backed scenario stream (the session kernel's open-loop input).
+    cfg = SimulationConfig(sync_interval=8e-3)
+    ordered = sorted(coflows, key=lambda c: c.arrival_time)
+    prints["stream"] = fingerprint(run_scenario(
+        make_scheduler(policy, cfg),
+        Scenario.from_stream(
+            lambda: iter(clone_coflows(ordered)),
+            total_coflows=len(ordered),
+        ),
+        fabric, cfg,
+    ))
+    # Fifth path: pause mid-run, checkpoint, resume from the snapshot.
+    if deep_paths:
+        session = SimulationSession(
+            fabric, make_scheduler(policy, cfg), cfg,
+            scenario=Scenario.from_coflows(clone_coflows(coflows)),
+        )
+        session.run_until(pause_at)
+        snap = session.snapshot()
+        prints["resumed"] = fingerprint(
+            SimulationSession.restore(snap).run()
+        )
+        # Sixth path: a single-rack leaf-spine topology. Core links
+        # exist (path-aware machinery fully engaged: LinkLedger,
+        # link counts, *_paths allocators) but every flow is
+        # rack-local, so nothing may change byte-for-byte.
+        prints["leaf-spine"] = fingerprint(run_policy(
+            make_scheduler(policy, cfg), clone_coflows(coflows),
+            fabric, cfg,
+            topology=LeafSpineTopology(
+                fabric, racks=1, spines=2, oversub=1.0
+            ),
+        ))
+    reference = prints["epochs"]
+    assert all(p == reference for p in prints.values()), (
+        f"engine paths diverged: policy={policy} seed={seed} {label}"
+        f"({[k for k, p in prints.items() if p != reference]})"
+    )
+
+
 @pytest.mark.parametrize("policy", available_policies())
 def test_random_workloads_triple_path_identical(policy):
     for seed in range(NUM_WORKLOADS):
         fabric, coflows = random_workload(seed)
-        prints = {}
-        for path_name, cfg_kw in ENGINE_PATHS:
-            cfg = SimulationConfig(sync_interval=8e-3, **cfg_kw)
-            result = run_policy(
-                make_scheduler(policy, cfg), clone_coflows(coflows),
-                fabric, cfg,
-            )
-            prints[path_name] = fingerprint(result)
-        # Fourth path: the same workload fed lazily through a generator-
-        # backed scenario stream (the session kernel's open-loop input).
-        cfg = SimulationConfig(sync_interval=8e-3)
-        ordered = sorted(coflows, key=lambda c: c.arrival_time)
-        prints["stream"] = fingerprint(run_scenario(
-            make_scheduler(policy, cfg),
-            Scenario.from_stream(
-                lambda: iter(clone_coflows(ordered)),
-                total_coflows=len(ordered),
-            ),
-            fabric, cfg,
-        ))
-        # Fifth path (every 5th seed — deep copies are not free): pause
-        # mid-run, checkpoint, and resume from the snapshot.
-        if seed % 5 == 0:
-            session = SimulationSession(
-                fabric, make_scheduler(policy, cfg), cfg,
-                scenario=Scenario.from_coflows(clone_coflows(coflows)),
-            )
-            session.run_until(0.3)
-            snap = session.snapshot()
-            prints["resumed"] = fingerprint(
-                SimulationSession.restore(snap).run()
-            )
-            # Sixth path: a single-rack leaf-spine topology. Core links
-            # exist (path-aware machinery fully engaged: LinkLedger,
-            # link counts, *_paths allocators) but every flow is
-            # rack-local, so nothing may change byte-for-byte.
-            prints["leaf-spine"] = fingerprint(run_policy(
-                make_scheduler(policy, cfg), clone_coflows(coflows),
-                fabric, cfg,
-                topology=LeafSpineTopology(
-                    fabric, racks=1, spines=2, oversub=1.0
-                ),
-            ))
-        reference = prints["epochs"]
-        assert all(p == reference for p in prints.values()), (
-            f"engine paths diverged: policy={policy} seed={seed} "
-            f"({[k for k, p in prints.items() if p != reference]})"
+        assert_six_paths_identical(
+            policy, fabric, coflows, seed, deep_paths=seed % 5 == 0,
+        )
+
+
+NUM_COLLECTIVE_WORKLOADS = 6
+
+
+def random_collective_workload(seed: int):
+    """A small seeded-random training workload: 4–8 machines, 1–2 jobs of a
+    random ``(pattern, workers, iterations, volume)`` recipe, random
+    placement — the structured counterpart of :func:`random_workload`."""
+    from repro.workloads.collectives import collective_jobs
+
+    rng = random.Random(0xC0FFEE + seed)
+    machines = rng.randrange(4, 9)
+    fabric = Fabric(num_machines=machines, port_rate=1e6)
+    pattern = rng.choice(["ring", "tree", "all-to-all", "ps"])
+    servers = rng.randrange(1, 3) if pattern == "ps" else 0
+    workers = rng.randrange(2, machines - servers + 1)
+    jobs = collective_jobs(
+        fabric,
+        pattern=pattern,
+        workers=workers,
+        iterations=rng.randrange(1, 3),
+        volume=rng.choice([1e3, 5e4, 1e6 * rng.random() + 1.0]),
+        jobs=rng.randrange(1, 3),
+        servers=servers,
+        racks=rng.randrange(1, 3),
+        placement=rng.choice(["packed", "spread"]),
+        compute_gap=rng.choice([0.0, 0.0, 0.05]),
+        arrival_gap=rng.choice([0.0, 0.3]),
+    )
+    return fabric, [c for job in jobs for c in job]
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_random_collective_workloads_six_paths_identical(policy):
+    """Seeded random training jobs (collective DAG chains) must be
+    byte-identical across all six engine paths, like every other source."""
+    for seed in range(NUM_COLLECTIVE_WORKLOADS):
+        fabric, coflows = random_collective_workload(seed)
+        assert_six_paths_identical(
+            policy, fabric, coflows, seed, deep_paths=seed % 3 == 0,
+            pause_at=0.05, label="collective ",
         )
 
 

@@ -332,11 +332,16 @@ def test_runspec_cache_key_big_switch_matches_pre_topology_format():
 
     workload = WorkloadSpec(family="osp-like", machines=16, coflows=60)
     spec = RunSpec(policy="aalo", workload=workload, arrival_scale=2.0)
+    # The v2/v3 payload has no ``params`` entry — shuffle-family specs must
+    # keep hashing the exact legacy shape (the collective family's params
+    # join the payload only when non-empty).
+    legacy_workload = asdict(spec.workload)
+    assert legacy_workload.pop("params") == ()
     legacy_payload = json.dumps(
         {
             "v": CACHE_VERSION,
             "policy": spec.policy,
-            "workload": asdict(spec.workload),
+            "workload": legacy_workload,
             "config": asdict(spec.config),
             "arrival_scale": spec.arrival_scale,
             "dynamics": spec.dynamics,
