@@ -36,13 +36,18 @@ from .config import (
 from .core.saath import SaathScheduler
 from .errors import (
     CapacityViolationError,
+    ChaosError,
+    CheckpointError,
     ConfigError,
     ReproError,
+    RunFailedError,
     SchedulerError,
     SimulationError,
+    SweepInterrupted,
     TraceFormatError,
     UnknownPolicyError,
 )
+from .resilience import Attempt, RetryPolicy, RunFailure
 from .schedulers.base import Allocation, Scheduler
 from .schedulers.registry import (
     available_policies,
@@ -66,7 +71,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Allocation",
+    "Attempt",
     "CapacityViolationError",
+    "ChaosError",
+    "CheckpointError",
     "ClusterState",
     "CoFlow",
     "ConfigError",
@@ -81,6 +89,9 @@ __all__ = [
     "PortLedger",
     "QueueConfig",
     "ReproError",
+    "RetryPolicy",
+    "RunFailedError",
+    "RunFailure",
     "SaathScheduler",
     "Scenario",
     "Scheduler",
@@ -91,6 +102,7 @@ __all__ = [
     "SimulationResult",
     "SimulationSession",
     "Simulator",
+    "SweepInterrupted",
     "TB",
     "TraceFormatError",
     "UnknownPolicyError",

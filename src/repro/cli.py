@@ -12,10 +12,19 @@ Sub-commands:
   ``--no-incremental`` selects the full-recompute scheduling path;
   ``--streaming`` drives the run through a lazily-pulled scenario stream;
   ``--topology leaf-spine --oversub 4`` simulates an oversubscribed
-  leaf–spine fabric instead of the paper's big switch).
+  leaf–spine fabric instead of the paper's big switch; ``--checkpoint
+  PATH`` writes durable session checkpoints as the run progresses and
+  ``--resume-from PATH`` continues one — the resumed run finishes
+  byte-identical to an uninterrupted one).
 * ``sweep`` — run a policy × seed grid through the parallel sweep runner
-  and print per-run mean/median CCTs plus cache statistics.
+  and print per-run mean/median CCTs plus cache statistics
+  (``--retries``/``--run-timeout``/``--strict`` tune the fault-tolerant
+  runner; ``--sweep-log`` appends JSON-lines per-run telemetry).
 * ``gen-trace`` — emit a synthetic workload in coflow-benchmark format.
+
+``Ctrl-C`` exits with status 130 after printing a partial-results summary;
+finished sweep runs are already persisted, so re-running resumes from the
+cache.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from pathlib import Path
 
 from .analysis.metrics import DistributionSummary
 from .config import SimulationConfig
-from .errors import ReproError
+from .errors import ReproError, SweepInterrupted
 from .experiments import runner as sweep_runner
 from .experiments.common import ExperimentScale
 from .experiments.registry import (
@@ -35,10 +44,12 @@ from .experiments.registry import (
     run_and_render,
 )
 from .experiments.runner import RunSpec, WorkloadSpec, collective_spec
+from .resilience import RetryPolicy
 from .schedulers.registry import available_policies, make_scheduler
 from .simulator.engine import run_policy, run_scenario
 from .simulator.fabric import Fabric
 from .simulator.scenario import Scenario
+from .simulator.session import SessionSnapshot, SimulationSession
 from .simulator.topology import PATH_SELECTORS, TopologySpec
 from .units import MB, MSEC
 from .workloads.collectives import PATTERNS, collective_jobs
@@ -177,6 +188,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                "scenario stream instead of a materialised "
                                "batch (results are identical; open-loop "
                                "generators run in O(active) memory)")
+    simulate.add_argument("--checkpoint", type=Path, default=None,
+                          help="write a durable session checkpoint to this "
+                               "path as the run progresses (each save "
+                               "atomically replaces the last)")
+    simulate.add_argument("--checkpoint-every", type=float, default=None,
+                          help="checkpoint cadence in simulated seconds "
+                               "(default: 1.0 when --checkpoint is given)")
+    simulate.add_argument("--resume-from", type=Path, default=None,
+                          help="resume a run from a checkpoint file; "
+                               "workload flags are ignored (the checkpoint "
+                               "carries the full session)")
     _add_collective_args(simulate)
     _add_topology_args(simulate)
 
@@ -199,6 +221,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", type=Path, default=None)
     sweep.add_argument("--no-incremental", action="store_true")
     sweep.add_argument("--no-epochs", action="store_true")
+    sweep.add_argument("--retries", type=int, default=None,
+                       help="max attempts per run before it is reported as "
+                            "failed (default: 3)")
+    sweep.add_argument("--run-timeout", type=float, default=None,
+                       help="per-run wall-clock deadline in seconds; hung "
+                            "pool workers are killed and the run retried")
+    sweep.add_argument("--strict", action="store_true",
+                       help="fail fast on the first run that exhausts its "
+                            "retry budget (default: report it and continue)")
+    sweep.add_argument("--sweep-log", type=Path, default=None,
+                       help="append JSON-lines per-run telemetry to this "
+                            "file (default: REPRO_SWEEP_LOG)")
     _add_collective_args(sweep)
     _add_topology_args(sweep)
 
@@ -218,7 +252,18 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         incremental=not args.no_incremental,
         epochs=not args.no_epochs,
     )
-    runner = sweep_runner.configure(jobs=args.jobs, cache_dir=args.cache_dir)
+    retry = None
+    if args.retries is not None or args.run_timeout is not None:
+        retry_kwargs = {}
+        if args.retries is not None:
+            retry_kwargs["max_attempts"] = args.retries
+        if args.run_timeout is not None:
+            retry_kwargs["timeout"] = args.run_timeout
+        retry = RetryPolicy(**retry_kwargs)
+    runner = sweep_runner.configure(
+        jobs=args.jobs, cache_dir=args.cache_dir, retry=retry,
+        strict=args.strict, log_path=args.sweep_log,
+    )
     if args.family == "collective":
         base = collective_spec(machines=args.machines, seed=args.seed,
                                **_collective_kwargs(args))
@@ -239,22 +284,68 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     outcomes = runner.run(specs)
     lines = [f"{'policy':>14s} {'seed':>6s} {'mean CCT':>10s} "
              f"{'P50 CCT':>10s} {'makespan':>10s} {'cached':>6s}"]
+    failed = 0
     for out in outcomes:
+        if out.failed:
+            failed += 1
+            lines.append(
+                f"{out.spec.policy:>14s} {out.spec.workload.seed:>6d} "
+                f"FAILED ({out.kind}) after {len(out.attempts)} attempt(s): "
+                f"{out.error}"
+            )
+            continue
         summary = DistributionSummary.of(list(out.ccts.values()))
         lines.append(
             f"{out.spec.policy:>14s} {out.spec.workload.seed:>6d} "
             f"{summary.mean:>10.4f} {summary.p50:>10.4f} "
             f"{out.makespan:>10.4f} {'yes' if out.from_cache else 'no':>6s}"
         )
-    if runner.cache is not None:
+    if failed:
         lines.append(
-            f"cache: {runner.cache.hits} hits, {runner.cache.misses} misses "
-            f"({runner.cache.directory})"
+            f"{failed} of {len(outcomes)} runs failed after retries "
+            f"(rerun to retry; finished runs are cached)"
+        )
+    if runner.cache is not None:
+        quarantined = (
+            f", {runner.cache.quarantined} quarantined"
+            if runner.cache.quarantined else ""
+        )
+        lines.append(
+            f"cache: {runner.cache.hits} hits, {runner.cache.misses} misses"
+            f"{quarantined} ({runner.cache.directory})"
         )
     return "\n".join(lines)
 
 
+def _summarize_result(policy: str, topology, result) -> str:
+    summary = DistributionSummary.of([c.cct() for c in result.coflows])
+    return "\n".join([
+        f"policy: {policy}",
+        f"topology: {topology if topology is not None else 'big-switch'}",
+        f"coflows finished: {summary.count}",
+        f"CCT mean: {summary.mean:.4f} s",
+        f"CCT p10/p50/p90: {summary.p10:.4f} / {summary.p50:.4f} / "
+        f"{summary.p90:.4f} s",
+        f"makespan: {result.makespan:.4f} s",
+        f"schedule computations: {result.reschedules}",
+    ])
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
+    ckpt_every = args.checkpoint_every
+    if args.checkpoint is not None and ckpt_every is None:
+        ckpt_every = 1.0
+    if ckpt_every is not None and args.checkpoint is None:
+        raise ReproError("--checkpoint-every requires --checkpoint PATH")
+    if args.resume_from is not None:
+        # The checkpoint carries the full session (fabric, scheduler,
+        # config, scenario tail); workload flags are ignored.
+        snap = SessionSnapshot.load(args.resume_from)
+        session = SimulationSession.restore(snap)
+        result = session.run(
+            checkpoint_every=ckpt_every, checkpoint_path=args.checkpoint
+        )
+        return _summarize_result(snap.policy, session.topology, result)
     config = SimulationConfig(
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
@@ -283,26 +374,32 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     topo_spec = _topology_spec(args)
     topology = topo_spec.build(fabric) if topo_spec is not None else None
     if args.streaming:
+        if args.checkpoint is not None:
+            raise ReproError(
+                "--checkpoint requires a replayable scenario; the "
+                "--streaming path feeds a one-shot iterator that cannot "
+                "be snapshotted"
+            )
         ordered = sorted(coflows, key=lambda c: c.arrival_time)
         scenario = Scenario.from_stream(
             iter(ordered), total_coflows=len(ordered)
         )
         result = run_scenario(scheduler, scenario, fabric, config,
                               topology=topology)
+    elif args.checkpoint is not None:
+        # Checkpointing needs the session surface; Scenario.from_coflows is
+        # exactly what run_policy attaches, so results stay byte-identical.
+        session = SimulationSession(
+            fabric, scheduler, config,
+            scenario=Scenario.from_coflows(coflows), topology=topology,
+        )
+        result = session.run(
+            checkpoint_every=ckpt_every, checkpoint_path=args.checkpoint
+        )
     else:
         result = run_policy(scheduler, coflows, fabric, config,
                             topology=topology)
-    summary = DistributionSummary.of([c.cct() for c in result.coflows])
-    return "\n".join([
-        f"policy: {args.policy}",
-        f"topology: {topology if topology is not None else 'big-switch'}",
-        f"coflows finished: {summary.count}",
-        f"CCT mean: {summary.mean:.4f} s",
-        f"CCT p10/p50/p90: {summary.p10:.4f} / {summary.p50:.4f} / "
-        f"{summary.p90:.4f} s",
-        f"makespan: {result.makespan:.4f} s",
-        f"schedule computations: {result.reschedules}",
-    ])
+    return _summarize_result(args.policy, topology, result)
 
 
 def _cmd_gen_trace(args: argparse.Namespace) -> str:
@@ -335,9 +432,17 @@ def main(argv: list[str] | None = None) -> int:
             print(_cmd_sweep(args))
         elif args.command == "gen-trace":
             print(_cmd_gen_trace(args))
+    except SweepInterrupted as exc:
+        # Distinct exit status (128 + SIGINT) so drivers can tell "user
+        # stopped it" from "it failed"; finished runs are already cached.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     return 0
 
 

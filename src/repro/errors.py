@@ -50,3 +50,50 @@ class UnknownPolicyError(ReproError):
             f"unknown scheduling policy {name!r}; known policies: "
             + ", ".join(sorted(known))
         )
+
+
+class CheckpointError(ReproError):
+    """A session checkpoint file is missing, corrupt, or incompatible."""
+
+
+class ChaosError(ReproError):
+    """A deliberately injected fault (see :mod:`repro.testing.chaos`).
+
+    Raised only when a chaos plan is armed; production code never sees it.
+    Deriving from :class:`ReproError` keeps the injection realistic — the
+    resilience layer must treat it exactly like any other worker crash.
+    """
+
+
+class RunFailedError(ReproError):
+    """Strict-mode wrapper: a sweep run exhausted its retry budget.
+
+    Carries the structured :class:`~repro.resilience.RunFailure` as
+    ``failure`` so callers keep the full attempt history.
+    """
+
+    def __init__(self, failure):
+        self.failure = failure
+        spec = failure.spec
+        super().__init__(
+            f"run {getattr(spec, 'policy', spec)!r} failed "
+            f"({failure.kind}) after {len(failure.attempts)} attempt(s): "
+            f"{failure.error}"
+        )
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (Ctrl-C) after finishing some of its runs.
+
+    Completed runs were already persisted to the result cache (the runner
+    writes per-completion), so re-running the same sweep resumes from the
+    cache instead of starting over.
+    """
+
+    def __init__(self, completed: int, total: int):
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"sweep interrupted: {completed}/{total} runs finished; "
+            f"completed results were persisted to the cache"
+        )

@@ -13,8 +13,13 @@ bag a first-class object:
   (failures/stragglers) and an optional encoded topology (oversubscribed
   leaf–spine fabrics) — all part of the cache identity;
 * :class:`SweepRunner` — executes a list of specs, deduplicating repeats,
-  fanning out over a ``ProcessPoolExecutor`` when more than one job is
-  allowed, and consulting an optional on-disk :class:`ResultCache` first;
+  fanning out over a supervised ``ProcessPoolExecutor`` when more than one
+  job is allowed, and consulting an optional on-disk :class:`ResultCache`
+  first. The runner is fault-tolerant: results persist per-completion,
+  failed runs retry under a :class:`~repro.resilience.RetryPolicy`, dead
+  or hung workers are reclaimed by respawning the pool, and exhausted
+  runs come back as structured :class:`~repro.resilience.RunFailure`
+  values instead of exceptions (``strict=True`` restores fail-fast);
 * :func:`fan_out_seeds` — expands specs across seeds for replicated sweeps;
 * :func:`what_if_outcomes` — warm-started policy sweep resuming several
   branches from one mid-run session snapshot (the shared prefix is
@@ -38,14 +43,34 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..config import SimulationConfig
-from ..errors import ReproError
+from ..errors import ReproError, RunFailedError, SweepInterrupted
+from ..resilience import (
+    EXCEPTION,
+    OK,
+    TIMEOUT,
+    WORKER_LOST,
+    Attempt,
+    RetryPolicy,
+    RunFailure,
+    SweepLog,
+    Watchdog,
+    format_exception_chain,
+)
 from ..schedulers.registry import make_scheduler
+from ..testing import chaos
 from ..simulator.dynamics import decode_actions, encode_actions
 from ..simulator.engine import run_policy
 from ..simulator.flows import clone_coflows
@@ -247,6 +272,12 @@ class RunOutcome:
     makespan: float
     reschedules: int
     from_cache: bool = False
+    #: Execution attempts this outcome took (1 unless faults were retried;
+    #: telemetry only — the payload is identical whatever the count).
+    attempts: int = 1
+    #: Parity with :class:`~repro.resilience.RunFailure` so callers can
+    #: filter mixed outcome lists uniformly.
+    failed: bool = field(default=False, init=False)
 
 
 #: Per-process memo of pristine generated workloads. Generation is fully
@@ -287,6 +318,10 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     same spine every other entry point uses, so outcomes are byte-identical
     whether a spec runs inline, in a worker, or streams from a generator.
     """
+    # Chaos injection point "worker": disarmed in production (one env
+    # lookup); the resilience tests and the CI chaos-smoke job arm it to
+    # crash/kill/hang exactly this entry point.
+    chaos.trip("worker", policy=spec.policy, seed=spec.workload.seed)
     fabric, coflows = _fresh_workload(spec.workload)
     if spec.arrival_scale != 1.0:
         scale_arrivals(coflows, spec.arrival_scale)
@@ -314,6 +349,12 @@ class ResultCache:
     One JSON file per run keyed by :meth:`RunSpec.cache_key`. Floats
     round-trip exactly through JSON (shortest-repr), so cached CCTs equal
     freshly-computed ones bit for bit.
+
+    Damaged entries can never poison a sweep: a file that fails to parse
+    *or* parses but lacks the expected schema (a torn write, a truncation,
+    or a payload from a different format generation) is quarantined — moved
+    aside to ``<key>.corrupt`` for post-mortems — and counted as a miss, so
+    the run is simply recomputed and the entry rewritten.
     """
 
     def __init__(self, directory: str | Path):
@@ -321,6 +362,7 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -328,18 +370,35 @@ class ResultCache:
     def get(self, spec: RunSpec) -> RunOutcome | None:
         path = self._path(spec.cache_key())
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            outcome = RunOutcome(
+                spec=spec,
+                ccts={int(k): v for k, v in payload["ccts"].items()},
+                makespan=payload["makespan"],
+                reschedules=payload["reschedules"],
+                from_cache=True,
+            )
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # Unparseable (torn write/truncation) or schema drift (parses
+            # but the payload shape is foreign). Either way: quarantine and
+            # recompute rather than crash every future sweep on this key.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return RunOutcome(
-            spec=spec,
-            ccts={int(k): v for k, v in payload["ccts"].items()},
-            makespan=payload["makespan"],
-            reschedules=payload["reschedules"],
-            from_cache=True,
-        )
+        return outcome
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - raced deletion; miss either way
+            pass
 
     def put(self, outcome: RunOutcome) -> None:
         path = self._path(outcome.spec.cache_key())
@@ -350,6 +409,47 @@ class ResultCache:
             "reschedules": outcome.reschedules,
         }))
         tmp.replace(path)
+        # Chaos injection point "cache": lets tests damage the file the
+        # instant after the atomic write, simulating torn storage.
+        chaos.trip("cache", path=path)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers.
+
+    ``shutdown(wait=True)`` would block forever behind a hung task, so the
+    workers are terminated first and the shutdown is non-blocking; the
+    executor's management thread reaps the corpses.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        if proc.is_alive():
+            proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_record(spec: RunSpec, result, attempts: Sequence[Attempt] = ()):
+    """One sweep-log line for a finished (or failed) run."""
+    record = {
+        "event": "run",
+        "policy": spec.policy,
+        "family": spec.workload.family,
+        "seed": spec.workload.seed,
+        "key": spec.cache_key()[:16],
+        "cached": result.from_cache,
+        "status": "failed" if result.failed else "ok",
+    }
+    if result.failed:
+        record["kind"] = result.kind
+        record["error"] = result.error
+        record["elapsed"] = round(result.elapsed, 6)
+        record["tries"] = [a.as_record() for a in result.attempts]
+    else:
+        record["attempts"] = result.attempts
+        if attempts:
+            record["elapsed"] = round(sum(a.elapsed for a in attempts), 6)
+            record["tries"] = [a.as_record() for a in attempts]
+    return record
 
 
 class SweepRunner:
@@ -359,36 +459,298 @@ class SweepRunner:
     process overhead; ``jobs>1`` fans pending specs out over a process
     pool. Identical specs within a batch are computed once. Results come
     back in input order regardless of completion order.
+
+    The runner is fault-tolerant, and because every run is deterministic
+    the recovery is *provably safe*: a retried run reproduces the original
+    bytes, so a sweep that survives faults returns results byte-identical
+    to a fault-free execution (the chaos suite asserts exactly this).
+
+    * Every finished run is streamed into the cache the moment it
+      completes, so an interrupted sweep never loses finished work.
+    * Failed runs are retried per ``retry`` (a :class:`RetryPolicy`, with
+      deterministic seeded backoff); a run that exhausts its budget yields
+      a structured :class:`~repro.resilience.RunFailure` in the result
+      list instead of raising, so one bad run cannot discard the batch.
+      ``strict=True`` opts back into fail-fast via
+      :class:`~repro.errors.RunFailedError`.
+    * A broken pool (a worker process died) is killed and respawned, and
+      only unfinished specs are re-run; with ``retry.timeout`` set, hung
+      workers are reclaimed the same way and their runs retried.
+    * ``Ctrl-C`` surfaces as :class:`~repro.errors.SweepInterrupted`
+      carrying completed/total counts — finished results are already on
+      disk, so re-running the sweep resumes from the cache.
+    * ``log_path`` (default: the ``REPRO_SWEEP_LOG`` environment
+      variable) appends JSON-lines telemetry: per-run attempts, timings
+      and cache hits.
     """
 
     def __init__(self, *, jobs: int | None = None,
-                 cache_dir: str | Path | None = None):
+                 cache_dir: str | Path | None = None,
+                 retry: RetryPolicy | None = None,
+                 strict: bool = False,
+                 log_path: str | Path | None = None):
         if jobs is None:
             jobs = default_jobs()
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.retry = RetryPolicy() if retry is None else retry
+        self.strict = strict
+        if log_path is None:
+            log_path = os.environ.get("REPRO_SWEEP_LOG") or None
+        self.log_path = log_path
 
-    def run(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
-        unique: dict[RunSpec, RunOutcome | None] = {}
+    def run(self, specs: Sequence[RunSpec]) -> list:
+        """Run ``specs``; returns outcomes (or failures) in input order."""
+        log = SweepLog(self.log_path) if self.log_path else None
+        unique: dict[RunSpec, object] = {}
         for spec in specs:
             if spec not in unique:
                 unique[spec] = self.cache.get(spec) if self.cache else None
-
         pending = [spec for spec, out in unique.items() if out is None]
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    computed = list(pool.map(execute_spec, pending))
-            else:
-                computed = [execute_spec(spec) for spec in pending]
-            for outcome in computed:
-                unique[outcome.spec] = outcome
-                if self.cache:
-                    self.cache.put(outcome)
+        if log:
+            log.write({
+                "event": "sweep-start", "specs": len(specs),
+                "unique": len(unique), "cached": len(unique) - len(pending),
+                "pending": len(pending), "jobs": self.jobs,
+            })
+            for spec, out in unique.items():
+                if out is not None:
+                    log.write(_run_record(spec, out))
+        interrupted = False
+        try:
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    self._run_pool(pending, unique, log)
+                else:
+                    self._run_inline(pending, unique, log)
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            completed = sum(1 for out in unique.values() if out is not None)
+            if log:
+                log.write({
+                    "event": ("sweep-interrupted" if interrupted
+                              else "sweep-end"),
+                    "completed": completed, "unique": len(unique),
+                })
+                log.close()
+        if interrupted:
+            raise SweepInterrupted(completed, len(unique))
+        return [unique[spec] for spec in specs]
 
-        return [unique[spec] for spec in specs]  # type: ignore[misc]
+    # -- shared plumbing ----------------------------------------------------
+
+    def _finish(self, spec: RunSpec, result, unique: dict, log,
+                attempts: Sequence[Attempt] = ()) -> None:
+        """Record one terminal per-run result the moment it is known.
+
+        Persisting per-completion (rather than per-batch) is the crash-
+        safety property: whatever interrupts the sweep afterwards, this
+        run's work is already on disk.
+        """
+        unique[spec] = result
+        if self.cache and not result.failed:
+            self.cache.put(result)
+        if log:
+            log.write(_run_record(spec, result, attempts))
+        if self.strict and result.failed:
+            raise RunFailedError(result)
+
+    # -- inline execution ---------------------------------------------------
+
+    def _run_inline(self, pending: Sequence[RunSpec], unique: dict,
+                    log) -> None:
+        for spec in pending:
+            result, attempts = self._execute_with_retry(spec)
+            self._finish(spec, result, unique, log, attempts)
+
+    def _execute_with_retry(self, spec: RunSpec):
+        """``(RunOutcome | RunFailure, attempts)`` for one inline run."""
+        key = spec.cache_key()
+        attempts: list[Attempt] = []
+        total = 0.0
+        for n in range(1, self.retry.max_attempts + 1):
+            delay = self.retry.delay_before(n, key)
+            if delay:
+                time.sleep(delay)
+            t0 = time.perf_counter()
+            try:
+                outcome = execute_spec(spec)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                elapsed = time.perf_counter() - t0
+                total += elapsed
+                attempts.append(Attempt(
+                    n, EXCEPTION, elapsed, format_exception_chain(exc)))
+                continue
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            kind = OK
+            if self.retry.timeout is not None and elapsed > self.retry.timeout:
+                # Inline execution cannot preempt Python code, and the run
+                # is deterministic — a retry would only repeat the overrun.
+                # Record the deadline miss but keep the computed result.
+                kind = TIMEOUT
+            attempts.append(Attempt(n, kind, elapsed))
+            outcome.attempts = n
+            return outcome, attempts
+        last = attempts[-1]
+        return RunFailure(
+            spec=spec, kind=last.kind, attempts=attempts,
+            error=last.error, elapsed=total,
+        ), attempts
+
+    # -- pooled execution ---------------------------------------------------
+
+    def _run_pool(self, pending: Sequence[RunSpec], unique: dict,
+                  log) -> None:
+        """Supervised process-pool fan-out.
+
+        Submission is windowed (at most ``jobs`` specs in flight) so each
+        run's watchdog clock starts at submission ≈ execution start.
+        Streaming completion via ``wait(FIRST_COMPLETED)`` lets every
+        result persist as it lands. Two fault paths reclaim the pool
+        wholesale — kill the workers, respawn, re-run only unfinished
+        specs:
+
+        * *broken pool*: a worker died (SIGKILL, OOM, segfault). The
+          executor cannot tell us which, so every in-flight spec gets a
+          ``worker-lost`` attempt (the victim is among them; innocents
+          merely re-run — determinism makes that free of harm).
+        * *watchdog expiry*: only the overdue specs are charged a
+          ``timeout`` attempt; other in-flight specs are requeued without
+          attempt penalty (their partial work is lost, their budget not).
+        """
+        todo: deque[RunSpec] = deque(pending)
+        attempts: dict[RunSpec, list[Attempt]] = {s: [] for s in pending}
+        ready_at: dict[RunSpec, float] = {}
+        watchdog = Watchdog(self.retry.timeout)
+        in_flight: dict = {}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        ok = False
+
+        def respawn():
+            nonlocal pool
+            _kill_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def charge(spec: RunSpec, kind: str, elapsed: float,
+                   exc: BaseException | None) -> None:
+            """Record a failed attempt; requeue or finalise the spec."""
+            recs = attempts[spec]
+            n = len(recs) + 1
+            if exc is not None:
+                error = format_exception_chain(exc)
+            elif kind == TIMEOUT:
+                error = (f"run exceeded the {self.retry.timeout:.3f}s "
+                         f"deadline and its worker was killed")
+            else:
+                error = "worker process died while the pool was broken"
+            recs.append(Attempt(n, kind, elapsed, error))
+            if n < self.retry.max_attempts:
+                delay = self.retry.delay_before(n + 1, spec.cache_key())
+                if delay:
+                    ready_at[spec] = time.monotonic() + delay
+                todo.append(spec)
+            else:
+                failure = RunFailure(
+                    spec=spec, kind=kind, attempts=recs, error=error,
+                    elapsed=sum(a.elapsed for a in recs),
+                )
+                self._finish(spec, failure, unique, log, attempts.pop(spec))
+
+        try:
+            while todo or in_flight:
+                # Submit while capacity and ready specs remain; specs still
+                # backing off rotate to the queue's tail.
+                for _ in range(len(todo)):
+                    if len(in_flight) >= self.jobs:
+                        break
+                    spec = todo.popleft()
+                    if ready_at.get(spec, 0.0) > time.monotonic():
+                        todo.append(spec)
+                        continue
+                    try:
+                        fut = pool.submit(execute_spec, spec)
+                    except BrokenExecutor:
+                        # Pool died between iterations; this spec never ran.
+                        todo.appendleft(spec)
+                        for stale, lost in list(in_flight.items()):
+                            charge(lost, WORKER_LOST,
+                                   watchdog.finished(lost), None)
+                        in_flight.clear()
+                        respawn()
+                        break
+                    in_flight[fut] = spec
+                    watchdog.started(spec)
+                if not in_flight:
+                    if todo:
+                        soonest = min(
+                            ready_at.get(s, 0.0) for s in todo)
+                        time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+                budget = watchdog.wait_budget()
+                if todo and len(in_flight) < self.jobs:
+                    # Everything queued is backing off (the submit loop
+                    # drained the ready ones); wake when the earliest
+                    # delay expires so the free slot gets used.
+                    soonest = min(ready_at.get(s, 0.0) for s in todo)
+                    gap = max(0.0, soonest - time.monotonic())
+                    budget = gap if budget is None else min(budget, gap)
+                done, _ = futures_wait(
+                    in_flight, timeout=budget, return_when=FIRST_COMPLETED)
+                broken = False
+                for fut in done:
+                    spec = in_flight.pop(fut)
+                    elapsed = watchdog.finished(spec)
+                    try:
+                        outcome = fut.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except BrokenExecutor as exc:
+                        broken = True
+                        charge(spec, WORKER_LOST, elapsed, exc)
+                        continue
+                    except Exception as exc:
+                        charge(spec, EXCEPTION, elapsed, exc)
+                        continue
+                    n = len(attempts[spec]) + 1
+                    recs = attempts.pop(spec)
+                    recs.append(Attempt(n, OK, elapsed))
+                    outcome.attempts = n
+                    self._finish(spec, outcome, unique, log, recs)
+                if broken:
+                    # A dead worker poisons the whole executor: drain the
+                    # remaining in-flight specs as worker-lost and respawn.
+                    for fut, spec in list(in_flight.items()):
+                        charge(spec, WORKER_LOST,
+                               watchdog.finished(spec), None)
+                    in_flight.clear()
+                    respawn()
+                    continue
+                expired = set(watchdog.expired())
+                if expired:
+                    # Cancel-and-retry hung workers: the executor cannot
+                    # cancel a running task, so the pool is reclaimed
+                    # wholesale. Only overdue specs are charged; innocent
+                    # in-flight specs requeue without attempt penalty.
+                    for fut, spec in list(in_flight.items()):
+                        elapsed = watchdog.finished(spec)
+                        if spec in expired:
+                            charge(spec, TIMEOUT, elapsed, None)
+                        else:
+                            todo.appendleft(spec)
+                    in_flight.clear()
+                    respawn()
+            ok = True
+        finally:
+            if ok:
+                pool.shutdown(wait=True)
+            else:
+                _kill_pool(pool)
 
 
 def what_if_outcomes(snapshot, policies: Sequence[str],
@@ -451,10 +813,16 @@ def default_jobs() -> int:
 
 
 def configure(*, jobs: int | None = None,
-              cache_dir: str | Path | None = None) -> SweepRunner:
+              cache_dir: str | Path | None = None,
+              retry: RetryPolicy | None = None,
+              strict: bool = False,
+              log_path: str | Path | None = None) -> SweepRunner:
     """Install the process-wide runner used by :func:`run_specs`."""
     global _default_runner
-    _default_runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+    _default_runner = SweepRunner(
+        jobs=jobs, cache_dir=cache_dir, retry=retry, strict=strict,
+        log_path=log_path,
+    )
     return _default_runner
 
 

@@ -1,0 +1,245 @@
+"""Fault-tolerant execution primitives for batch runs.
+
+Every engine path in this repo is deterministic and bit-identity-verified
+(the fuzz suite and ``BENCH_fig9.json`` pin it), which makes
+retry-after-failure *provably safe*: a retried run must reproduce the
+original bytes, so a sweep that survives worker crashes, hung runs and torn
+cache files still returns results byte-identical to a fault-free execution.
+This module provides the building blocks the sweep runner
+(:class:`repro.experiments.runner.SweepRunner`) composes into that
+guarantee:
+
+* :class:`RetryPolicy` — attempt budget, exponential backoff with
+  *deterministic seeded jitter* (no wall-clock or global RNG input, so two
+  runs of the same sweep back off identically), and an optional per-attempt
+  wall-clock ``timeout``;
+* the failure taxonomy — attempt kinds :data:`EXCEPTION` (the run raised),
+  :data:`TIMEOUT` (the watchdog expired) and :data:`WORKER_LOST` (the
+  worker process died under the run), recorded per attempt in
+  :class:`Attempt` and aggregated into a structured :class:`RunFailure`
+  outcome that failed runs *return* instead of raising;
+* :class:`Watchdog` — per-task deadline bookkeeping for the pool monitor
+  (which worker is overdue, how long the next ``wait`` may block);
+* :class:`SweepLog` — an append-only JSON-lines telemetry log (per-run
+  attempts, timings, cache hits) for later service dashboards;
+* :func:`format_exception_chain` — a compact, picklable rendering of an
+  exception and its ``__cause__``/``__context__`` chain.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import ConfigError
+
+#: Attempt kinds — the failure taxonomy. ``OK`` marks the successful
+#: attempt that ends a run's retry loop.
+OK = "ok"
+EXCEPTION = "exception"
+TIMEOUT = "timeout"
+WORKER_LOST = "worker-lost"
+
+FAILURE_KINDS = (EXCEPTION, TIMEOUT, WORKER_LOST)
+
+
+def format_exception_chain(exc: BaseException, limit: int = 8) -> str:
+    """``"TypeA: msg <- TypeB: msg"`` down the cause/context chain.
+
+    A flat string survives pickling across process boundaries and is what
+    :class:`RunFailure` and the sweep log carry; the full traceback stays
+    in the worker that raised it.
+    """
+    parts = []
+    seen: set[int] = set()
+    cur: BaseException | None = exc
+    while cur is not None and len(parts) < limit and id(cur) not in seen:
+        seen.add(id(cur))
+        parts.append(f"{type(cur).__name__}: {cur}")
+        cur = cur.__cause__ or cur.__context__
+    return " <- ".join(parts)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) to keep trying a failed run.
+
+    ``delay_before(attempt, key)`` is a pure function of the policy, the
+    attempt number and the caller-supplied key (the run's cache key), so
+    backoff schedules are reproducible: the jitter comes from a string-
+    seeded :class:`random.Random` (SHA-512 seeding — stable across
+    processes and ``PYTHONHASHSEED`` values), never from wall clock.
+
+    ``timeout`` is the per-attempt wall-clock deadline in seconds. The
+    pooled runner enforces it preemptively (the hung worker is killed and
+    the run retried); the inline runner cannot preempt Python code, so it
+    records the overrun in the sweep log but keeps the computed result —
+    a deterministic run would only repeat the overrun on retry.
+    """
+
+    #: Total attempts per run (1 = never retry).
+    max_attempts: int = 3
+    #: Backoff before the second attempt, in seconds.
+    base_delay: float = 0.05
+    #: Multiplier applied per additional attempt.
+    backoff: float = 2.0
+    #: Hard cap on any single backoff delay, in seconds.
+    max_delay: float = 2.0
+    #: Jitter amplitude as a fraction of the delay (0 disables it).
+    jitter: float = 0.25
+    #: Seed mixed into the deterministic jitter stream.
+    jitter_seed: int = 0
+    #: Optional per-attempt wall-clock deadline, in seconds.
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ConfigError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.backoff < 1:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+
+    def delay_before(self, attempt: int, key: str = "") -> float:
+        """Seconds to back off before ``attempt`` (the first is free).
+
+        Exponential in the attempt number, capped at ``max_delay``, with a
+        deterministic ±``jitter`` fraction derived from
+        ``(jitter_seed, key, attempt)``.
+        """
+        if attempt <= 1 or self.base_delay == 0:
+            return 0.0
+        delay = self.base_delay * self.backoff ** (attempt - 2)
+        delay = min(delay, self.max_delay)
+        if self.jitter:
+            rng = random.Random(f"{self.jitter_seed}:{key}:{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+@dataclass
+class Attempt:
+    """One execution attempt of one run."""
+
+    #: 1-based attempt number.
+    index: int
+    #: :data:`OK` or one of :data:`FAILURE_KINDS`.
+    kind: str
+    #: Wall-clock seconds this attempt took (approximate for pooled runs).
+    elapsed: float
+    #: Formatted exception chain (failures only).
+    error: str | None = None
+
+    def as_record(self) -> dict:
+        """JSON-able form for the sweep log."""
+        rec = {"n": self.index, "kind": self.kind,
+               "elapsed": round(self.elapsed, 6)}
+        if self.error is not None:
+            rec["error"] = self.error
+        return rec
+
+
+@dataclass
+class RunFailure:
+    """Structured outcome of a run that exhausted its retry budget.
+
+    Returned (not raised) by the resilient sweep runner in place of a
+    :class:`~repro.experiments.runner.RunOutcome`, so one bad run cannot
+    discard a batch of finished ones; ``strict=True`` opts back into
+    fail-fast via :class:`~repro.errors.RunFailedError`.
+    """
+
+    spec: object
+    #: Kind of the final attempt (one of :data:`FAILURE_KINDS`).
+    kind: str
+    #: Full attempt history, in order.
+    attempts: list[Attempt]
+    #: Formatted exception chain of the final attempt.
+    error: str | None
+    #: Total wall-clock seconds across all attempts.
+    elapsed: float
+    #: Parity with :class:`RunOutcome` so callers can filter uniformly.
+    from_cache: bool = False
+    failed: bool = field(default=True, init=False)
+
+
+class Watchdog:
+    """Per-task deadline bookkeeping for the pooled sweep monitor.
+
+    Tracks when each in-flight task started; :meth:`expired` names the
+    overdue ones and :meth:`wait_budget` bounds how long the monitor's next
+    ``wait`` may block before a deadline could pass unnoticed. With
+    ``timeout=None`` it still measures elapsed time (for attempt records)
+    but never expires anything.
+    """
+
+    def __init__(self, timeout: float | None):
+        self.timeout = timeout
+        self._started: dict[object, float] = {}
+
+    def started(self, key: object) -> None:
+        self._started[key] = time.monotonic()
+
+    def finished(self, key: object) -> float:
+        """Stop tracking ``key``; returns its elapsed seconds (0 if
+        unknown)."""
+        t0 = self._started.pop(key, None)
+        return 0.0 if t0 is None else time.monotonic() - t0
+
+    def expired(self) -> list[object]:
+        """Keys whose deadline has passed (empty when no timeout is set)."""
+        if self.timeout is None:
+            return []
+        cutoff = time.monotonic() - self.timeout
+        return [k for k, t0 in self._started.items() if t0 < cutoff]
+
+    def wait_budget(self) -> float | None:
+        """Seconds until the earliest in-flight deadline (None = no bound)."""
+        if self.timeout is None or not self._started:
+            return None
+        return max(
+            0.0, min(self._started.values()) + self.timeout - time.monotonic()
+        )
+
+
+class SweepLog:
+    """Append-only JSON-lines sweep telemetry.
+
+    One object per line, flushed per write so a crashed/killed sweep keeps
+    every record up to the failure — the log is itself part of the
+    robustness story (post-mortems read it to see which runs retried, which
+    were cache hits and where the time went).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "SweepLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

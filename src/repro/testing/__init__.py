@@ -1,0 +1,8 @@
+"""Test-support utilities shipped with the library.
+
+Currently one module: :mod:`repro.testing.chaos`, the deterministic
+fault-injection harness the resilience tests and the CI ``chaos-smoke``
+job use to exercise every recovery path on purpose.
+"""
+
+from . import chaos  # noqa: F401  (re-export for repro.testing.chaos use)

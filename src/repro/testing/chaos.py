@@ -1,0 +1,201 @@
+"""Deterministic fault injection: named chaos points the tests and CI arm.
+
+Recovery code that is never exercised is recovery code that is hoped-for.
+This harness lets a test (or the CI ``chaos-smoke`` job) *deliberately*
+fire the faults the resilience layer claims to survive — worker
+exceptions, worker kills, hung workers, torn cache files — at named
+injection points, with an exact budget, and fully disarmed by default.
+
+Design constraints and how they are met:
+
+* **Cross-process.** Sweep workers are separate processes (and the pool is
+  respawned after a crash), so the armed plan lives on disk: a directory
+  holding ``plan.json`` plus a ``fired/`` budget ledger, advertised to
+  every process through the :data:`ENV_VAR` environment variable.
+* **Exact budgets.** Each plan entry fires at most ``times`` times across
+  the *whole* sweep, even with concurrent workers: a firing claims one
+  budget slot by atomically creating ``fired/<entry>.<slot>`` with
+  ``O_CREAT | O_EXCL``, which exactly one process can win.
+* **Zero cost disarmed.** Instrumented sites call :func:`trip`, which is a
+  single ``os.environ`` lookup when no plan is armed. Sites fire per *run*
+  (not per simulated event), so even armed overhead is negligible.
+
+Plan entries are dicts::
+
+    {"site": "worker", "action": "exception", "times": 2}
+    {"site": "worker", "action": "kill",      "times": 1}
+    {"site": "worker", "action": "delay",     "times": 1, "seconds": 20.0}
+    {"site": "cache",  "action": "corrupt",   "times": 1}
+    {"site": "cache",  "action": "truncate",  "times": 1}
+    {"site": "cache",  "action": "drift",     "times": 1}
+
+Optional ``"policy"`` / ``"seed"`` keys restrict a ``worker`` entry to
+matching runs (handy for poisoning exactly one spec). Sites instrumented
+today: ``worker`` (start of :func:`~repro.experiments.runner.execute_spec`)
+and ``cache`` (right after
+:meth:`~repro.experiments.runner.ResultCache.put` writes a file).
+
+``kill`` sends ``SIGKILL`` to the current process — but only when it is a
+*child* process (a pool worker); in the main process the entry is skipped
+without claiming budget, so an inline sweep can never kill the caller.
+``corrupt`` rewrites the just-written cache file as torn JSON,
+``truncate`` chops it mid-payload, and ``drift`` replaces it with valid
+JSON that lacks the expected schema — the three flavours of cache damage
+:meth:`ResultCache.get` must quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+from ..errors import ChaosError, ConfigError
+
+#: Environment variable naming the armed chaos directory. Unset = disarmed.
+ENV_VAR = "REPRO_CHAOS_DIR"
+
+#: Known injection sites and the actions each supports.
+SITES = {
+    "worker": ("exception", "kill", "delay"),
+    "cache": ("corrupt", "truncate", "drift"),
+}
+
+_PLAN_FILE = "plan.json"
+_FIRED_DIR = "fired"
+
+
+def arm(plan: list[dict], directory: str | Path) -> Path:
+    """Write a validated chaos plan into ``directory`` and return it.
+
+    The caller makes it effective by exporting ``ENV_VAR=<directory>``
+    (e.g. ``monkeypatch.setenv`` in tests, or :func:`engage` for
+    process-wide arming). Arming twice into the same directory resets the
+    budget ledger.
+    """
+    for i, entry in enumerate(plan):
+        site = entry.get("site")
+        if site not in SITES:
+            raise ConfigError(
+                f"chaos plan entry {i}: unknown site {site!r}; "
+                f"known: {sorted(SITES)}"
+            )
+        action = entry.get("action")
+        if action not in SITES[site]:
+            raise ConfigError(
+                f"chaos plan entry {i}: site {site!r} supports "
+                f"{SITES[site]}, got action {action!r}"
+            )
+        if int(entry.get("times", 1)) < 1:
+            raise ConfigError(
+                f"chaos plan entry {i}: times must be >= 1"
+            )
+    directory = Path(directory)
+    fired = directory / _FIRED_DIR
+    fired.mkdir(parents=True, exist_ok=True)
+    for stale in fired.iterdir():
+        stale.unlink()
+    (directory / _PLAN_FILE).write_text(json.dumps(plan, indent=2))
+    return directory
+
+
+def engage(directory: str | Path) -> None:
+    """Arm ``directory``'s plan for this process and its children."""
+    os.environ[ENV_VAR] = str(directory)
+
+
+def disarm() -> None:
+    """Remove the process-wide arming (idempotent)."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> bool:
+    """True when a chaos plan is armed for this process."""
+    return bool(os.environ.get(ENV_VAR))
+
+
+def fired_count(directory: str | Path) -> int:
+    """How many budget slots have been claimed under ``directory``."""
+    fired = Path(directory) / _FIRED_DIR
+    if not fired.is_dir():
+        return 0
+    return sum(1 for _ in fired.iterdir())
+
+
+def trip(site: str, **ctx) -> None:
+    """Fire any armed, matching, in-budget entries for ``site``.
+
+    Called by instrumented production code. ``ctx`` carries site-specific
+    context: ``policy=``/``seed=`` for ``worker`` (matched against the
+    plan), ``path=`` for ``cache`` (the file to damage). Disarmed, this is
+    one environment lookup.
+    """
+    directory = os.environ.get(ENV_VAR)
+    if not directory:
+        return
+    base = Path(directory)
+    try:
+        plan = json.loads((base / _PLAN_FILE).read_text())
+    except (OSError, ValueError):
+        return
+    for index, entry in enumerate(plan):
+        if entry.get("site") != site or not _matches(entry, ctx):
+            continue
+        if entry.get("action") == "kill" and (
+                multiprocessing.parent_process() is None):
+            # Never kill the main process: an inline sweep would take the
+            # caller down with it. The budget is left unclaimed so a later
+            # pooled worker can still consume the entry.
+            continue
+        if _claim(base, index, int(entry.get("times", 1))):
+            _fire(entry, ctx)
+
+
+def _matches(entry: dict, ctx: dict) -> bool:
+    for key in ("policy", "seed"):
+        if key in entry and ctx.get(key) != entry[key]:
+            return False
+    return True
+
+
+def _claim(base: Path, index: int, times: int) -> bool:
+    """Atomically claim one of ``times`` budget slots for entry ``index``."""
+    fired = base / _FIRED_DIR
+    for slot in range(times):
+        try:
+            fd = os.open(
+                fired / f"{index}.{slot}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            continue
+        except OSError:
+            return False  # ledger dir vanished; treat as exhausted
+        os.close(fd)
+        return True
+    return False
+
+
+def _fire(entry: dict, ctx: dict) -> None:
+    action = entry["action"]
+    if action == "exception":
+        raise ChaosError(
+            f"injected worker exception (chaos entry {entry})"
+        )
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
+    if action == "delay":
+        time.sleep(float(entry.get("seconds", 1.0)))
+        return
+    # cache-file damage actions
+    path = Path(ctx["path"])
+    if action == "corrupt":
+        path.write_text('{"ccts": {"0": 1.5, "makes')  # torn mid-write
+    elif action == "truncate":
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+    elif action == "drift":
+        path.write_text(json.dumps({"schema": "from-the-future", "v": 999}))

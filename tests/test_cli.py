@@ -77,3 +77,129 @@ class TestRunExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run-experiment", "fig99"])
+
+
+class TestSweepCommand:
+    GRID = ["sweep", "--policy", "saath", "aalo", "--machines", "10",
+            "--coflows", "12", "--seed", "3", "--seeds", "2"]
+
+    def test_grid_runs_and_reports_cache_stats(self, tmp_path, capsys):
+        argv = self.GRID + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("saath") == 2  # seeds 3 and 4
+        assert "cache: 0 hits, 4 misses" in out
+        assert main(argv) == 0  # second invocation replays from the cache
+        assert "cache: 4 hits, 0 misses" in capsys.readouterr().out
+
+    def test_failed_run_is_reported_not_raised(self, tmp_path, capsys,
+                                               monkeypatch):
+        from repro.testing import chaos
+        directory = chaos.arm(
+            [{"site": "worker", "action": "exception", "times": 5}],
+            tmp_path / "chaos")
+        monkeypatch.setenv(chaos.ENV_VAR, str(directory))
+        log = tmp_path / "sweep.jsonl"
+        rc = main(["sweep", "--policy", "saath", "--machines", "10",
+                   "--coflows", "12", "--seed", "3", "--retries", "2",
+                   "--sweep-log", str(log)])
+        assert rc == 0  # non-strict: the failure is a row, not a crash
+        out = capsys.readouterr().out
+        assert "FAILED (exception) after 2 attempt(s)" in out
+        assert "1 of 1 runs failed" in out
+        import json as _json
+        events = [_json.loads(line)["event"]
+                  for line in log.read_text().splitlines()]
+        assert events[0] == "sweep-start"
+        assert events[-1] == "sweep-end"
+
+    def test_strict_sweep_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        from repro.testing import chaos
+        directory = chaos.arm(
+            [{"site": "worker", "action": "exception", "times": 5}],
+            tmp_path / "chaos")
+        monkeypatch.setenv(chaos.ENV_VAR, str(directory))
+        rc = main(["sweep", "--policy", "saath", "--machines", "10",
+                   "--coflows", "12", "--seed", "3", "--retries", "2",
+                   "--strict"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error: run 'saath' failed (exception)" in err
+
+
+class TestCheckpointCommand:
+    ARGS = ["simulate", "--policy", "saath", "--machines", "10",
+            "--coflows", "12", "--seed", "3"]
+
+    def test_checkpointed_run_output_matches_plain(self, tmp_path, capsys):
+        assert main(self.ARGS) == 0
+        plain = capsys.readouterr().out
+        ckpt = tmp_path / "run.ckpt"
+        assert main(self.ARGS + ["--checkpoint", str(ckpt),
+                                 "--checkpoint-every", "0.5"]) == 0
+        assert capsys.readouterr().out == plain
+        assert ckpt.exists()
+
+    def test_resume_from_checkpoint_matches_plain(self, tmp_path, capsys):
+        assert main(self.ARGS) == 0
+        plain = capsys.readouterr().out
+        ckpt = tmp_path / "rolling.ckpt"
+        assert main(self.ARGS + ["--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        # workload flags are ignored on resume: the checkpoint carries all
+        assert main(["simulate", "--resume-from", str(ckpt)]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_checkpoint_every_requires_a_path(self, capsys):
+        rc = main(self.ARGS + ["--checkpoint-every", "0.5"])
+        assert rc == 1
+        assert ("--checkpoint-every requires --checkpoint"
+                in capsys.readouterr().err)
+
+    def test_streaming_run_cannot_checkpoint(self, tmp_path, capsys):
+        rc = main(self.ARGS + ["--streaming",
+                               "--checkpoint", str(tmp_path / "x.ckpt")])
+        assert rc == 1
+        assert "replayable scenario" in capsys.readouterr().err
+
+
+class TestInterrupt:
+    def test_sigint_exits_130_with_partial_results_summary(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        import textwrap
+        import time
+        from pathlib import Path
+
+        import repro
+
+        script = textwrap.dedent("""\
+            import sys
+            from repro.cli import main
+            print("GO", flush=True)
+            sys.exit(main([
+                "sweep", "--policy", "saath", "--machines", "50",
+                "--coflows", "300", "--seeds", "4",
+                "--cache-dir", sys.argv[1],
+            ]))
+        """)
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(src))
+        proc = subprocess.Popen(
+            [_sys.executable, "-c", script, str(tmp_path / "cache")],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "GO"
+            time.sleep(1.0)  # let the sweep get into its first run
+            proc.send_signal(signal.SIGINT)
+            _, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 130
+        assert "interrupted" in err
+        assert "runs finished" in err  # the partial-results summary

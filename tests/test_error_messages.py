@@ -1,0 +1,187 @@
+"""Error-path coverage: the library's failures must *explain themselves*.
+
+A robustness layer is only as good as its diagnostics. These tests pin the
+message content of the existing error paths — capacity violations name the
+bottleneck link, session/scenario misuse says what to do instead, and
+config validation names the offending value — so refactors cannot silently
+degrade them into bare asserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import (
+    CapacityViolationError,
+    ConfigError,
+    SimulationError,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.dynamics import (
+    FlowSlowdown,
+    LinkDegradation,
+    PortDegradation,
+    StragglerEvent,
+    decode_actions,
+)
+from repro.simulator.fabric import Fabric, PortLedger
+from repro.simulator.scenario import Scenario
+from repro.simulator.session import SimulationSession
+from repro.simulator.topology import (
+    LeafSpineTopology,
+    LinkLedger,
+    PathMap,
+)
+from repro.units import GBPS
+from repro.workloads.synthetic import WorkloadGenerator, fb_like_spec
+
+
+# ---- capacity violations name the bottleneck -------------------------------
+
+
+def test_port_ledger_violation_names_the_port():
+    fabric = Fabric(num_machines=4, port_rate=GBPS)
+    ledger = PortLedger(fabric)
+    ledger.commit(0, fabric.receiver_port(1), GBPS)
+    with pytest.raises(CapacityViolationError) as err:
+        ledger.commit(0, fabric.receiver_port(2), GBPS)
+    assert err.value.port == "0"  # the saturated sender port
+    assert err.value.allocated == pytest.approx(2 * GBPS)
+    assert err.value.capacity == pytest.approx(GBPS)
+    assert "port 0" in str(err.value)
+    assert "exceeds" in str(err.value)
+
+
+def test_link_ledger_violation_names_the_core_bottleneck():
+    """Over-committing an oversubscribed uplink must blame the *core*
+    link, not the (healthy) host ports."""
+    fabric = Fabric(num_machines=16, port_rate=GBPS)
+    topo = LeafSpineTopology(fabric, racks=4, spines=1, oversub=4.0)
+    paths = PathMap(topo, "ecmp")
+    ledger = LinkLedger(topo, paths)
+    # rack 0 edge = 4 × GBPS; oversub 4 → its single uplink carries 1 GBPS.
+    cross = fabric.receiver_port(8)  # machine in rack 2
+    ledger.commit(0, cross, GBPS)    # fills leaf0's uplink exactly
+    with pytest.raises(CapacityViolationError) as err:
+        ledger.commit(1, fabric.receiver_port(9), GBPS)
+    bottleneck = int(err.value.port)
+    assert bottleneck >= fabric.num_ports  # a core link, not a host port
+    assert topo.link_name(bottleneck) == "leaf0->spine0"
+    assert err.value.capacity == pytest.approx(GBPS)
+
+
+def test_topology_rejects_out_of_range_link():
+    fabric = Fabric(num_machines=16, port_rate=GBPS)
+    topo = LeafSpineTopology(fabric, racks=4, spines=2)
+    with pytest.raises(ConfigError, match=r"link 9999 out of range "
+                                          r"\[0, \d+\)"):
+        topo.link_capacity(9999)
+
+
+def test_topology_rejects_bad_spine_count():
+    fabric = Fabric(num_machines=16, port_rate=GBPS)
+    with pytest.raises(ConfigError, match="spines must be >= 1, got 0"):
+        LeafSpineTopology(fabric, spines=0)
+
+
+# ---- session / scenario misuse ---------------------------------------------
+
+
+def _session(scenario=None):
+    config = SimulationConfig()
+    fabric = Fabric(num_machines=4, port_rate=GBPS)
+    return SimulationSession(
+        fabric, make_scheduler("saath", config), config, scenario=scenario,
+    )
+
+
+def _coflows(seed=3):
+    spec = fb_like_spec(num_machines=10, num_coflows=8)
+    fabric = spec.make_fabric()
+    return fabric, WorkloadGenerator(spec, seed=seed).generate_coflows(
+        fabric)
+
+
+def test_run_without_scenario_says_how_to_attach():
+    with pytest.raises(SimulationError, match="no scenario attached; pass "
+                                              "scenario= at construction"):
+        _session().run()
+
+
+def test_snapshot_without_scenario():
+    with pytest.raises(SimulationError,
+                       match="no scenario attached; nothing to snapshot"):
+        _session().snapshot()
+
+
+def test_double_attach_is_rejected():
+    _, coflows = _coflows()
+    session = _session(Scenario.from_coflows(coflows))
+    with pytest.raises(SimulationError,
+                       match="a scenario is already attached"):
+        session.attach(Scenario.from_coflows(coflows))
+
+
+def test_snapshot_of_one_shot_stream_names_the_fix():
+    fabric, coflows = _coflows()
+    config = SimulationConfig()
+    scenario = Scenario.from_stream(iter(sorted(
+        coflows, key=lambda c: c.arrival_time)), total_coflows=len(coflows))
+    session = SimulationSession(
+        fabric, make_scheduler("saath", config), config, scenario=scenario)
+    with pytest.raises(SimulationError,
+                       match=r"not replayable.*Scenario\.from_stream"):
+        session.snapshot()
+
+
+def test_driven_list_scenario_refuses_a_second_consumer():
+    _, coflows = _coflows()
+    scenario = Scenario.from_coflows(coflows)
+    scenario.events()
+    with pytest.raises(SimulationError,
+                       match="already driven by a session"):
+        scenario.events()
+
+
+# ---- dynamics validation ----------------------------------------------------
+
+
+def test_flow_slowdown_rejects_bad_efficiency():
+    with pytest.raises(ConfigError,
+                       match=r"efficiency must be in \[0, 1\], got 1.5"):
+        FlowSlowdown(time=1.0, flow_id=0, efficiency=1.5)
+
+
+def test_straggler_event_rejects_zero_efficiency():
+    # A fully-stopped *machine* is a failure, not a straggler: 0 is out.
+    with pytest.raises(ConfigError,
+                       match=r"efficiency must be in \(0, 1\], got 0"):
+        StragglerEvent(time=1.0, worker=0, efficiency=0.0)
+
+
+def test_straggler_event_rejects_unknown_worker():
+    fabric, coflows = _coflows()
+    config = SimulationConfig()
+    session = SimulationSession(
+        fabric, make_scheduler("saath", config), config,
+        scenario=Scenario.from_coflows(coflows))
+    with pytest.raises(ConfigError, match="machine 999 out of range"):
+        StragglerEvent(time=0.0, worker=999, efficiency=0.5).apply(
+            session, 0.0)
+
+
+@pytest.mark.parametrize("cls, kwargs", [
+    (PortDegradation, dict(time=0.0, port=0, factor=-0.1)),
+    (LinkDegradation, dict(time=0.0, link=0, factor=2.0)),
+])
+def test_degradations_reject_bad_factor(cls, kwargs):
+    with pytest.raises(ConfigError,
+                       match=r"factor must be in \[0, 1\], got"):
+        cls(**kwargs)
+
+
+def test_decode_actions_rejects_unknown_kind():
+    with pytest.raises(ConfigError,
+                       match="unknown dynamics action kind 'meteor-strike'"):
+        decode_actions((("meteor-strike", (("time", 0.0),)),))

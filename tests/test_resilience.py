@@ -1,0 +1,162 @@
+"""Unit tests for the fault-tolerance primitives (repro.resilience)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    EXCEPTION,
+    OK,
+    TIMEOUT,
+    WORKER_LOST,
+    Attempt,
+    RetryPolicy,
+    RunFailure,
+    SweepLog,
+    Watchdog,
+    format_exception_chain,
+)
+
+
+# ---- RetryPolicy -----------------------------------------------------------
+
+
+def test_retry_policy_defaults_are_valid():
+    p = RetryPolicy()
+    assert p.max_attempts == 3
+    assert p.timeout is None
+
+
+@pytest.mark.parametrize("kwargs, fragment", [
+    (dict(max_attempts=0), "max_attempts must be >= 1"),
+    (dict(base_delay=-0.1), "base_delay must be >= 0"),
+    (dict(backoff=0.5), "backoff must be >= 1"),
+    (dict(jitter=1.5), "jitter must be in [0, 1]"),
+    (dict(timeout=0), "timeout must be positive"),
+    (dict(timeout=-3), "timeout must be positive"),
+])
+def test_retry_policy_validation(kwargs, fragment):
+    with pytest.raises(ConfigError) as err:
+        RetryPolicy(**kwargs)
+    assert fragment in str(err.value)
+
+
+def test_first_attempt_is_free():
+    p = RetryPolicy(base_delay=1.0)
+    assert p.delay_before(1, "k") == 0.0
+
+
+def test_zero_base_delay_disables_backoff():
+    p = RetryPolicy(base_delay=0.0)
+    assert p.delay_before(5, "k") == 0.0
+
+
+def test_backoff_grows_exponentially_and_caps():
+    p = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3, jitter=0.0)
+    assert p.delay_before(2) == pytest.approx(0.1)
+    assert p.delay_before(3) == pytest.approx(0.2)
+    assert p.delay_before(4) == pytest.approx(0.3)  # capped
+    assert p.delay_before(10) == pytest.approx(0.3)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    p = RetryPolicy(base_delay=0.1, jitter=0.25, jitter_seed=42)
+    a = p.delay_before(3, "key-a")
+    assert a == p.delay_before(3, "key-a")  # pure function
+    # different key / attempt / seed give different (still bounded) jitter
+    b = p.delay_before(3, "key-b")
+    c = RetryPolicy(base_delay=0.1, jitter=0.25, jitter_seed=7).delay_before(
+        3, "key-a")
+    assert a != b or a != c
+    base = 0.2
+    for d in (a, b, c):
+        assert base * 0.75 <= d <= base * 1.25
+
+
+# ---- failure taxonomy ------------------------------------------------------
+
+
+def test_format_exception_chain_walks_causes():
+    try:
+        try:
+            raise ValueError("inner")
+        except ValueError as inner:
+            raise RuntimeError("outer") from inner
+    except RuntimeError as exc:
+        chain = format_exception_chain(exc)
+    assert chain == "RuntimeError: outer <- ValueError: inner"
+
+
+def test_format_exception_chain_handles_cycles():
+    a = ValueError("a")
+    b = ValueError("b")
+    a.__cause__ = b
+    b.__cause__ = a
+    chain = format_exception_chain(a)
+    assert chain.count("ValueError") == 2  # cycle guard stops the walk
+
+
+def test_attempt_record_shapes():
+    ok = Attempt(1, OK, 0.5)
+    bad = Attempt(2, EXCEPTION, 0.25, "ValueError: boom")
+    assert ok.as_record() == {"n": 1, "kind": "ok", "elapsed": 0.5}
+    assert bad.as_record()["error"] == "ValueError: boom"
+
+
+def test_run_failure_is_marked_failed():
+    f = RunFailure(spec="spec", kind=WORKER_LOST,
+                   attempts=[Attempt(1, WORKER_LOST, 0.1, "x")],
+                   error="x", elapsed=0.1)
+    assert f.failed
+    assert not f.from_cache
+
+
+# ---- Watchdog --------------------------------------------------------------
+
+
+def test_watchdog_without_timeout_never_expires():
+    w = Watchdog(None)
+    w.started("a")
+    assert w.expired() == []
+    assert w.wait_budget() is None
+    assert w.finished("a") >= 0.0
+
+
+def test_watchdog_expires_overdue_tasks():
+    w = Watchdog(0.01)
+    w.started("slow")
+    time.sleep(0.03)
+    w.started("fresh")
+    assert w.expired() == ["slow"]
+    budget = w.wait_budget()
+    assert budget == 0.0  # the earliest deadline has already passed
+
+
+def test_watchdog_finished_returns_elapsed_and_stops_tracking():
+    w = Watchdog(10.0)
+    w.started("a")
+    time.sleep(0.01)
+    elapsed = w.finished("a")
+    assert elapsed >= 0.01
+    assert w.expired() == []
+    assert w.finished("a") == 0.0  # unknown key after removal
+
+
+# ---- SweepLog --------------------------------------------------------------
+
+
+def test_sweep_log_appends_json_lines(tmp_path):
+    path = tmp_path / "logs" / "sweep.jsonl"
+    with SweepLog(path) as log:
+        log.write({"event": "sweep-start", "n": 2})
+        log.write({"event": "run", "policy": "saath"})
+    with SweepLog(path) as log:  # append mode: a second sweep adds lines
+        log.write({"event": "sweep-end"})
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["event"] for r in records] == [
+        "sweep-start", "run", "sweep-end"]
+    assert records[0]["n"] == 2

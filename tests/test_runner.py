@@ -28,7 +28,9 @@ from repro.experiments.runner import (
     execute_spec,
     fan_out_seeds,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, RunFailedError, SweepInterrupted
+from repro.resilience import RetryPolicy
+from repro.testing import chaos
 
 SMALL_WORKLOAD = WorkloadSpec(family="fb-like", machines=10, coflows=20,
                               seed=3)
@@ -160,3 +162,89 @@ def test_result_cache_survives_missing_dir(tmp_path):
     outcome = execute_spec(_spec())
     cache.put(outcome)
     assert cache.get(_spec()).ccts == outcome.ccts
+
+
+# ---- resilience regressions -------------------------------------------------
+
+
+def test_schema_drift_cache_entry_is_quarantined(tmp_path):
+    """A cache file that *parses* but lacks the expected keys must count
+    as a miss (quarantined aside), never crash the sweep."""
+    cache = ResultCache(tmp_path)
+    outcome = execute_spec(_spec())
+    cache.put(outcome)
+    path = tmp_path / f"{_spec().cache_key()}.json"
+    path.write_text(json.dumps({"schema": "from-the-future", "v": 2}))
+    assert cache.get(_spec()) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
+    # a recompute repairs the entry in place
+    cache.put(outcome)
+    assert cache.get(_spec()).ccts == outcome.ccts
+
+
+def test_interrupted_sweep_keeps_finished_results(tmp_path, monkeypatch):
+    """Regression for the result-loss bug: kill the sweep mid-batch and
+    every already-finished spec must be a cache hit on the rerun."""
+    specs = [_spec("saath"), _spec("aalo"), _spec("uc-tcp")]
+    real = runner_mod.execute_spec
+
+    def interrupt_last(spec):
+        if spec.policy == "uc-tcp":
+            raise KeyboardInterrupt
+        return real(spec)
+
+    monkeypatch.setattr(runner_mod, "execute_spec", interrupt_last)
+    with pytest.raises(SweepInterrupted) as err:
+        SweepRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    assert err.value.completed == 2
+    assert err.value.total == 3
+    assert "persisted to the cache" in str(err.value)
+
+    monkeypatch.setattr(runner_mod, "execute_spec", real)
+    replay = SweepRunner(jobs=1, cache_dir=tmp_path)
+    outcomes = replay.run(specs)
+    assert replay.cache.hits == 2  # the finished prefix survived the kill
+    assert [o.from_cache for o in outcomes] == [True, True, False]
+
+
+def test_failed_sweep_keeps_finished_results(tmp_path, monkeypatch):
+    """Same guarantee when the sweep *fails* (strict mode) rather than
+    being interrupted: completed runs are already on disk."""
+    specs = [_spec("saath"), _spec("aalo"), _spec("uc-tcp")]
+    directory = chaos.arm(
+        [{"site": "worker", "action": "exception", "times": 5,
+          "policy": "uc-tcp"}],
+        tmp_path / "chaos")
+    monkeypatch.setenv(chaos.ENV_VAR, str(directory))
+    runner = SweepRunner(
+        jobs=1, cache_dir=tmp_path / "cache",
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0), strict=True)
+    with pytest.raises(RunFailedError):
+        runner.run(specs)
+
+    monkeypatch.delenv(chaos.ENV_VAR)
+    replay = SweepRunner(jobs=1, cache_dir=tmp_path / "cache")
+    outcomes = replay.run(specs)
+    assert replay.cache.hits == 2
+    assert all(not o.failed for o in outcomes)
+
+
+def test_each_completion_is_persisted_immediately(tmp_path, monkeypatch):
+    """Outcomes stream into the cache the moment they finish — not in a
+    single batch at sweep end."""
+    specs = [_spec("saath"), _spec("aalo")]
+    real = runner_mod.execute_spec
+    on_disk_at_second_run = []
+
+    def spying(spec):
+        if spec.policy == "aalo":
+            on_disk_at_second_run.append(
+                sorted(p.name for p in tmp_path.glob("*.json")))
+        return real(spec)
+
+    monkeypatch.setattr(runner_mod, "execute_spec", spying)
+    SweepRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    assert on_disk_at_second_run == [
+        [f"{specs[0].cache_key()}.json"]]

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Chaos smoke: a faulted sweep must match a fault-free sweep bit for bit.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+
+The script runs the same policy × seed grid twice through the fault-
+tolerant sweep runner:
+
+1. **Baseline** — no chaos armed, sequential, no cache.
+2. **Chaos** — the :mod:`repro.testing.chaos` registry armed with every
+   supported fault flavour: injected worker exceptions, a SIGKILLed pool
+   worker, a hung run that the per-run watchdog must kill and retry, and
+   a corrupted cache file written mid-sweep.
+
+Because the simulator is deterministic, every retried run must reproduce
+the original result exactly, so the two sweeps must agree on every CCT,
+makespan and reschedule count — byte-identical through the JSON cache.
+A final cache-only rerun asserts the damaged entry was quarantined
+(``*.corrupt``) and recomputed. Exits non-zero on any mismatch, any
+failed run, or any armed fault that never fired.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import SimulationConfig  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    RunSpec,
+    SweepRunner,
+    WorkloadSpec,
+)
+from repro.resilience import RetryPolicy  # noqa: E402
+from repro.testing import chaos  # noqa: E402
+
+POLICIES = ("saath", "aalo", "scf")
+SEEDS = (1, 2)
+
+
+def _specs() -> list[RunSpec]:
+    config = SimulationConfig()
+    return [
+        RunSpec(policy=p,
+                workload=WorkloadSpec(family="fb-like", machines=24,
+                                      coflows=20, seed=s),
+                config=config)
+        for p in POLICIES for s in SEEDS
+    ]
+
+
+def _check_identical(baseline, outcomes) -> list[str]:
+    problems = []
+    for base, out in zip(baseline, outcomes):
+        label = f"{out.spec.policy}/seed{out.spec.workload.seed}"
+        if out.failed:
+            problems.append(f"{label}: failed ({out.kind}): {out.error}")
+            continue
+        if (base.ccts != out.ccts or base.makespan != out.makespan
+                or base.reschedules != out.reschedules):
+            problems.append(f"{label}: outcome differs from fault-free run")
+    return problems
+
+
+def main() -> int:
+    specs = _specs()
+    os.environ.pop(chaos.ENV_VAR, None)
+
+    print(f"baseline sweep: {len(specs)} runs, no chaos")
+    baseline = SweepRunner(jobs=1).run(specs)
+    assert all(not o.failed for o in baseline)
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        directory = chaos.arm(
+            [
+                {"site": "worker", "action": "exception", "times": 2},
+                {"site": "worker", "action": "kill", "times": 1},
+                {"site": "worker", "action": "delay", "times": 1,
+                 "seconds": 30.0, "policy": "scf", "seed": 2},
+                {"site": "cache", "action": "corrupt", "times": 1},
+            ],
+            tmp_path / "chaos",
+        )
+        os.environ[chaos.ENV_VAR] = str(directory)
+        log_path = tmp_path / "sweep.jsonl"
+        print("chaos sweep: 2 exceptions + 1 worker kill + 1 hang "
+              "+ 1 cache corruption armed")
+        runner = SweepRunner(
+            jobs=2, cache_dir=tmp_path / "cache",
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01, timeout=5.0),
+            log_path=log_path,
+        )
+        outcomes = runner.run(specs)
+        os.environ.pop(chaos.ENV_VAR, None)
+
+        problems = _check_identical(baseline, outcomes)
+        fired = chaos.fired_count(directory)
+        if fired != 5:
+            problems.append(f"expected all 5 armed faults to fire, got "
+                            f"{fired}")
+        retried = sum(1 for o in outcomes
+                      if not o.failed and o.attempts > 1)
+        if not retried:
+            problems.append("no run was retried — the faults were no-ops")
+
+        for line in log_path.read_text().splitlines():
+            record = json.loads(line)
+            if record["event"] == "run" and record.get("attempts", 1) > 1:
+                print(f"  retried: {record['policy']}/seed"
+                      f"{record['seed']} took {record['attempts']} attempts")
+
+        print("cache-only rerun: the corrupted entry must be quarantined")
+        rerun = SweepRunner(jobs=1, cache_dir=tmp_path / "cache")
+        problems += _check_identical(baseline, rerun.run(specs))
+        if rerun.cache.quarantined != 1:
+            problems.append(f"expected 1 quarantined cache entry, got "
+                            f"{rerun.cache.quarantined}")
+        if rerun.cache.hits != len(specs) - 1:
+            problems.append(f"expected {len(specs) - 1} cache hits on "
+                            f"rerun, got {rerun.cache.hits}")
+
+    if problems:
+        print("\nCHAOS SMOKE FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(specs)} runs byte-identical under chaos "
+          f"({fired} faults fired, {retried} runs retried)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
