@@ -5,8 +5,44 @@ offline environments where the ``wheel`` package (and hence PEP 660
 editable installs) may be unavailable, while ``setup.py develop`` works
 with plain setuptools. ``PYTHONPATH=src`` is an equally supported way to
 run everything — see README.md.
+
+The ``repro._fastcore._core`` C extension (compiled twins of the simulator
+hot loops, see ARCHITECTURE.md "Compiled core") is built opportunistically:
+a missing compiler degrades to the pure-Python rows path instead of failing
+the install. ``-ffp-contract=off`` is mandatory for bit-identity with
+CPython float arithmetic — fused multiply-adds would change intermediate
+roundings; ``-ffast-math`` must never be added for the same reason.
 """
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """Build the extension if we can; fall back to pure Python if not."""
+
+    def run(self):  # noqa: D102 - setuptools hook
+        try:
+            super().run()
+        except Exception as exc:  # no compiler / headers: not fatal
+            self._warn_skip(exc)
+
+    def build_extension(self, ext):  # noqa: D102 - setuptools hook
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._warn_skip(exc)
+
+    @staticmethod
+    def _warn_skip(exc):
+        import sys
+
+        print(
+            f"WARNING: building repro._fastcore._core failed ({exc}); "
+            "continuing with the pure-Python rows path "
+            "(identical results, ~2x slower)",
+            file=sys.stderr,
+        )
+
 
 setup(
     name="saath-repro",
@@ -16,6 +52,15 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    ext_modules=[
+        Extension(
+            "repro._fastcore._core",
+            sources=["src/repro/_fastcore/fastcore.c"],
+            extra_compile_args=["-O2", "-ffp-contract=off"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
     entry_points={
         "console_scripts": ["saath-repro = repro.cli:main"],
     },

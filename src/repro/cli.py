@@ -183,6 +183,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-epochs", action="store_true",
                           help="disable the engine's allocation-epoch path "
                                "(slower; results are identical)")
+    simulate.add_argument("--no-fastcore", action="store_true",
+                          help="disable the compiled C hot-loop kernels "
+                               "(slower; results are identical)")
     simulate.add_argument("--streaming", action="store_true",
                           help="feed the workload through a lazily-pulled "
                                "scenario stream instead of a materialised "
@@ -221,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", type=Path, default=None)
     sweep.add_argument("--no-incremental", action="store_true")
     sweep.add_argument("--no-epochs", action="store_true")
+    sweep.add_argument("--no-fastcore", action="store_true")
     sweep.add_argument("--retries", type=int, default=None,
                        help="max attempts per run before it is reported as "
                             "failed (default: 3)")
@@ -251,6 +255,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
         epochs=not args.no_epochs,
+        fastcore=not args.no_fastcore,
     )
     retry = None
     if args.retries is not None or args.run_timeout is not None:
@@ -350,6 +355,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
         epochs=not args.no_epochs,
+        fastcore=not args.no_fastcore,
     )
     if args.trace is not None:
         trace = load_trace(args.trace)

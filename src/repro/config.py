@@ -154,6 +154,12 @@ class SimulationConfig:
       caches. Exactly equivalent to the per-event full recompute (asserted
       by the equivalence suite); ``False`` restores the pre-epoch engine
       (CLI ``--no-epochs``).
+    * ``fastcore`` — use the compiled C twins of the hot loops
+      (:mod:`repro._fastcore`) when the extension is built. Bit-identical
+      to the pure-Python rows path (asserted by the fuzz firewall);
+      ``False`` forces the Python path (CLI ``--no-fastcore``). When the
+      extension is absent the engine falls back to Python automatically,
+      with a loud one-time ``RuntimeWarning``.
     * ``validate_incremental`` — debug mode: run the incremental *and* the
       full-recompute bookkeeping every round and assert they agree. Slower
       than either path alone; used by the equivalence tests.
@@ -170,6 +176,7 @@ class SimulationConfig:
     max_sim_time: float = 1e7
     incremental: bool = True
     epochs: bool = True
+    fastcore: bool = True
     validate_incremental: bool = False
 
     def __post_init__(self) -> None:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..analysis.metrics import DistributionSummary, per_coflow_speedups
 from ..analysis.report import format_table
+from ..config import SimulationConfig
 from .common import (
     ExperimentScale,
     default_experiment_config,
@@ -35,14 +36,16 @@ def run(scale: ExperimentScale = ExperimentScale.SMALL,
         *,
         include_osp: bool = True,
         baselines: tuple[str, ...] = BASELINES,
-        seed: int = 7) -> Fig9Result:
+        seed: int = 7,
+        config: SimulationConfig | None = None) -> Fig9Result:
     # One sweep-runner batch covering every (trace, policy) pair, so the
     # whole figure fans out at once when parallel jobs are available.
     traces = {"fb-like": workload_spec_for("fb-like", scale, seed)}
     if include_osp:
         traces["osp-like"] = workload_spec_for("osp-like", scale, 11)
     policies = ["saath", *baselines]
-    config = default_experiment_config()
+    if config is None:
+        config = default_experiment_config()
     specs = [
         RunSpec(policy=p, workload=w, config=config)
         for w in traces.values() for p in policies

@@ -22,7 +22,9 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
+from .._fastcore import core as _core
 from ..config import SimulationConfig
+from ..simulator.fabric import PortLedger
 from ..simulator.flows import CoFlow, Flow
 from ..simulator.state import ClusterState
 from .base import Allocation, Scheduler
@@ -161,6 +163,27 @@ class AaloScheduler(Scheduler):
             for c in state.active_coflows
         ]
         decorated.sort()
+        ledger = self._round_ledger(state)
+        # Compiled round core: same flatten-and-serve, with the per-port
+        # bucketing (CSR over senders) and both allocation passes in C.
+        # Only the exact PortLedger layout qualifies (paths is None here,
+        # so that is always the case unless a subclass overrides it).
+        if (table.fastcore and _core is not None
+                and type(ledger) is PortLedger):
+            coflow_runs = []
+            for queue, _, coflow in decorated:
+                rows = state.schedulable_rows(coflow, now)
+                if not id_sorted.get(coflow.coflow_id, True):
+                    rows = sorted(rows, key=lambda i: fid[i])
+                coflow_runs.append((queue, rows))
+            allocation = Allocation()
+            _core.aalo_ports(
+                coflow_runs, self._queue_weight,
+                table.src, table.dst, table.flow_id, table.coflow_id,
+                ledger.capacity_list, ledger.used_list, ledger.touched_set,
+                allocation.rates, allocation.scheduled_coflows,
+            )
+            return allocation
         per_sender: dict[int, list[tuple[int, list[int]]]] = defaultdict(list)
         for queue, _, coflow in decorated:
             rows = state.schedulable_rows(coflow, now)
@@ -174,7 +197,6 @@ class AaloScheduler(Scheduler):
                 else:
                     runs[-1][1].append(i)
 
-        ledger = self._round_ledger(state)
         allocation = Allocation()
         # Hoisted once per round: the ledger's dense lists and the table
         # columns the per-port pass indexes (property/attribute fetches per

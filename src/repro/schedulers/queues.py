@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from .._fastcore import core as _core
 from ..config import SimulationConfig
 from ..errors import SchedulerError
 from ..simulator.flows import CoFlow
@@ -153,9 +154,13 @@ class QueueTracker:
                 tbl = coflow._table
                 ft = tbl.finish_time
                 fid = tbl.flow_id
-                total_rate = sum(
-                    [rates_get(fid[i], 0.0) for i in rows if ft[i] is None]
-                )
+                if tbl.fastcore and _core is not None:
+                    total_rate = _core.total_rate_rows(rows, fid, ft, rates)
+                else:
+                    total_rate = sum(
+                        [rates_get(fid[i], 0.0)
+                         for i in rows if ft[i] is None]
+                    )
             else:
                 total_rate = sum(
                     [rates_get(f.flow_id, 0.0) for f in coflow.flows
@@ -174,6 +179,10 @@ class QueueTracker:
             fid = tbl.flow_id
             vol = tbl.volume
             bs = tbl.bytes_sent
+            if tbl.fastcore and _core is not None:
+                return _core.per_flow_transition(
+                    rows, fid, ft, vol, bs, rates, per_flow_hi
+                )
             for i in rows:
                 if ft[i] is not None:
                     continue

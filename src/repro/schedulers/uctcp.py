@@ -10,6 +10,7 @@ semantics entirely.
 
 from __future__ import annotations
 
+from .._fastcore import core as _core
 from ..config import SimulationConfig
 from ..simulator.flows import Flow
 from ..simulator.ratealloc import (
@@ -69,6 +70,13 @@ class UcTcpScheduler(Scheduler):
             )
             fid = table.flow_id
             cid = table.coflow_id
+            if table.fastcore and _core is not None:
+                # Same pairs, same order, same rate objects — only the
+                # zip loop moves to C.
+                _core.positive_rows(
+                    active, rate_of, fid, cid, positive, scheduled
+                )
+                return allocation
             for i, rate in zip(active, rate_of):
                 if rate > 0:
                     positive[fid[i]] = rate

@@ -12,6 +12,7 @@ machine ``i``'s sender port is ``i`` and its receiver port is ``i + n``.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from ..errors import CapacityViolationError, ConfigError
@@ -106,9 +107,11 @@ class PortLedger:
     :meth:`~repro.simulator.state.ClusterState.acquire_ledger` reuse path.
 
     Port ids are dense (machine ``i`` owns sender port ``i`` and receiver
-    port ``i + n``), so capacity and usage live in flat lists indexed by
-    port id; the rate allocators index them directly via
-    :attr:`capacity_list` / :attr:`used_list` in their fill loops.
+    port ``i + n``), so capacity and usage live in flat ``array('d')``
+    buffers indexed by port id; the rate allocators index them directly via
+    :attr:`capacity_list` / :attr:`used_list` in their fill loops, and the
+    compiled kernels in :mod:`repro._fastcore` address the same buffers as
+    contiguous C ``double`` arrays.
     """
 
     __slots__ = ("_fabric", "_capacity", "_used", "_touched")
@@ -116,9 +119,9 @@ class PortLedger:
     def __init__(self, fabric: Fabric,
                  capacity_override: dict[int, float] | None = None):
         self._fabric = fabric
-        self._capacity: list[float] = [
-            fabric.capacity(p) for p in fabric.all_ports()
-        ]
+        self._capacity: array = array(
+            "d", [fabric.capacity(p) for p in fabric.all_ports()]
+        )
         if capacity_override:
             num_ports = fabric.num_ports
             for port, cap in capacity_override.items():
@@ -133,7 +136,7 @@ class PortLedger:
                         f"capacity override for port {port} must be >= 0"
                     )
                 self._capacity[port] = cap
-        self._used: list[float] = [0.0] * fabric.num_ports
+        self._used: array = array("d", bytes(8 * fabric.num_ports))
         #: Ports with a non-zero commitment since the last reset.
         self._touched: set[int] = set()
 
@@ -142,12 +145,12 @@ class PortLedger:
         return self._fabric
 
     @property
-    def capacity_list(self) -> list[float]:
+    def capacity_list(self) -> array:
         """Per-port capacity, indexed by port id (read-only by convention)."""
         return self._capacity
 
     @property
-    def used_list(self) -> list[float]:
+    def used_list(self) -> array:
         """Per-port usage, indexed by port id (read-only by convention)."""
         return self._used
 

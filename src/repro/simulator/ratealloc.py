@@ -42,6 +42,7 @@ import math
 from collections import defaultdict
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .._fastcore import core as _core
 from .fabric import _CAPACITY_TOLERANCE, CapacityViolationError, PortLedger
 from .flows import CoFlow, Flow
 
@@ -216,6 +217,15 @@ def max_min_fair_rows_raw(
     if not num_flows or (rate_cap is not None and rate_cap <= 0):
         return active, rate_of
 
+    # Compiled twin: the exact-type check keeps LinkLedger subclasses
+    # (path-charging commits) on the Python path, whose virtual dispatch
+    # the C kernel deliberately does not replicate.
+    if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        return active, _core.mmf_fill(
+            active, table.src, table.dst, ledger.capacity_list,
+            ledger.used_list, ledger.touched_set, rate_cap, commit,
+        )
+
     src_col = table.src
     dst_col = table.dst
     lcap = ledger.capacity_list
@@ -388,6 +398,12 @@ def madd_rates_rows(
     ``rows`` are the coflow's schedulable rows; remaining volumes are read
     straight off the table columns.
     """
+    if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        return _core.madd_rows(
+            rows, table.finish_time, table.volume, table.bytes_sent,
+            table.src, table.dst, table.flow_id, ledger.capacity_list,
+            ledger.used_list, ledger.touched_set,
+        )
     ft = table.finish_time
     vol = table.volume
     bs = table.bytes_sent
@@ -524,6 +540,12 @@ def equal_rate_for_coflow_rows(
     ``rows`` are the coflow's schedulable rows; ``port_counts`` is the
     cluster state's compaction cache exactly as in the object form.
     """
+    if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        return _core.equal_rate_rows(
+            rows, table.finish_time, table.src, table.dst, table.flow_id,
+            ledger.capacity_list, ledger.used_list, ledger.touched_set,
+            port_counts,
+        )
     ft = table.finish_time
     todo = [i for i in rows if ft[i] is None]
     if not todo:
@@ -845,6 +867,11 @@ def greedy_residual_rates_rows(
     ledger: PortLedger,
 ) -> dict[int, float]:
     """Row-path twin of :func:`greedy_residual_rates` (same walk order)."""
+    if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        return _core.greedy_rows(
+            rows, table.finish_time, table.flow_id, table.src, table.dst,
+            ledger.capacity_list, ledger.used_list, ledger.touched_set,
+        )
     rates: dict[int, float] = {}
     dead: set[int] = set()
     ft = table.finish_time

@@ -87,6 +87,7 @@ from itertools import chain
 from pathlib import Path
 from typing import Callable, Protocol
 
+from .. import _fastcore as _fc
 from ..config import SimulationConfig
 from ..errors import CheckpointError, ConfigError, SimulationError
 from ..schedulers.base import Allocation, Scheduler
@@ -377,6 +378,15 @@ class SimulationSession:
         #: The cluster state's struct-of-arrays flow registry; every hot
         #: loop below indexes its columns by row.
         self._table = self.state.table
+        #: Compiled hot-loop kernels (repro._fastcore): on when the config
+        #: requests them *and* the extension is built. Results are
+        #: bit-identical either way (fuzz firewall), so a missing build
+        #: only costs speed — loudly, via a one-time RuntimeWarning.
+        want_fastcore = bool(getattr(config, "fastcore", True))
+        self._fastcore = want_fastcore and _fc.AVAILABLE
+        if want_fastcore and not _fc.AVAILABLE:
+            _fc.warn_fallback_once()
+        self._table.fastcore = self._fastcore
         #: Per-flow efficiency factors (< 1 for straggling flows, §4.3).
         self.flow_efficiency: dict[int, float] = {}
         #: Per-machine efficiency factors (sender-port keyed) set by
@@ -730,6 +740,13 @@ class SimulationSession:
         memo: dict[int, object] = {}
         for k, v in snap.payload.items():
             setattr(session, k, deepcopy(v, memo))
+        # Re-gate the compiled kernels on *this* environment: a snapshot
+        # from a fastcore build restores cleanly where the extension is
+        # absent (and vice versa) — results are bit-identical either way.
+        session._fastcore = (
+            bool(getattr(session.config, "fastcore", True)) and _fc.AVAILABLE
+        )
+        session._table.fastcore = session._fastcore
         session._source = snap.scenario
         session._source_iter = snap.scenario.events()
         session._consumed = 0
@@ -821,6 +838,19 @@ class SimulationSession:
         # is material — integer list indexing replaces every attribute
         # read. When a seed was requested the same pass pushes a margined
         # lower bound per row, warming the heap for subsequent events.
+        if self._fastcore:
+            t = self._table
+            ret, ncb, seeded = _fc.core.scan_completions(
+                self._running, t.volume, t.bytes_sent, t.rate,
+                t.finish_time, t.epoch, self.config.epsilon_bytes,
+                self._now, self._seed_pending, self._heap,
+            )
+            if seeded:
+                self._seed_pending = False
+                self._heap_live = True
+                self._unheaped.clear()
+            self._no_completion_before = ncb
+            return ret
         t = self._table
         vol = t.volume
         bs = t.bytes_sent
@@ -889,6 +919,15 @@ class SimulationSession:
         (eviction bumps a row's epoch, so a recycled row can never be
         mistaken for its previous occupant).
         """
+        if self._fastcore:
+            t = self._table
+            ret, ncb = _fc.core.heap_completion(
+                self._running, t.volume, t.bytes_sent, t.rate,
+                t.finish_time, t.epoch, self.config.epsilon_bytes,
+                self._now, self._heap, self._unheaped,
+            )
+            self._no_completion_before = ncb
+            return ret
         now = self._now
         eps = self.config.epsilon_bytes
         heap = self._heap
@@ -992,10 +1031,18 @@ class SimulationSession:
                 # bytes (``x + 0.0·dt == x`` for the non-negative bytes
                 # column), and finished rows sit clamped at volume, so the
                 # unconditional write is exact for every row.
-                for i in self._running:
-                    sent = bs[i] + rt[i] * dt
-                    volume = vol[i]
-                    bs[i] = sent if sent < volume else volume
+                if self._fastcore:
+                    _fc.core.advance_running(self._running, vol, bs, rt, dt)
+                else:
+                    for i in self._running:
+                        sent = bs[i] + rt[i] * dt
+                        volume = vol[i]
+                        bs[i] = sent if sent < volume else volume
+            elif self._fastcore:
+                _fc.core.advance_collect(
+                    self._running, vol, bs, rt, tbl.finish_time, dt,
+                    self.config.epsilon_bytes, candidates,
+                )
             else:
                 ft = tbl.finish_time
                 eps = self.config.epsilon_bytes
@@ -1041,14 +1088,19 @@ class SimulationSession:
             # Zero-width step (events piling up at one instant): rates may
             # have changed since the last advance, so scan everything —
             # exactly what the original per-event pass did.
-            raw = []
-            for i in self._running:
-                if ft[i] is not None:
-                    continue
-                remaining = vol[i] - bs[i]
-                if remaining <= eps or (
-                        rt[i] > 0 and remaining <= rt[i] * 1e-8):
-                    raw.append(i)
+            if self._fastcore:
+                raw = _fc.core.scan_candidates(
+                    self._running, vol, bs, rt, ft, eps
+                )
+            else:
+                raw = []
+                for i in self._running:
+                    if ft[i] is not None:
+                        continue
+                    remaining = vol[i] - bs[i]
+                    if remaining <= eps or (
+                            rt[i] > 0 and remaining <= rt[i] * 1e-8):
+                        raw.append(i)
         if len(raw) > 1:
             # The running set is maintained incrementally under epochs, so
             # its iteration order drifts from the legacy rebuild order;
@@ -1429,12 +1481,17 @@ class SimulationSession:
         # of both maps into item-view sets, especially for policies that
         # rewrite every rate every round. (A missing key probes as None,
         # which never equals a float rate, so additions are caught too.)
-        prev_get = prev.get
-        changed: list[tuple[int, float]] = []
-        changed_append = changed.append
-        for item in new.items():
-            if prev_get(item[0]) != item[1]:
-                changed_append(item)
+        fastcore = self._fastcore
+        changed: list[tuple[int, float]]
+        if fastcore:
+            changed = _fc.core.diff_changed(new, prev)
+        else:
+            prev_get = prev.get
+            changed = []
+            changed_append = changed.append
+            for item in new.items():
+                if prev_get(item[0]) != item[1]:
+                    changed_append(item)
         gated = self._gated
         running = self._running
         counts = self._running_count
@@ -1463,6 +1520,18 @@ class SimulationSession:
         bump_epochs = track
 
         tbl = self._table
+        if fastcore:
+            members_changed = _fc.core.apply_diff(
+                dropped, changed, new, tbl.row_of, tbl.flow_id,
+                tbl.coflow_id, tbl.finish_time, tbl.rate, tbl.start_time,
+                tbl.available_time, tbl.epoch, running, counts, gated,
+                self._unheaped, self.flow_efficiency, self._now, track,
+                bump_epochs,
+            )
+            self._prev_rates = new
+            if members_changed:
+                self._running_cids = frozenset(counts)
+            return
         row_of_get = tbl.row_of.get
         fid = tbl.flow_id
         cidc = tbl.coflow_id

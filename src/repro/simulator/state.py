@@ -41,6 +41,7 @@ default (``topology=None``) is untouched by construction.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from .fabric import Fabric, PortLedger
@@ -68,37 +69,51 @@ class FlowTable:
       completion-heap entries keyed ``(bound, epoch, row)``) can never
       alias the next occupant of a recycled row;
     * ``view[row]`` is ``None`` for free rows — the liveness predicate.
+
+    **Memory layout.** The numeric columns are :class:`array.array` buffers
+    — ``'d'`` (C ``double``) for the float columns and ``'q'`` (C
+    ``int64``) for the id/index columns — so the compiled kernels in
+    :mod:`repro._fastcore` can address them as contiguous C arrays through
+    the buffer protocol while the Python rows path indexes them exactly as
+    it indexed the former plain lists. ``finish_time`` / ``start_time``
+    keep ``None`` sentinels ("not finished/started yet") and therefore
+    stay object lists, as does ``view``.
     """
 
     __slots__ = (
         "flow_id", "coflow_id", "src", "dst", "volume", "bytes_sent",
         "rate", "finish_time", "start_time", "available_time", "pos",
-        "epoch", "view", "row_of", "_free",
+        "epoch", "view", "row_of", "_free", "fastcore",
     )
 
     def __init__(self) -> None:
-        self.flow_id: list[int] = []
-        self.coflow_id: list[int] = []
-        self.src: list[int] = []
-        self.dst: list[int] = []
-        self.volume: list[float] = []
-        self.bytes_sent: list[float] = []
-        self.rate: list[float] = []
+        self.flow_id: array = array("q")
+        self.coflow_id: array = array("q")
+        self.src: array = array("q")
+        self.dst: array = array("q")
+        self.volume: array = array("d")
+        self.bytes_sent: array = array("d")
+        self.rate: array = array("d")
         self.finish_time: list[float | None] = []
         self.start_time: list[float | None] = []
-        self.available_time: list[float] = []
+        self.available_time: array = array("d")
         #: Position of the flow within its coflow's ``flows`` list (the
         #: legacy same-instant completion tie-break).
-        self.pos: list[int] = []
+        self.pos: array = array("q")
         #: Allocation epoch: bumped whenever the applied rate changes and on
         #: eviction (invalidates completion-heap entries; never reset).
-        self.epoch: list[int] = []
+        self.epoch: array = array("q")
         #: The view object occupying each row (None = free row).
         self.view: list[Flow | None] = []
         #: flow_id -> row for every live flow.
         self.row_of: dict[int, int] = {}
         #: Recycled rows, LIFO (hot rows stay cache-warm).
         self._free: list[int] = []
+        #: When True (set by the session from ``SimulationConfig.fastcore``
+        #: if the compiled extension is importable), row-path consumers
+        #: dispatch the hot kernels to :mod:`repro._fastcore`. Hand-built
+        #: tables default to the pure-Python path.
+        self.fastcore: bool = False
 
     def __len__(self) -> int:
         """Number of live (adopted, not yet evicted) flows."""

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import abc
 import math
+from array import array
 from dataclasses import dataclass, fields
 
 from ..errors import CapacityViolationError, ConfigError
@@ -402,9 +403,9 @@ class LinkLedger(PortLedger):
         self._topology = topology
         self._paths = paths
         num_links = topology.num_links
-        self._capacity = [
-            topology.link_capacity(link) for link in range(num_links)
-        ]
+        self._capacity = array(
+            "d", [topology.link_capacity(link) for link in range(num_links)]
+        )
         if capacity_override:
             for link, cap in capacity_override.items():
                 if not 0 <= link < num_links:
@@ -418,7 +419,7 @@ class LinkLedger(PortLedger):
                         f"got {cap}"
                     )
                 self._capacity[link] = cap
-        self._used = [0.0] * num_links
+        self._used = array("d", bytes(8 * num_links))
         self._touched = set()
 
     @property

@@ -17,7 +17,11 @@ availability. For every registered scheduler the engine paths —
   :class:`~repro.simulator.topology.LeafSpineTopology` — core links exist,
   so every scheduler takes its path-aware branch and allocates through a
   :class:`~repro.simulator.topology.LinkLedger`, but no path crosses a
-  core link, so the results must not move a bit)
+  core link, so the results must not move a bit),
+* ``no-fastcore`` (the compiled :mod:`repro._fastcore` kernels forced
+  off — when the extension is built the other paths run the C twins, so
+  this leg pins compiled-vs-Python **bitwise**; when it is not built,
+  every path is the Python rows path and the leg is a no-op)
 
 must produce byte-identical CCTs, completion orders, reschedule counts and
 makespans. Workloads are deterministic functions of their seed, so any
@@ -28,7 +32,9 @@ bit-for-bit (rates *and* resulting ledger state) — the schedulers pick the
 row path whenever the cluster state is table-tracked, so the twins must
 never drift. The path-aware allocator twins (``*_paths``) join the same
 fuzz with a big-switch path map: on paths with no core links they must be
-bit-identical to the port-only forms.
+bit-identical to the port-only forms. The ``*-fastcore`` variants run the
+same trials with ``table.fastcore`` set, routing the row forms through the
+compiled kernels — they skip cleanly when the extension is not built.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import random
 
 import pytest
 
+from repro import _fastcore
 from repro.config import SimulationConfig
 from repro.schedulers.registry import available_policies, make_scheduler
 from repro.simulator.engine import run_policy, run_scenario
@@ -123,16 +130,21 @@ ENGINE_PATHS = (
     ("epochs", dict(epochs=True, incremental=True)),
     ("no-epochs", dict(epochs=False, incremental=True)),
     ("no-incremental", dict(epochs=False, incremental=False)),
+    # Seventh engine path: compiled kernels forced off. The other paths
+    # run with the default ``fastcore=True``, so whenever the extension
+    # is built this leg pins C-vs-Python bitwise on every seed/policy.
+    ("no-fastcore", dict(epochs=True, incremental=True, fastcore=False)),
 )
 
 
-def assert_six_paths_identical(policy, fabric, coflows, seed, *,
-                               deep_paths, pause_at=0.3, label=""):
+def assert_engine_paths_identical(policy, fabric, coflows, seed, *,
+                                  deep_paths, pause_at=0.3, label=""):
     """Run ``coflows`` under every engine path and pin byte-identity.
 
-    Always: epochs / no-epochs / no-incremental / stream. With
-    ``deep_paths`` (deep copies are not free, so callers sample): also
-    snapshot-resume and the single-rack leaf-spine topology.
+    Always: epochs / no-epochs / no-incremental / no-fastcore / stream.
+    With ``deep_paths`` (deep copies are not free, so callers sample):
+    also snapshot-resume and the single-rack leaf-spine topology (which
+    exercises the :class:`LinkLedger` fallback of the fastcore dispatch).
     """
     prints = {}
     for path_name, cfg_kw in ENGINE_PATHS:
@@ -187,7 +199,7 @@ def assert_six_paths_identical(policy, fabric, coflows, seed, *,
 def test_random_workloads_triple_path_identical(policy):
     for seed in range(NUM_WORKLOADS):
         fabric, coflows = random_workload(seed)
-        assert_six_paths_identical(
+        assert_engine_paths_identical(
             policy, fabric, coflows, seed, deep_paths=seed % 5 == 0,
         )
 
@@ -229,7 +241,7 @@ def test_random_collective_workloads_six_paths_identical(policy):
     byte-identical across all six engine paths, like every other source."""
     for seed in range(NUM_COLLECTIVE_WORKLOADS):
         fabric, coflows = random_collective_workload(seed)
-        assert_six_paths_identical(
+        assert_engine_paths_identical(
             policy, fabric, coflows, seed, deep_paths=seed % 3 == 0,
             pause_at=0.05, label="collective ",
         )
@@ -257,12 +269,21 @@ def _random_attached_flows(rng: random.Random, machines: int):
 @pytest.mark.parametrize("allocator", [
     "mmf", "madd", "equal", "greedy",
     "mmf-paths", "madd-paths", "equal-paths",
+    "mmf-fastcore", "madd-fastcore", "equal-fastcore", "greedy-fastcore",
 ])
 def test_row_allocators_match_object_allocators(allocator):
     """Row-path and path-aware allocators are bit-identical to the object
     forms — same rates, same residual ledger — across random instances
     (the ``*_paths`` twins run with a big-switch path map: every path is
-    ``(src, dst)``, so the port-only arithmetic must reproduce exactly)."""
+    ``(src, dst)``, so the port-only arithmetic must reproduce exactly).
+    The ``*-fastcore`` variants set ``table.fastcore`` so the row forms
+    dispatch to the compiled kernels, fuzzing C directly against the
+    object allocators; they skip when the extension is not built."""
+    fastcore = allocator.endswith("-fastcore")
+    if fastcore:
+        if not _fastcore.AVAILABLE:
+            pytest.skip("repro._fastcore extension not built")
+        allocator = allocator[: -len("-fastcore")]
     rng = random.Random(2024)
     machines = 8
     fabric = Fabric(num_machines=machines, port_rate=1e6)
@@ -270,6 +291,7 @@ def test_row_allocators_match_object_allocators(allocator):
     paths = PathMap(BigSwitchTopology(fabric))
     for trial in range(120):
         flows, table, rows = _random_attached_flows(rng, machines)
+        table.fastcore = fastcore
         obj_ledger = PortLedger(fabric)
         row_ledger = PortLedger(fabric)
         # Pre-commit some random load so residuals differ across ports.

@@ -13,19 +13,27 @@ run), times each (trace, policy) simulation individually, and appends::
       "date": "<UTC ISO-8601>",
       "scale": "small",
       "runs": 3,
-      "fig9_small_median_s": 3.42,
+      "fastcore": true,
+      "fig9_median_s": 3.42,
       "per_policy": {"fb-like/saath": 0.26, ...}
     }
 
-to ``BENCH_history.json`` (a JSON list, newest entry last). CI runs this as
+to ``BENCH_history.json`` (a JSON list, newest entry last; entries before
+PR 8 use the legacy key ``fig9_small_median_s`` and carry no ``fastcore``
+field — they all measured the pure-Python engine). ``fastcore`` records
+whether the compiled :mod:`repro._fastcore` kernels were active for the
+row, so compiled and pure-Python timings are never conflated; pass
+``--no-fastcore`` to measure the Python path explicitly. CI runs this as
 an advisory job and uploads the refreshed file as an artifact; timings are
 hardware-dependent and never asserted.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_history.py              # 3 runs, small
+    PYTHONPATH=src python tools/bench_history.py               # 3 runs, small
     PYTHONPATH=src python tools/bench_history.py --runs 5
-    PYTHONPATH=src python tools/bench_history.py --scale tiny # smoke
+    PYTHONPATH=src python tools/bench_history.py --scale large # slow row
+    PYTHONPATH=src python tools/bench_history.py --no-fastcore # Python path
+    PYTHONPATH=src python tools/bench_history.py --scale tiny  # smoke
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro import _fastcore
 from repro.experiments import fig9_speedup
 from repro.experiments.common import (
     ExperimentScale,
@@ -69,7 +78,8 @@ def git_commit() -> str:
         return "unknown"
 
 
-def measure(scale: ExperimentScale, runs: int) -> tuple[float, dict[str, float]]:
+def measure(scale: ExperimentScale, runs: int,
+            fastcore: bool = True) -> tuple[float, dict[str, float]]:
     """Median end-to-end Fig. 9 wall plus per-(trace, policy) sim medians."""
     workloads = []
     for trace, spec_for, seed in TRACES:
@@ -77,13 +87,13 @@ def measure(scale: ExperimentScale, runs: int) -> tuple[float, dict[str, float]]
         fabric = spec.make_fabric()
         coflows = WorkloadGenerator(spec, seed=seed).generate_coflows(fabric)
         workloads.append((trace, fabric, coflows))
-    config = default_experiment_config()
+    config = default_experiment_config().with_updates(fastcore=fastcore)
 
     totals: list[float] = []
     per_policy: dict[str, list[float]] = {}
     for _ in range(runs):
         start = time.perf_counter()
-        fig9_speedup.run(scale=scale)
+        fig9_speedup.run(scale=scale, config=config)
         totals.append(time.perf_counter() - start)
         for trace, fabric, coflows in workloads:
             for policy in POLICIES:
@@ -110,6 +120,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="measurement repetitions (median is recorded)")
     parser.add_argument("--scale", default="small",
                         choices=[s.value for s in ExperimentScale])
+    parser.add_argument("--no-fastcore", action="store_true",
+                        help="force the pure-Python engine even when the "
+                             "repro._fastcore extension is built")
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent
@@ -124,14 +137,22 @@ def main(argv: list[str] | None = None) -> int:
               "noise-prone on shared hardware")
 
     scale = ExperimentScale(args.scale)
-    median_s, per_policy = measure(scale, args.runs)
+    want_fastcore = not args.no_fastcore
+    # Record what actually ran: requesting fastcore without the built
+    # extension silently measures the Python fallback path.
+    fastcore_active = want_fastcore and _fastcore.AVAILABLE
+    if want_fastcore and not _fastcore.AVAILABLE:
+        print("warning: repro._fastcore is not built; measuring the "
+              "pure-Python path (build with: python tools/build_fastcore.py)")
+    median_s, per_policy = measure(scale, args.runs, fastcore=want_fastcore)
 
     entry = {
         "commit": git_commit(),
         "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "scale": scale.value,
         "runs": args.runs,
-        "fig9_small_median_s": round(median_s, 3),
+        "fastcore": fastcore_active,
+        "fig9_median_s": round(median_s, 3),
         "per_policy": per_policy,
     }
 

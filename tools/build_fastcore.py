@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""One-shot in-place build of the ``repro._fastcore._core`` C extension.
+
+Compiles ``src/repro/_fastcore/fastcore.c`` and drops the resulting shared
+object next to its package so plain ``PYTHONPATH=src`` runs pick it up —
+no install step needed.  Idempotent: skips the compile when the existing
+.so is newer than the C source (``--force`` rebuilds anyway).
+
+This deliberately bypasses setup.py/setuptools: the offline environments
+this repo targets may lack ``wheel`` (and setuptools grows noisy deprecation
+paths), while the extension is a single C file whose compile line is fully
+known.  Flags mirror setup.py: ``-O2 -ffp-contract=off`` — contraction off
+is required for bit-identity with CPython float arithmetic, and
+``-ffast-math`` must never be added.
+
+Usage:
+    python tools/build_fastcore.py [--force] [--quiet]
+
+Exit status: 0 on success (or fresh .so), 1 when the compile fails.
+"""
+from __future__ import annotations
+
+import argparse
+import shlex
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "src" / "repro" / "_fastcore" / "fastcore.c"
+
+
+def target_path() -> Path:
+    """Destination .so path, tagged for the running interpreter ABI."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return SOURCE.parent / f"_core{suffix}"
+
+
+def build(force: bool = False, quiet: bool = False) -> int:
+    out = target_path()
+    if not force and out.exists() and out.stat().st_mtime >= SOURCE.stat().st_mtime:
+        if not quiet:
+            print(f"fastcore: up to date ({out.relative_to(REPO)})")
+        return 0
+    cc = sysconfig.get_config_var("CC") or "cc"
+    include = sysconfig.get_path("include")
+    cmd = [
+        *shlex.split(cc),
+        "-shared",
+        "-fPIC",
+        "-O2",
+        "-ffp-contract=off",
+        f"-I{include}",
+        str(SOURCE),
+        "-o",
+        str(out),
+    ]
+    if not quiet:
+        print("fastcore:", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(
+            "fastcore: build FAILED — the simulator still runs on the "
+            "pure-Python rows path (identical results, ~2x slower)",
+            file=sys.stderr,
+        )
+        return 1
+    if not quiet:
+        print(f"fastcore: built {out.relative_to(REPO)}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force", action="store_true", help="rebuild even if up to date"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print errors only"
+    )
+    args = parser.parse_args()
+    return build(force=args.force, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

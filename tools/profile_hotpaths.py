@@ -13,10 +13,18 @@ Usage::
         --trace osp-like --scale small --sort cumulative --top 25
     PYTHONPATH=src python tools/profile_hotpaths.py --all          # 4 policies
     PYTHONPATH=src python tools/profile_hotpaths.py --no-epochs    # old engine
+    PYTHONPATH=src python tools/profile_hotpaths.py --cells        # cell table
 
-The ``--no-epochs`` / ``--no-incremental`` flags profile the fallback
-paths, which is how the allocation-epoch engine's win (engine.py PR 2) was
-measured: profile both, diff the per-function tottime.
+The ``--no-epochs`` / ``--no-incremental`` / ``--no-fastcore`` flags
+profile the fallback paths, which is how the allocation-epoch engine's win
+(engine.py PR 2) and the compiled-core win (_fastcore PR 8) were measured:
+profile both, diff the per-function tottime.
+
+``--cells`` skips cProfile and instead times every (trace × policy) cell
+of the Fig. 9 grid end-to-end (median of ``--runs``), printing a table
+sorted slowest-first — the figure-level view that tells you *which* cell
+to drill into with the cProfile mode. This is how the "osp-like/uc-tcp
+and osp-like/aalo dominate the wall clock" claims are reproduced.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import statistics
 import sys
 import time
 
@@ -62,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="profile the pre-epoch engine path")
     parser.add_argument("--no-incremental", action="store_true",
                         help="profile the full-recompute scheduler path")
+    parser.add_argument("--no-fastcore", action="store_true",
+                        help="profile the pure-Python path even when the "
+                             "repro._fastcore extension is built")
+    parser.add_argument("--cells", action="store_true",
+                        help="skip cProfile; time every (trace x policy) "
+                             "Fig. 9 cell and print a slowest-first table")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="repetitions per cell in --cells mode "
+                             "(median is reported; default 3)")
     return parser
 
 
@@ -82,22 +100,69 @@ def profile_one(policy: str, coflows, fabric, config: SimulationConfig,
     stats.sort_stats(sort).print_stats(top)
 
 
+def profile_cells(config: SimulationConfig, scale: ExperimentScale,
+                  seed: int, runs: int) -> None:
+    """Time every (trace x policy) Fig. 9 cell, slowest first.
+
+    Uses wall-clock medians rather than cProfile (profiler overhead skews
+    C-extension vs bytecode comparisons); each cell is one full
+    ``run_policy`` simulation on the shared Fig. 9 workloads.
+    """
+    from repro import _fastcore
+
+    cells: list[tuple[str, str, float, int]] = []
+    for trace, spec_for in (("fb-like", fb_spec_for), ("osp-like", osp_spec_for)):
+        spec = spec_for(scale)
+        fabric = spec.make_fabric()
+        trace_seed = seed if trace == "fb-like" else 11
+        coflows = WorkloadGenerator(
+            spec, seed=trace_seed
+        ).generate_coflows(fabric)
+        for policy in FIG9_POLICIES:
+            walls = []
+            reschedules = 0
+            for _ in range(runs):
+                start = time.perf_counter()
+                result = run_policy(
+                    make_scheduler(policy, config), clone_coflows(coflows),
+                    fabric, config,
+                )
+                walls.append(time.perf_counter() - start)
+                reschedules = result.reschedules
+            cells.append((trace, policy,
+                          statistics.median(walls), reschedules))
+    cells.sort(key=lambda c: c[2], reverse=True)
+    total = sum(c[2] for c in cells)
+    active = config.fastcore and _fastcore.AVAILABLE
+    print(f"\nFig. 9 cells, slowest first (median of {runs}, "
+          f"fastcore={'on' if active else 'off'}):")
+    print(f"{'cell':<24} {'median_s':>9} {'share':>7} {'reschedules':>12}")
+    for trace, policy, wall, reschedules in cells:
+        print(f"{trace + '/' + policy:<24} {wall:>9.3f} "
+              f"{wall / total:>6.1%} {reschedules:>12}")
+    print(f"{'total':<24} {total:>9.3f}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = ExperimentScale(args.scale)
-    spec = (fb_spec_for(scale) if args.trace == "fb-like"
-            else osp_spec_for(scale))
-    fabric = spec.make_fabric()
-    coflows = WorkloadGenerator(spec, seed=args.seed).generate_coflows(fabric)
     config = SimulationConfig(
         sync_interval=args.sync_ms * 1e-3,
         epochs=not args.no_epochs,
         incremental=not args.no_incremental,
+        fastcore=not args.no_fastcore,
     )
+    if args.cells:
+        profile_cells(config, scale, args.seed, max(1, args.runs))
+        return 0
+    spec = (fb_spec_for(scale) if args.trace == "fb-like"
+            else osp_spec_for(scale))
+    fabric = spec.make_fabric()
+    coflows = WorkloadGenerator(spec, seed=args.seed).generate_coflows(fabric)
     print(f"trace={args.trace} scale={scale.value} "
           f"machines={spec.num_machines} coflows={len(coflows)} "
           f"sync={args.sync_ms}ms epochs={config.epochs} "
-          f"incremental={config.incremental}")
+          f"incremental={config.incremental} fastcore={config.fastcore}")
     policies = FIG9_POLICIES if args.all else (args.policy,)
     for policy in policies:
         profile_one(policy, coflows, fabric, config,
