@@ -15,9 +15,15 @@ rows path.  Build in place with ``python tools/build_fastcore.py``.
 
 from __future__ import annotations
 
+import os
 import warnings
 
 __all__ = ["AVAILABLE", "core", "warn_fallback_once"]
+
+#: Cross-process backing for the warn-once latch: module globals reset in
+#: every pool worker (each is a fresh interpreter), but workers inherit the
+#: parent's environment, so a sweep warns once instead of once per worker.
+_WARNED_ENV = "REPRO_FASTCORE_WARNED"
 
 try:  # pragma: no cover - exercised via both CI matrix legs
     from . import _core as core  # type: ignore[attr-defined]
@@ -44,9 +50,10 @@ def warn_fallback_once() -> None:
     numbers incomparable, hence a RuntimeWarning rather than a debug log.
     """
     global _warned
-    if _warned:
+    if _warned or os.environ.get(_WARNED_ENV):
         return
     _warned = True
+    os.environ[_WARNED_ENV] = "1"
     warnings.warn(
         "fastcore requested but repro._fastcore._core is not built; "
         "falling back to the pure-Python rows path (results are identical, "

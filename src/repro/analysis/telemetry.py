@@ -13,7 +13,11 @@ at every schedule application:
 * which coflows were admitted vs work-conserved.
 
 Everything is stored as plain lists of :class:`Sample` so analysis code and
-tests can assert on the series without parsing logs.
+tests can assert on the series without parsing logs. Scalar aggregates
+(peak actives, work-conservation fraction) are backed by a
+:class:`~repro.observability.MetricsRegistry` the recorder maintains as it
+samples, so recorder telemetry merges into run/sweep metric rollups via
+:func:`~repro.observability.aggregate_metrics` like any other registry.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..observability import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..schedulers.base import Allocation
@@ -48,6 +54,10 @@ class TelemetryRecorder:
     """Observer collecting :class:`Sample` at every schedule application."""
 
     samples: list[Sample] = field(default_factory=list)
+    #: Scalar-aggregate backing store: the recorder's scalar accessors
+    #: derive from these counters/summaries, and the registry merges into
+    #: sweep-level rollups like any other.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def on_schedule(self, state: "ClusterState", allocation: "Allocation",
                     now: float) -> None:
@@ -74,17 +84,25 @@ class TelemetryRecorder:
                     continue
                 queue_population[q] = queue_population.get(q, 0) + 1
 
+        active = len(state.active_coflows)
+        work_conserved = len(allocation.work_conserved_coflows)
         self.samples.append(
             Sample(
                 time=now,
                 port_allocation=port_alloc,
-                active_coflows=len(state.active_coflows),
+                active_coflows=active,
                 running_flows=running,
                 queue_population=queue_population,
                 scheduled_coflows=len(allocation.scheduled_coflows),
-                work_conserved_coflows=len(allocation.work_conserved_coflows),
+                work_conserved_coflows=work_conserved,
             )
         )
+        registry = self.registry
+        registry.inc("telemetry.samples")
+        registry.observe("telemetry.active_coflows", active)
+        registry.observe("telemetry.running_flows", running)
+        if work_conserved:
+            registry.inc("telemetry.work_conserved_rounds")
 
     # The engine passes the scheduler alongside the state via attribute
     # injection before calling the hook; fall back gracefully otherwise.
@@ -129,7 +147,8 @@ class TelemetryRecorder:
         return float((totals * widths).sum() / denom)
 
     def peak_active_coflows(self) -> int:
-        return max((s.active_coflows for s in self.samples), default=0)
+        """Derived from the registry's running summary (no series scan)."""
+        return int(self.registry.summary("telemetry.active_coflows")["max"])
 
     def queue_population_series(self, queue: int) -> np.ndarray:
         return np.array([
@@ -137,8 +156,9 @@ class TelemetryRecorder:
         ])
 
     def work_conservation_fraction(self) -> float:
-        """Fraction of schedule rounds that used work conservation."""
-        if not self.samples:
+        """Fraction of schedule rounds that used work conservation
+        (derived from the registry's counters)."""
+        total = self.registry.counter("telemetry.samples")
+        if not total:
             return 0.0
-        used = sum(1 for s in self.samples if s.work_conserved_coflows > 0)
-        return used / len(self.samples)
+        return self.registry.counter("telemetry.work_conserved_rounds") / total

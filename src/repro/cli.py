@@ -30,10 +30,17 @@ cache.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from .analysis.metrics import DistributionSummary
+from .observability import (
+    FORMATS,
+    MetricsRegistry,
+    Tracer,
+    aggregate_metrics,
+)
 from .config import SimulationConfig
 from .errors import ReproError, SweepInterrupted
 from .experiments import runner as sweep_runner
@@ -202,6 +209,18 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="resume a run from a checkpoint file; "
                                "workload flags are ignored (the checkpoint "
                                "carries the full session)")
+    simulate.add_argument("--trace-out", type=Path, default=None,
+                          help="write a structured event trace of the run "
+                               "to this path (instrumentation is read-only: "
+                               "results are byte-identical either way)")
+    simulate.add_argument("--trace-format", choices=list(FORMATS),
+                          default="jsonl",
+                          help="trace file format: jsonl (one event per "
+                               "line) or chrome (trace_event JSON, "
+                               "viewable in Perfetto / chrome://tracing)")
+    simulate.add_argument("--metrics", type=Path, default=None,
+                          help="write the run's metrics registry (counters/"
+                               "gauges/summaries) as JSON to this path")
     _add_collective_args(simulate)
     _add_topology_args(simulate)
 
@@ -237,6 +256,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sweep-log", type=Path, default=None,
                        help="append JSON-lines per-run telemetry to this "
                             "file (default: REPRO_SWEEP_LOG)")
+    sweep.add_argument("--metrics-dir", type=Path, default=None,
+                       help="collect a per-run metrics registry for every "
+                            "executed spec into this directory, plus an "
+                            "aggregate.json rollup (includes sweep-level "
+                            "retry/cache counters)")
     _add_collective_args(sweep)
     _add_topology_args(sweep)
 
@@ -286,7 +310,17 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             range(args.seed, args.seed + args.seeds),
         )
     ]
-    outcomes = runner.run(specs)
+    if args.metrics_dir is not None:
+        # Per-run collection rides an env var so pool workers (separate
+        # processes) see it too; restored afterwards to avoid leaking into
+        # in-process callers (tests drive main() directly).
+        args.metrics_dir.mkdir(parents=True, exist_ok=True)
+        os.environ[sweep_runner.METRICS_ENV] = "1"
+    try:
+        outcomes = runner.run(specs)
+    finally:
+        if args.metrics_dir is not None:
+            os.environ.pop(sweep_runner.METRICS_ENV, None)
     lines = [f"{'policy':>14s} {'seed':>6s} {'mean CCT':>10s} "
              f"{'P50 CCT':>10s} {'makespan':>10s} {'cached':>6s}"]
     failed = 0
@@ -319,6 +353,24 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"cache: {runner.cache.hits} hits, {runner.cache.misses} misses"
             f"{quarantined} ({runner.cache.directory})"
         )
+    if args.metrics_dir is not None:
+        parts = []
+        for out in outcomes:
+            if out.failed or out.metrics is None:
+                # Cached entries from a pre-metrics sweep carry no payload.
+                continue
+            name = (f"{out.spec.policy}-seed{out.spec.workload.seed}-"
+                    f"{out.spec.cache_key()[:12]}.json")
+            registry = MetricsRegistry.from_dict(out.metrics)
+            registry.save(str(args.metrics_dir / name))
+            parts.append(registry)
+        rollup = aggregate_metrics(parts)
+        rollup.merge(runner.metrics)
+        rollup.save(str(args.metrics_dir / "aggregate.json"))
+        lines.append(
+            f"metrics: {len(parts)} run payload(s) + aggregate.json "
+            f"({args.metrics_dir})"
+        )
     return "\n".join(lines)
 
 
@@ -336,6 +388,32 @@ def _summarize_result(policy: str, topology, result) -> str:
     ])
 
 
+def _instrumentation(args: argparse.Namespace,
+                     policy: str) -> tuple[Tracer | None,
+                                           MetricsRegistry | None]:
+    """(tracer, metrics) from the simulate flags; both None when off."""
+    tracer = None
+    if args.trace_out is not None:
+        tracer = Tracer(str(args.trace_out), format=args.trace_format,
+                        metadata={"policy": policy})
+    metrics = MetricsRegistry() if args.metrics is not None else None
+    return tracer, metrics
+
+
+def _finish_instrumentation(args: argparse.Namespace, summary: str,
+                            tracer: Tracer | None,
+                            metrics: MetricsRegistry | None) -> str:
+    lines = [summary]
+    if tracer is not None:
+        tracer.close()
+        lines.append(f"trace: {tracer.events} events -> {args.trace_out} "
+                     f"({args.trace_format})")
+    if metrics is not None:
+        metrics.save(str(args.metrics))
+        lines.append(f"metrics: {args.metrics}")
+    return "\n".join(lines)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
     ckpt_every = args.checkpoint_every
     if args.checkpoint is not None and ckpt_every is None:
@@ -344,13 +422,17 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         raise ReproError("--checkpoint-every requires --checkpoint PATH")
     if args.resume_from is not None:
         # The checkpoint carries the full session (fabric, scheduler,
-        # config, scenario tail); workload flags are ignored.
+        # config, scenario tail); workload flags are ignored. Checkpoints
+        # never embed instrumentation, so it is (re)attached here.
         snap = SessionSnapshot.load(args.resume_from)
         session = SimulationSession.restore(snap)
+        tracer, metrics = _instrumentation(args, snap.policy)
+        session.attach_instrumentation(tracer=tracer, metrics=metrics)
         result = session.run(
             checkpoint_every=ckpt_every, checkpoint_path=args.checkpoint
         )
-        return _summarize_result(snap.policy, session.topology, result)
+        summary = _summarize_result(snap.policy, session.topology, result)
+        return _finish_instrumentation(args, summary, tracer, metrics)
     config = SimulationConfig(
         sync_interval=args.sync_interval_ms * MSEC,
         incremental=not args.no_incremental,
@@ -379,6 +461,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     scheduler = make_scheduler(args.policy, config)
     topo_spec = _topology_spec(args)
     topology = topo_spec.build(fabric) if topo_spec is not None else None
+    tracer, metrics = _instrumentation(args, args.policy)
     if args.streaming:
         if args.checkpoint is not None:
             raise ReproError(
@@ -391,21 +474,25 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
             iter(ordered), total_coflows=len(ordered)
         )
         result = run_scenario(scheduler, scenario, fabric, config,
-                              topology=topology)
+                              topology=topology, tracer=tracer,
+                              metrics=metrics)
     elif args.checkpoint is not None:
         # Checkpointing needs the session surface; Scenario.from_coflows is
         # exactly what run_policy attaches, so results stay byte-identical.
         session = SimulationSession(
             fabric, scheduler, config,
             scenario=Scenario.from_coflows(coflows), topology=topology,
+            tracer=tracer, metrics=metrics,
         )
         result = session.run(
             checkpoint_every=ckpt_every, checkpoint_path=args.checkpoint
         )
     else:
         result = run_policy(scheduler, coflows, fabric, config,
-                            topology=topology)
-    return _summarize_result(args.policy, topology, result)
+                            topology=topology, tracer=tracer,
+                            metrics=metrics)
+    summary = _summarize_result(args.policy, topology, result)
+    return _finish_instrumentation(args, summary, tracer, metrics)
 
 
 def _cmd_gen_trace(args: argparse.Namespace) -> str:

@@ -57,6 +57,7 @@ from typing import Iterable, Sequence
 
 from ..config import SimulationConfig
 from ..errors import ReproError, RunFailedError, SweepInterrupted
+from ..observability import MetricsRegistry
 from ..resilience import (
     EXCEPTION,
     OK,
@@ -100,6 +101,12 @@ _FAMILIES = {
 
 #: Structured (non-synthetic-shuffle) families with their own generators.
 COLLECTIVE_FAMILY = "collective"
+
+#: Set (to any non-empty value) to make every :func:`execute_spec` run carry
+#: a per-run metrics payload in :attr:`RunOutcome.metrics`. An environment
+#: variable — not a module global — because pool workers are separate
+#: processes that inherit the environment, not this module's state.
+METRICS_ENV = "REPRO_SWEEP_METRICS"
 
 
 @dataclass(frozen=True)
@@ -275,6 +282,12 @@ class RunOutcome:
     #: Execution attempts this outcome took (1 unless faults were retried;
     #: telemetry only — the payload is identical whatever the count).
     attempts: int = 1
+    #: Per-run :class:`~repro.observability.MetricsRegistry` payload
+    #: (``to_dict()`` form — plain JSON/pickle data), collected when the
+    #: ``REPRO_SWEEP_METRICS`` environment variable is set; ``None``
+    #: otherwise. Telemetry only: the simulation payload is identical
+    #: whether metrics were collected or not.
+    metrics: dict | None = None
     #: Parity with :class:`~repro.resilience.RunFailure` so callers can
     #: filter mixed outcome lists uniformly.
     failed: bool = field(default=False, init=False)
@@ -330,16 +343,19 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         TopologySpec.decode(spec.topology).build(fabric)
         if spec.topology else None
     )
+    metrics = MetricsRegistry() if os.environ.get(METRICS_ENV) else None
     result = run_policy(
         scheduler, coflows, fabric, spec.config,
         dynamics=decode_actions(spec.dynamics),
         topology=topology,
+        metrics=metrics,
     )
     return RunOutcome(
         spec=spec,
         ccts=result.ccts(),
         makespan=result.makespan,
         reschedules=result.reschedules,
+        metrics=metrics.to_dict() if metrics is not None else None,
     )
 
 
@@ -382,6 +398,9 @@ class ResultCache:
                 makespan=payload["makespan"],
                 reschedules=payload["reschedules"],
                 from_cache=True,
+                # Optional key: entries written before metrics collection
+                # existed (or with it disabled) simply lack it.
+                metrics=payload.get("metrics"),
             )
         except (ValueError, KeyError, TypeError, AttributeError):
             # Unparseable (torn write/truncation) or schema drift (parses
@@ -403,11 +422,16 @@ class ResultCache:
     def put(self, outcome: RunOutcome) -> None:
         path = self._path(outcome.spec.cache_key())
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps({
+        payload = {
             "ccts": {str(k): v for k, v in outcome.ccts.items()},
             "makespan": outcome.makespan,
             "reschedules": outcome.reschedules,
-        }))
+        }
+        if outcome.metrics is not None:
+            # Optional: entries stay byte-identical to the v3 layout when
+            # metrics collection is off (the common case).
+            payload["metrics"] = outcome.metrics
+        tmp.write_text(json.dumps(payload))
         tmp.replace(path)
         # Chaos injection point "cache": lets tests damage the file the
         # instant after the atomic write, simulating torn storage.
@@ -500,6 +524,9 @@ class SweepRunner:
         if log_path is None:
             log_path = os.environ.get("REPRO_SWEEP_LOG") or None
         self.log_path = log_path
+        #: Sweep-level execution metrics (runs, cache traffic, retries,
+        #: fault kinds) accumulated across every :meth:`run` call.
+        self.metrics = MetricsRegistry()
 
     def run(self, specs: Sequence[RunSpec]) -> list:
         """Run ``specs``; returns outcomes (or failures) in input order."""
@@ -509,6 +536,10 @@ class SweepRunner:
             if spec not in unique:
                 unique[spec] = self.cache.get(spec) if self.cache else None
         pending = [spec for spec, out in unique.items() if out is None]
+        self.metrics.inc("sweep.specs", len(specs))
+        self.metrics.inc("sweep.cache_hits", len(unique) - len(pending))
+        self.metrics.inc("sweep.cache_misses",
+                         len(pending) if self.cache else 0)
         if log:
             log.write({
                 "event": "sweep-start", "specs": len(specs),
@@ -551,6 +582,19 @@ class SweepRunner:
         run's work is already on disk.
         """
         unique[spec] = result
+        metrics = self.metrics
+        metrics.inc("sweep.runs")
+        if result.failed:
+            metrics.inc("sweep.failures")
+        for attempt in attempts:
+            if attempt.kind != OK:
+                # One counter per fault taxon: sweep.attempt.timeout,
+                # sweep.attempt.worker-lost, sweep.attempt.exception.
+                metrics.inc(f"sweep.attempt.{attempt.kind}")
+        if len(attempts) > 1:
+            metrics.inc("sweep.retries", len(attempts) - 1)
+        if self.cache:
+            metrics.set_gauge("sweep.quarantined", self.cache.quarantined)
         if self.cache and not result.failed:
             self.cache.put(result)
         if log:

@@ -1,0 +1,42 @@
+"""Unified observability layer: tracing, metrics, profiling hooks.
+
+Three pillars, one contract: **zero overhead when disabled, provably
+non-perturbing when enabled**.
+
+* :class:`~repro.observability.trace.Tracer` — structured engine events
+  as JSON-lines or Chrome ``trace_event`` JSON (Perfetto-viewable).
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters,
+  gauges, and value summaries embedded into ``SimulationResult`` and
+  the sweep result cache; :func:`aggregate_metrics` rolls sweeps up.
+* :class:`~repro.observability.profiling.PhaseTimers` — perf_counter_ns
+  phase accounting across the fastcore boundary.
+
+Every instrumentation point in the engine is guarded by a single
+``if x is not None:`` attribute check; instrumentation only ever reads
+state. See ``docs/ARCHITECTURE.md`` ("Observability layer").
+"""
+
+from .metrics import MetricsRegistry, aggregate_metrics
+from .profiling import PhaseTimers
+from .trace import (
+    CATEGORIES,
+    FORMAT_CHROME,
+    FORMAT_JSONL,
+    FORMATS,
+    PYTHON_KERNEL_CATEGORIES,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "aggregate_metrics",
+    "PhaseTimers",
+    "Tracer",
+    "CATEGORIES",
+    "FORMATS",
+    "FORMAT_JSONL",
+    "FORMAT_CHROME",
+    "PYTHON_KERNEL_CATEGORIES",
+    "TRACE_SCHEMA_VERSION",
+]

@@ -1,0 +1,229 @@
+"""Structured event tracing for simulation runs.
+
+:class:`Tracer` records engine events — epoch advances, schedule
+applications, rate-diff applies, queue transitions, admission and
+work-conservation decisions, path assignments, link saturation,
+checkpoints, snapshot/restore, dynamics actions — in one of two
+formats:
+
+* ``jsonl`` — one JSON object per line, written incrementally (safe for
+  huge runs; the file is valid after every event). The first line is a
+  ``meta`` header describing the run.
+* ``chrome`` — the Chrome ``trace_event`` format (a single JSON object
+  with a ``traceEvents`` array), loadable in Perfetto or
+  ``chrome://tracing``. Events are buffered and flushed on ``close()``.
+
+Timestamps are *simulated* seconds (Chrome events convert to the
+required microseconds), so the trace timeline matches the simulation
+timeline rather than wall-clock noise.
+
+Non-perturbation contract: a tracer only ever *reads* engine state.
+Every hook is guarded by a single ``if tracer is not None:`` attribute
+check, so the disabled path costs one pointer compare. The one
+deliberate interaction with execution strategy: trace categories listed
+in :data:`PYTHON_KERNEL_CATEGORIES` ask dispatch sites that have both a
+compiled and a Python twin to take the (bit-identical) Python twin for
+the specific calls being traced, because per-port detail is only
+observable there. Outputs remain byte-identical either way — that is
+exactly the property the compiled-core firewall already guarantees.
+
+Tracers are attachments of the *live* session, not of simulated state:
+``copy.deepcopy`` of a tracer yields ``None`` so that session
+``snapshot()`` payloads, durable checkpoints, and process-pool pickles
+never capture an open file handle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable, Mapping
+
+FORMAT_JSONL = "jsonl"
+FORMAT_CHROME = "chrome"
+FORMATS = (FORMAT_JSONL, FORMAT_CHROME)
+
+#: Schema version stamped into every trace header.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event categories (``cat`` field). Keeping the taxonomy closed makes
+#: the JSONL schema checkable by ``tools/check_trace.py``.
+CATEGORIES = (
+    "session",    # arrivals, completions, checkpoints, snapshot/restore
+    "epoch",      # full-epoch application, rate-diff application
+    "schedule",   # scheduling rounds, admission / work conservation
+    "queues",     # queue transitions
+    "port",       # per-port grant summaries, utilisation, saturation
+    "path",       # topology path assignment
+    "dynamics",   # runtime dynamics actions
+)
+
+#: Categories whose events require per-call visibility inside kernels
+#: that also have compiled twins; tracing one of these flips the
+#: affected dispatch sites to the bit-identical Python twin.
+PYTHON_KERNEL_CATEGORIES = frozenset({"port"})
+
+
+class Tracer:
+    """Structured event sink with instant/duration/counter kinds."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        format: str = FORMAT_JSONL,
+        categories: "Iterable[str] | None" = None,
+        metadata: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        if format not in FORMATS:
+            raise ValueError(
+                f"unknown trace format {format!r}; expected one of {FORMATS}"
+            )
+        if categories is not None:
+            unknown = set(categories) - set(CATEGORIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {sorted(unknown)!r}; "
+                    f"known: {CATEGORIES}"
+                )
+        self.path = path
+        self.format = format
+        self._categories = (
+            None if categories is None else frozenset(categories)
+        )
+        self.metadata: dict[str, Any] = dict(metadata or {})
+        #: Simulated "current time" maintained by the session so that
+        #: components without a ``now`` argument in scope (e.g. path
+        #: selection) can stamp events.
+        self.now: float = 0.0
+        self.events = 0
+        self._closed = False
+        self._buffer: list[dict[str, Any]] = []
+        self._fh: "IO[str] | None" = None
+        if format == FORMAT_JSONL:
+            self._fh = open(path, "w", encoding="utf-8")
+            header = {
+                "kind": "meta",
+                "schema": TRACE_SCHEMA_VERSION,
+                "format": FORMAT_JSONL,
+                "categories": (
+                    sorted(self._categories)
+                    if self._categories is not None else list(CATEGORIES)
+                ),
+                "metadata": self.metadata,
+            }
+            self._fh.write(json.dumps(header) + "\n")
+
+    # ---- category gating ---------------------------------------------------
+
+    def wants(self, category: str) -> bool:
+        """True if events in ``category`` are being recorded."""
+        return self._categories is None or category in self._categories
+
+    @property
+    def forces_python_kernels(self) -> bool:
+        """True if any traced category needs the Python kernel twins."""
+        if self._categories is None:
+            return True
+        return bool(self._categories & PYTHON_KERNEL_CATEGORIES)
+
+    # ---- event kinds -------------------------------------------------------
+
+    def instant(self, name: str, t: float, cat: str,
+                args: "Mapping[str, Any] | None" = None) -> None:
+        """Point event at simulated time ``t``."""
+        if not self.wants(cat):
+            return
+        self._emit({"kind": "instant", "name": name, "t": t, "cat": cat,
+                    "args": dict(args) if args else {}})
+
+    def complete(self, name: str, t: float, dur: float, cat: str,
+                 args: "Mapping[str, Any] | None" = None) -> None:
+        """Duration event spanning ``[t, t + dur]`` simulated seconds."""
+        if not self.wants(cat):
+            return
+        self._emit({"kind": "complete", "name": name, "t": t, "dur": dur,
+                    "cat": cat, "args": dict(args) if args else {}})
+
+    def counter(self, name: str, t: float, cat: str,
+                values: Mapping[str, float]) -> None:
+        """Counter-track sample (one series per key in ``values``)."""
+        if not self.wants(cat):
+            return
+        self._emit({"kind": "counter", "name": name, "t": t, "cat": cat,
+                    "args": dict(values)})
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self._closed:
+            return
+        self.events += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(event) + "\n")
+        else:
+            self._buffer.append(event)
+
+    def close(self) -> None:
+        """Flush and close the trace file. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            return
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "traceEvents": [
+                        _chrome_event(ev) for ev in self._buffer
+                    ],
+                    "displayTimeUnit": "ms",
+                    "metadata": dict(
+                        self.metadata, schema=TRACE_SCHEMA_VERSION
+                    ),
+                },
+                fh,
+            )
+            fh.write("\n")
+        self._buffer = []
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # Snapshots / checkpoints / pool pickles must never capture an open
+    # file handle: a deep copy of a tracer is simply "no tracer".
+    def __deepcopy__(self, memo: dict) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"Tracer({self.path!r}, format={self.format!r}, "
+                f"events={self.events}, {state})")
+
+
+_CHROME_PH = {"instant": "i", "complete": "X", "counter": "C"}
+
+
+def _chrome_event(event: Mapping[str, Any]) -> dict[str, Any]:
+    """Translate one internal event to Chrome ``trace_event`` form."""
+    ph = _CHROME_PH[event["kind"]]
+    out: dict[str, Any] = {
+        "name": event["name"],
+        "ph": ph,
+        "cat": event["cat"],
+        # Simulated seconds -> microseconds (the unit chrome://tracing
+        # and Perfetto expect).
+        "ts": event["t"] * 1e6,
+        "pid": 1,
+        "tid": 1,
+        "args": event.get("args", {}),
+    }
+    if ph == "i":
+        out["s"] = "t"  # thread-scoped instant
+    elif ph == "X":
+        out["dur"] = event["dur"] * 1e6
+    return out

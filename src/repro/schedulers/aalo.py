@@ -168,8 +168,13 @@ class AaloScheduler(Scheduler):
         # bucketing (CSR over senders) and both allocation passes in C.
         # Only the exact PortLedger layout qualifies (paths is None here,
         # so that is always the case unless a subclass overrides it).
+        # When a tracer wants port-level events this round runs on the
+        # bit-identical Python twin instead, so per-grant state is visible.
+        tracer = self.tracer
         if (table.fastcore and _core is not None
-                and type(ledger) is PortLedger):
+                and type(ledger) is PortLedger
+                and not (tracer is not None
+                         and tracer.forces_python_kernels)):
             coflow_runs = []
             for queue, _, coflow in decorated:
                 rows = state.schedulable_rows(coflow, now)
@@ -177,6 +182,8 @@ class AaloScheduler(Scheduler):
                     rows = sorted(rows, key=lambda i: fid[i])
                 coflow_runs.append((queue, rows))
             allocation = Allocation()
+            if self.metrics is not None:
+                self.metrics.inc("kernel.aalo_ports.fastcore")
             _core.aalo_ports(
                 coflow_runs, self._queue_weight,
                 table.src, table.dst, table.flow_id, table.coflow_id,
@@ -184,6 +191,8 @@ class AaloScheduler(Scheduler):
                 allocation.rates, allocation.scheduled_coflows,
             )
             return allocation
+        if self.metrics is not None:
+            self.metrics.inc("kernel.aalo_ports.python")
         per_sender: dict[int, list[tuple[int, list[int]]]] = defaultdict(list)
         for queue, _, coflow in decorated:
             rows = state.schedulable_rows(coflow, now)

@@ -50,9 +50,29 @@ class Scheduler(abc.ABC):
     name: str = "abstract"
     #: True if the policy reads flow volumes (offline / clairvoyant).
     clairvoyant: bool = False
+    #: Observability hooks (class-level ``None`` so the disabled path is a
+    #: single attribute check with no per-instance storage cost; see
+    #: :meth:`bind_instrumentation`).
+    tracer = None
+    metrics = None
 
     def __init__(self, config: SimulationConfig):
         self.config = config
+
+    def bind_instrumentation(self, tracer, metrics) -> None:
+        """Attach observability hooks (both may be ``None`` to detach).
+
+        The session calls this at construction and after instrumentation
+        is (re)attached; schedulers owning a
+        :class:`~repro.schedulers.queues.QueueTracker` propagate the hooks
+        so queue transitions are traced too.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+        tracker = getattr(self, "tracker", None)
+        if tracker is not None:
+            tracker.tracer = tracer
+            tracker.metrics = metrics
 
     def _round_ledger(self, state: ClusterState):
         """Residual-capacity ledger for one scheduling round.

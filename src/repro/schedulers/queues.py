@@ -26,6 +26,11 @@ from ..simulator.flows import CoFlow
 class QueueTracker:
     """Tracks queue membership, entry times, and starvation deadlines."""
 
+    #: Observability hooks (class-level ``None``: the disabled path costs
+    #: one attribute check; bound via ``Scheduler.bind_instrumentation``).
+    tracer = None
+    metrics = None
+
     def __init__(self, config: SimulationConfig, *, metric: str):
         if metric not in ("total", "perflow"):
             raise SchedulerError(f"unknown queue metric {metric!r}")
@@ -155,6 +160,8 @@ class QueueTracker:
                 ft = tbl.finish_time
                 fid = tbl.flow_id
                 if tbl.fastcore and _core is not None:
+                    if self.metrics is not None:
+                        self.metrics.inc("kernel.total_rate_rows.fastcore")
                     total_rate = _core.total_rate_rows(rows, fid, ft, rates)
                 else:
                     total_rate = sum(
@@ -180,6 +187,8 @@ class QueueTracker:
             vol = tbl.volume
             bs = tbl.bytes_sent
             if tbl.fastcore and _core is not None:
+                if self.metrics is not None:
+                    self.metrics.inc("kernel.per_flow_transition.fastcore")
                 return _core.per_flow_transition(
                     rows, fid, ft, vol, bs, rates, per_flow_hi
                 )
@@ -258,6 +267,14 @@ class QueueTracker:
             if previous is not None:
                 self._population[previous] -= 1
             self._population[queue] = self._population.get(queue, 0) + 1
+            if self.metrics is not None:
+                self.metrics.inc("queue.transitions")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "queue_transition", now, "queues",
+                    {"coflow": coflow.coflow_id, "from": previous,
+                     "to": queue},
+                )
         self._queue[coflow.coflow_id] = queue
         self._entered[coflow.coflow_id] = now
         coflow.queue = queue

@@ -73,10 +73,14 @@ class UcTcpScheduler(Scheduler):
             if table.fastcore and _core is not None:
                 # Same pairs, same order, same rate objects — only the
                 # zip loop moves to C.
+                if self.metrics is not None:
+                    self.metrics.inc("kernel.positive_rows.fastcore")
                 _core.positive_rows(
                     active, rate_of, fid, cid, positive, scheduled
                 )
                 return allocation
+            if self.metrics is not None:
+                self.metrics.inc("kernel.positive_rows.python")
             for i, rate in zip(active, rate_of):
                 if rate > 0:
                     positive[fid[i]] = rate

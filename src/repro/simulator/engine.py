@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from ..config import SimulationConfig
+from ..observability import MetricsRegistry, PhaseTimers, Tracer
 from ..schedulers.base import Scheduler
 from .fabric import Fabric
 from .flows import CoFlow, Flow
@@ -58,6 +59,9 @@ class Simulator(SimulationSession):
         rate_perturbation: Callable[[Flow, float], float] | None = None,
         observer: "ScheduleObserver | None" = None,
         sink: Callable[[CoFlow], None] | None = None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        timers: "PhaseTimers | None" = None,
     ):
         super().__init__(
             fabric,
@@ -67,6 +71,9 @@ class Simulator(SimulationSession):
             rate_perturbation=rate_perturbation,
             observer=observer,
             sink=sink,
+            tracer=tracer,
+            metrics=metrics,
+            timers=timers,
         )
         self._dynamics = list(dynamics)
 
@@ -95,6 +102,9 @@ def run_policy(
     topology: "Topology | None" = None,
     rate_perturbation: Callable[[Flow, float], float] | None = None,
     observer: ScheduleObserver | None = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    timers: "PhaseTimers | None" = None,
 ) -> SimulationResult:
     """One-call convenience wrapper: build a simulator and run it."""
     sim = Simulator(
@@ -105,6 +115,9 @@ def run_policy(
         topology=topology,
         rate_perturbation=rate_perturbation,
         observer=observer,
+        tracer=tracer,
+        metrics=metrics,
+        timers=timers,
     )
     return sim.run(coflows)
 
@@ -119,6 +132,9 @@ def run_scenario(
     rate_perturbation: Callable[[Flow, float], float] | None = None,
     observer: ScheduleObserver | None = None,
     sink: Callable[[CoFlow], None] | None = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    timers: "PhaseTimers | None" = None,
 ) -> SimulationResult:
     """Scenario-first twin of :func:`run_policy`."""
     return SimulationSession(
@@ -130,4 +146,7 @@ def run_scenario(
         rate_perturbation=rate_perturbation,
         observer=observer,
         sink=sink,
+        tracer=tracer,
+        metrics=metrics,
+        timers=timers,
     ).run()

@@ -114,11 +114,14 @@ class PortLedger:
     contiguous C ``double`` arrays.
     """
 
-    __slots__ = ("_fabric", "_capacity", "_used", "_touched")
+    __slots__ = ("_fabric", "_capacity", "_used", "_touched", "_metrics")
 
     def __init__(self, fabric: Fabric,
                  capacity_override: dict[int, float] | None = None):
         self._fabric = fabric
+        #: Optional observability registry counting allocation-primitive
+        #: calls (set by the owning ClusterState; None = disabled).
+        self._metrics = None
         self._capacity: array = array(
             "d", [fabric.capacity(p) for p in fabric.all_ports()]
         )
@@ -181,6 +184,8 @@ class PortLedger:
             raise ConfigError(f"rate must be >= 0, got {rate}")
         if rate == 0:
             return
+        if self._metrics is not None:
+            self._metrics.inc("ledger.commit")
         used = self._used
         capacity = self._capacity
         touched = self._touched
@@ -212,6 +217,8 @@ class PortLedger:
         ``commit(src, dst, min(...))``; over-commit is impossible by
         construction, so the violation check is skipped.
         """
+        if self._metrics is not None:
+            self._metrics.inc("ledger.fill_capped")
         used = self._used
         capacity = self._capacity
         cap_src = capacity[src]
@@ -242,6 +249,8 @@ class PortLedger:
         either port is exhausted. Cannot over-commit by construction, so it
         skips :meth:`commit`'s violation check.
         """
+        if self._metrics is not None:
+            self._metrics.inc("ledger.fill")
         used = self._used
         capacity = self._capacity
         rate = capacity[src] - used[src]

@@ -220,11 +220,16 @@ def max_min_fair_rows_raw(
     # Compiled twin: the exact-type check keeps LinkLedger subclasses
     # (path-charging commits) on the Python path, whose virtual dispatch
     # the C kernel deliberately does not replicate.
+    metrics = ledger._metrics
     if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        if metrics is not None:
+            metrics.inc("kernel.mmf_fill.fastcore")
         return active, _core.mmf_fill(
             active, table.src, table.dst, ledger.capacity_list,
             ledger.used_list, ledger.touched_set, rate_cap, commit,
         )
+    if metrics is not None:
+        metrics.inc("kernel.mmf_fill.python")
 
     src_col = table.src
     dst_col = table.dst
@@ -398,12 +403,17 @@ def madd_rates_rows(
     ``rows`` are the coflow's schedulable rows; remaining volumes are read
     straight off the table columns.
     """
+    metrics = ledger._metrics
     if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        if metrics is not None:
+            metrics.inc("kernel.madd_rows.fastcore")
         return _core.madd_rows(
             rows, table.finish_time, table.volume, table.bytes_sent,
             table.src, table.dst, table.flow_id, ledger.capacity_list,
             ledger.used_list, ledger.touched_set,
         )
+    if metrics is not None:
+        metrics.inc("kernel.madd_rows.python")
     ft = table.finish_time
     vol = table.volume
     bs = table.bytes_sent
@@ -540,12 +550,17 @@ def equal_rate_for_coflow_rows(
     ``rows`` are the coflow's schedulable rows; ``port_counts`` is the
     cluster state's compaction cache exactly as in the object form.
     """
+    metrics = ledger._metrics
     if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        if metrics is not None:
+            metrics.inc("kernel.equal_rate_rows.fastcore")
         return _core.equal_rate_rows(
             rows, table.finish_time, table.src, table.dst, table.flow_id,
             ledger.capacity_list, ledger.used_list, ledger.touched_set,
             port_counts,
         )
+    if metrics is not None:
+        metrics.inc("kernel.equal_rate_rows.python")
     ft = table.finish_time
     todo = [i for i in rows if ft[i] is None]
     if not todo:
@@ -867,11 +882,16 @@ def greedy_residual_rates_rows(
     ledger: PortLedger,
 ) -> dict[int, float]:
     """Row-path twin of :func:`greedy_residual_rates` (same walk order)."""
+    metrics = ledger._metrics
     if table.fastcore and _core is not None and type(ledger) is PortLedger:
+        if metrics is not None:
+            metrics.inc("kernel.greedy_rows.fastcore")
         return _core.greedy_rows(
             rows, table.finish_time, table.flow_id, table.src, table.dst,
             ledger.capacity_list, ledger.used_list, ledger.touched_set,
         )
+    if metrics is not None:
+        metrics.inc("kernel.greedy_rows.python")
     rates: dict[int, float] = {}
     dead: set[int] = set()
     ft = table.finish_time

@@ -85,11 +85,13 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from itertools import chain
 from pathlib import Path
+from time import perf_counter_ns
 from typing import Callable, Protocol
 
 from .. import _fastcore as _fc
 from ..config import SimulationConfig
 from ..errors import CheckpointError, ConfigError, SimulationError
+from ..observability import MetricsRegistry, PhaseTimers, Tracer
 from ..schedulers.base import Allocation, Scheduler
 from .events import Event, EventKind, EventQueue
 from .fabric import Fabric
@@ -128,6 +130,12 @@ class SimulationResult:
     reschedules: int = 0
     #: Simulated time at which the last coflow finished.
     makespan: float = 0.0
+    #: Observability registry of the run (``None`` unless ``metrics=`` was
+    #: passed to the session). Excluded from equality so instrumented and
+    #: uninstrumented results compare equal on simulation content.
+    metrics: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
     #: Lazily-built ``coflow_id → CoFlow`` index backing :meth:`cct` and
     #: :meth:`coflow`, which analysis code calls in per-coflow loops.
     _by_id: dict[int, CoFlow] = field(
@@ -349,6 +357,9 @@ class SimulationSession:
         rate_perturbation: Callable[[Flow, float], float] | None = None,
         observer: "ScheduleObserver | None" = None,
         sink: Callable[[CoFlow], None] | None = None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        timers: "PhaseTimers | None" = None,
     ):
         self.fabric = fabric
         self.scheduler = scheduler
@@ -378,6 +389,15 @@ class SimulationSession:
         #: The cluster state's struct-of-arrays flow registry; every hot
         #: loop below indexes its columns by row.
         self._table = self.state.table
+        #: Observability hooks — all default None, each hot-path use is a
+        #: single ``is not None`` attribute check (the zero-overhead
+        #: contract; see docs/ARCHITECTURE.md "Observability layer").
+        self._tracer: "Tracer | None" = None
+        self._metrics: "MetricsRegistry | None" = None
+        self._timers: "PhaseTimers | None" = None
+        self.attach_instrumentation(
+            tracer=tracer, metrics=metrics, timers=timers
+        )
         #: Compiled hot-loop kernels (repro._fastcore): on when the config
         #: requests them *and* the extension is built. Results are
         #: bit-identical either way (fuzz firewall), so a missing build
@@ -527,6 +547,44 @@ class SimulationSession:
         self._pull_lookahead()
         return self
 
+    def attach_instrumentation(
+        self,
+        *,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        timers: "PhaseTimers | None" = None,
+    ) -> "SimulationSession":
+        """(Re)attach observability hooks to this live session.
+
+        Wires the tracer/registry/timers into the session, the scheduler
+        (and its queue tracker), the cluster state's ledgers and the path
+        map. Passing ``None`` for a hook detaches it. Hooks are
+        attachments of the *live* session: :meth:`snapshot` payloads drop
+        tracers and timers (deep copies of both are ``None``) while the
+        metrics registry — plain data — is deep-copied along, so a
+        restored branch keeps counting into its own copy.
+        """
+        self._tracer = tracer
+        self._metrics = metrics
+        self._timers = timers
+        self.state.set_metrics(metrics)
+        self.scheduler.bind_instrumentation(tracer, metrics)
+        if self.state.paths is not None:
+            self.state.paths.tracer = tracer
+        return self
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        return self._tracer
+
+    @property
+    def metrics(self) -> "MetricsRegistry | None":
+        return self._metrics
+
+    @property
+    def timers(self) -> "PhaseTimers | None":
+        return self._timers
+
     def run(
         self,
         *,
@@ -568,6 +626,8 @@ class SimulationSession:
                     "checkpoint_path= and/or on_checkpoint="
                 )
         next_ckpt = checkpoint_every
+        if self._timers is not None:
+            self._timers.start()
 
         def maybe_checkpoint() -> None:
             nonlocal next_ckpt
@@ -576,6 +636,13 @@ class SimulationSession:
             while next_ckpt <= self._now:
                 next_ckpt += checkpoint_every
             snap = self.snapshot()
+            if self._metrics is not None:
+                self._metrics.inc("session.checkpoints")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "checkpoint", self._now, "session",
+                    {"time": self._now},
+                )
             if checkpoint_path is not None:
                 snap.save(checkpoint_path)
             if on_checkpoint is not None:
@@ -607,9 +674,15 @@ class SimulationSession:
         """
         if self._exhausted():
             return False
+        timers = self._timers
         t_next = self._pending_instant
         if t_next is None:
-            t_next = self._next_instant()
+            if timers is None:
+                t_next = self._next_instant()
+            else:
+                _t0 = perf_counter_ns()
+                t_next = self._next_instant()
+                timers.add("lookout", perf_counter_ns() - _t0)
         else:
             self._pending_instant = None
         if math.isinf(t_next):
@@ -619,10 +692,20 @@ class SimulationSession:
                 f"simulation exceeded max_sim_time="
                 f"{self.config.max_sim_time}; likely a livelock"
             )
-        self._advance_to(t_next)
-
-        changed = self._process_completions()
-        changed |= self._process_external_events()
+        if timers is None:
+            self._advance_to(t_next)
+            changed = self._process_completions()
+            changed |= self._process_external_events()
+        else:
+            _t0 = perf_counter_ns()
+            self._advance_to(t_next)
+            _t1 = perf_counter_ns()
+            timers.add("advance", _t1 - _t0)
+            changed = self._process_completions()
+            _t2 = perf_counter_ns()
+            timers.add("completions", _t2 - _t1)
+            changed |= self._process_external_events()
+            timers.add("events", perf_counter_ns() - _t2)
         if changed:
             self._request_resync(self._now)
 
@@ -671,6 +754,9 @@ class SimulationSession:
 
     def _finalize(self) -> SimulationResult:
         result = self._result
+        if self._timers is not None:
+            self._timers.stop()
+        result.metrics = self._metrics
         if self._sink is None:
             result.makespan = max(
                 (c.finish_time or 0.0 for c in result.coflows), default=0.0
@@ -700,6 +786,13 @@ class SimulationSession:
                 "scenario is not replayable: snapshot() needs a list-backed "
                 "scenario or a factory-backed stream "
                 "(Scenario.from_stream(lambda: ...))"
+            )
+        if self._metrics is not None:
+            self._metrics.inc("session.snapshots")
+        if self._tracer is not None:
+            self._tracer.instant(
+                "snapshot", self._now, "session",
+                {"consumed": self._consumed},
             )
         memo: dict[int, object] = {}
         payload = {
@@ -740,6 +833,15 @@ class SimulationSession:
         memo: dict[int, object] = {}
         for k, v in snap.payload.items():
             setattr(session, k, deepcopy(v, memo))
+        # Instrumentation attachments: tracers and phase timers deep-copy
+        # to None (live handles), the metrics registry — plain data — is
+        # revived from the payload; pre-observability checkpoints carry
+        # none of the three and restore with instrumentation off.
+        for attr in ("_tracer", "_metrics", "_timers"):
+            if not hasattr(session, attr):
+                setattr(session, attr, None)
+        if session._metrics is not None:
+            session._metrics.inc("session.restores")
         # Re-gate the compiled kernels on *this* environment: a snapshot
         # from a fastcore build restores cleanly where the extension is
         # absent (and vice versa) — results are bit-identical either way.
@@ -759,6 +861,9 @@ class SimulationSession:
             observer = session._observer
             if observer is not None and hasattr(observer, "bind_scheduler"):
                 observer.bind_scheduler(scheduler)
+            scheduler.bind_instrumentation(
+                session._tracer, session._metrics
+            )
             # Warm the new policy exactly as if it had witnessed the live
             # coflows arrive, then rebuild all incremental bookkeeping.
             for c in session.state.active_coflows:
@@ -839,6 +944,8 @@ class SimulationSession:
         # read. When a seed was requested the same pass pushes a margined
         # lower bound per row, warming the heap for subsequent events.
         if self._fastcore:
+            if self._metrics is not None:
+                self._metrics.inc("kernel.scan_completions.fastcore")
             t = self._table
             ret, ncb, seeded = _fc.core.scan_completions(
                 self._running, t.volume, t.bytes_sent, t.rate,
@@ -849,8 +956,12 @@ class SimulationSession:
                 self._seed_pending = False
                 self._heap_live = True
                 self._unheaped.clear()
+                if self._metrics is not None:
+                    self._metrics.inc("heap.seeds")
             self._no_completion_before = ncb
             return ret
+        if self._metrics is not None:
+            self._metrics.inc("kernel.scan_completions.python")
         t = self._table
         vol = t.volume
         bs = t.bytes_sent
@@ -895,6 +1006,8 @@ class SimulationSession:
             self._seed_pending = False
             self._heap_live = True
             self._unheaped.clear()
+            if self._metrics is not None:
+                self._metrics.inc("heap.seeds")
         # Conservative margin (a few ulps) so float noise can only make us
         # scan unnecessarily, never miss a completion.
         self._no_completion_before = (
@@ -920,6 +1033,8 @@ class SimulationSession:
         mistaken for its previous occupant).
         """
         if self._fastcore:
+            if self._metrics is not None:
+                self._metrics.inc("kernel.heap_completion.fastcore")
             t = self._table
             ret, ncb = _fc.core.heap_completion(
                 self._running, t.volume, t.bytes_sent, t.rate,
@@ -928,6 +1043,8 @@ class SimulationSession:
             )
             self._no_completion_before = ncb
             return ret
+        if self._metrics is not None:
+            self._metrics.inc("kernel.heap_completion.python")
         now = self._now
         eps = self.config.epsilon_bytes
         heap = self._heap
@@ -1003,6 +1120,8 @@ class SimulationSession:
 
     def _go_cold(self) -> None:
         """Drop the completion heap; fall back to full scans until reseeded."""
+        if self._metrics is not None and self._heap_live:
+            self._metrics.inc("heap.go_cold")
         self._heap_live = False
         self._seed_pending = False
         self._heap.clear()
@@ -1023,6 +1142,11 @@ class SimulationSession:
             rt = tbl.rate
             candidates = self._completion_candidates
             candidates.clear()
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "kernel.advance.fastcore" if self._fastcore
+                    else "kernel.advance.python"
+                )
             if t < self._no_completion_before:
                 # The pre-advance lookout proved no completion window opens
                 # by ``t``: the predicate below is false for every row, so
@@ -1064,6 +1188,8 @@ class SimulationSession:
         else:
             self._advanced_this_step = False
         self._now = t
+        if self._tracer is not None:
+            self._tracer.now = t
 
     # ---- event processing ---------------------------------------------------------
 
@@ -1089,10 +1215,14 @@ class SimulationSession:
             # have changed since the last advance, so scan everything —
             # exactly what the original per-event pass did.
             if self._fastcore:
+                if self._metrics is not None:
+                    self._metrics.inc("kernel.scan_candidates.fastcore")
                 raw = _fc.core.scan_candidates(
                     self._running, vol, bs, rt, ft, eps
                 )
             else:
+                if self._metrics is not None:
+                    self._metrics.inc("kernel.scan_candidates.python")
                 raw = []
                 for i in self._running:
                     if ft[i] is not None:
@@ -1120,6 +1250,7 @@ class SimulationSession:
 
         view = tbl.view
         touched: dict[int, CoFlow] = {}
+        metrics = self._metrics
         for i, coflow in candidates:
             if ft[i] is not None:
                 continue
@@ -1134,15 +1265,27 @@ class SimulationSession:
             self.state.note_flow_finished(f)
             self.scheduler.on_flow_completion(f, coflow, self._now)
             touched[coflow.coflow_id] = coflow
+            if metrics is not None:
+                metrics.inc("flows.completed")
         if not touched:
             return False
 
         done: set[int] = set()
+        tracer = self._tracer
         for coflow in touched.values():
             if coflow.all_flows_finished():
                 coflow.finish_time = self._now
                 self._finished_ids.add(coflow.coflow_id)
                 self._max_finish = self._now
+                if metrics is not None:
+                    metrics.inc("coflows.completed")
+                    metrics.observe("coflow.cct", coflow.cct())
+                if tracer is not None:
+                    tracer.instant(
+                        "coflow_complete", self._now, "session",
+                        {"coflow": coflow.coflow_id,
+                         "cct": coflow.cct()},
+                    )
                 if self._sink is None:
                     self._result.coflows.append(coflow)
                 else:
@@ -1229,6 +1372,13 @@ class SimulationSession:
             elif event.kind is EventKind.DYNAMICS:
                 event.payload.apply(self, self._now)
                 if not isinstance(event.payload, _DataAvailable):
+                    if self._metrics is not None:
+                        self._metrics.inc("dynamics.actions")
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            "dynamics", self._now, "dynamics",
+                            {"action": type(event.payload).__name__},
+                        )
                     # Arbitrary mutation (restarts, capacity changes, …):
                     # incremental bookkeeping must rebuild from scratch.
                     # Data-availability wakeups change nothing the delta
@@ -1296,6 +1446,13 @@ class SimulationSession:
         # order, so the legacy completion tie-break order is preserved).
         self.state.note_activated(coflow)
         self._coflow_of[coflow.coflow_id] = coflow
+        if self._metrics is not None:
+            self._metrics.inc("coflows.activated")
+        if self._tracer is not None:
+            self._tracer.instant(
+                "coflow_arrival", self._now, "session",
+                {"coflow": coflow.coflow_id, "width": coflow.width},
+            )
         if self.machine_efficiency:
             # Flows arriving at a straggling machine inherit its efficiency
             # for the rest of the episode (StragglerEvent semantics).
@@ -1348,10 +1505,30 @@ class SimulationSession:
 
     def _recompute_schedule(self) -> None:
         self._next_sync = None
-        allocation = self.scheduler.schedule(self.state, self._now)
-        self.state.delta.clear()
-        self._apply_allocation(allocation)
+        timers = self._timers
+        if timers is None:
+            allocation = self.scheduler.schedule(self.state, self._now)
+            self.state.delta.clear()
+            self._apply_allocation(allocation)
+        else:
+            _t0 = perf_counter_ns()
+            allocation = self.scheduler.schedule(self.state, self._now)
+            _t1 = perf_counter_ns()
+            timers.add("schedule", _t1 - _t0)
+            self.state.delta.clear()
+            self._apply_allocation(allocation)
+            timers.add("apply", perf_counter_ns() - _t1)
         self._result.reschedules += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("schedule.rounds")
+            metrics.inc("admission.scheduled",
+                        len(allocation.scheduled_coflows))
+            metrics.inc("admission.work_conserved",
+                        len(allocation.work_conserved_coflows))
+            metrics.observe("schedule.flows_rated", len(allocation.rates))
+        if self._tracer is not None:
+            self._trace_round(allocation)
         if self._observer is not None:
             self._observer.on_schedule(self.state, allocation, self._now)
         wakeup = self.scheduler.next_wakeup(self.state, allocation, self._now)
@@ -1359,6 +1536,96 @@ class SimulationSession:
         # clock values; dropping them avoids reschedule storms.
         if wakeup is not None and wakeup > self._now + 1e-9:
             self._request_resync(wakeup)
+
+    def _trace_round(self, allocation: Allocation) -> None:
+        """Emit the per-round trace events (read-only over engine state)."""
+        tracer = self._tracer
+        now = self._now
+        tracer.now = now
+        tracer.instant(
+            "schedule", now, "schedule",
+            {"round": self._result.reschedules,
+             "active": len(self.state.active_coflows),
+             "scheduled": len(allocation.scheduled_coflows),
+             "work_conserved": len(allocation.work_conserved_coflows),
+             "flows_rated": len(allocation.rates)},
+        )
+        if tracer.wants("port"):
+            self._trace_utilisation(tracer, now)
+
+    def _trace_utilisation(self, tracer: "Tracer", now: float) -> None:
+        """Per-port utilisation / link-saturation counters for one round.
+
+        Walks the *applied* rates of the running rows — a pure read of the
+        table columns after the allocation landed, so tracing can never
+        perturb the allocation itself. In path-aware mode, link usage only
+        reads the path map's existing cache (every granted flow's pair was
+        assigned during allocation); it never triggers a path choice.
+        """
+        tbl = self._table
+        rt = tbl.rate
+        srcs = tbl.src
+        dsts = tbl.dst
+        usage: dict[int, float] = {}
+        for i in self._running:
+            r = rt[i]
+            if r > 0.0:
+                s = srcs[i]
+                d = dsts[i]
+                usage[s] = usage.get(s, 0.0) + r
+                usage[d] = usage.get(d, 0.0) + r
+        override = self.state.capacity_override
+        port_rate = self.fabric.port_rate
+        total_util = 0.0
+        peak = 0.0
+        saturated = 0
+        for p, u in usage.items():
+            cap = override.get(p, port_rate)
+            util = u / cap if cap > 0.0 else 1.0
+            total_util += util
+            if util > peak:
+                peak = util
+            if util >= 0.999:
+                saturated += 1
+        n = len(usage)
+        tracer.counter(
+            "port_utilisation", now, "port",
+            {"ports_active": n,
+             "mean_util": total_util / n if n else 0.0,
+             "peak_util": peak,
+             "saturated": saturated},
+        )
+        if self._metrics is not None and n:
+            self._metrics.observe("port.peak_util", peak)
+            self._metrics.observe("port.mean_util", total_util / n)
+        paths = self.state.paths
+        if paths is None:
+            return
+        cache_get = paths._cache.get
+        link_usage: dict[int, float] = {}
+        for i in self._running:
+            r = rt[i]
+            if r > 0.0:
+                for link in cache_get((srcs[i], dsts[i]), ()):
+                    link_usage[link] = link_usage.get(link, 0.0) + r
+        topology = self.state.topology
+        sat_links = 0
+        peak_link = 0.0
+        for link, u in link_usage.items():
+            cap = override.get(link)
+            if cap is None:
+                cap = topology.link_capacity(link)
+            util = u / cap if cap > 0.0 else 1.0
+            if util > peak_link:
+                peak_link = util
+            if util >= 0.999:
+                sat_links += 1
+        tracer.counter(
+            "link_saturation", now, "port",
+            {"links_active": len(link_usage),
+             "peak_util": peak_link,
+             "saturated": sat_links},
+        )
 
     def _apply_allocation(self, allocation: Allocation) -> None:
         # The delta was just cleared and/or the running set may change:
@@ -1415,6 +1682,13 @@ class SimulationSession:
                         st[i] = now
         self._running = running
         self._running_cids = frozenset(running_cids)
+        if self._metrics is not None:
+            self._metrics.inc("apply.rebuild")
+        if self._tracer is not None:
+            self._tracer.instant(
+                "apply_rates", now, "epoch",
+                {"running": len(running)},
+            )
 
     def _apply_full_epoch(self, allocation: Allocation) -> None:
         """Full rebuild opening a fresh epoch baseline (first round or
@@ -1461,6 +1735,13 @@ class SimulationSession:
         self._running_cids = frozenset(counts)
         self._gated = gated
         self._prev_rates = allocation.rates
+        if self._metrics is not None:
+            self._metrics.inc("epoch.full")
+        if self._tracer is not None:
+            self._tracer.instant(
+                "epoch_full", now, "epoch",
+                {"running": len(running)},
+            )
 
     def _apply_diff(self, allocation: Allocation) -> None:
         """Apply an allocation as a diff against the previous epoch.
@@ -1504,6 +1785,15 @@ class SimulationSession:
         # still amortises over the window's remaining events, so a reseed
         # is requested; back-to-back applications stay cold.
         churn = len(dropped) + len(changed)
+        if self._metrics is not None:
+            self._metrics.inc("epoch.diff")
+            self._metrics.observe("epoch.churn", churn)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "rate_diff", self._now, "epoch",
+                {"changed": len(changed), "dropped": len(dropped),
+                 "running": len(running)},
+            )
         if churn * 2 > len(running) + 1:
             self._go_cold()
             if self._events_since_apply >= 2:
@@ -1521,6 +1811,8 @@ class SimulationSession:
 
         tbl = self._table
         if fastcore:
+            if self._metrics is not None:
+                self._metrics.inc("kernel.apply_diff.fastcore")
             members_changed = _fc.core.apply_diff(
                 dropped, changed, new, tbl.row_of, tbl.flow_id,
                 tbl.coflow_id, tbl.finish_time, tbl.rate, tbl.start_time,
@@ -1532,6 +1824,8 @@ class SimulationSession:
             if members_changed:
                 self._running_cids = frozenset(counts)
             return
+        if self._metrics is not None:
+            self._metrics.inc("kernel.apply_diff.python")
         row_of_get = tbl.row_of.get
         fid = tbl.flow_id
         cidc = tbl.coflow_id

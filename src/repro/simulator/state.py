@@ -268,6 +268,10 @@ class ClusterState:
     #: Per-run path assignment (built automatically from ``topology`` when
     #: it has core links; ``None`` on the big-switch default).
     paths: PathMap | None = field(default=None, repr=False)
+    #: Optional observability registry (counters/gauges/summaries) shared
+    #: with the owning session; ledgers built by this state inherit it so
+    #: allocation-primitive calls can be counted. ``None`` = disabled.
+    metrics: "object | None" = field(default=None, repr=False)
 
     # Internal caches; never part of the public snapshot semantics.
     _by_id: dict[int, CoFlow] = field(default_factory=dict, repr=False)
@@ -328,11 +332,23 @@ class ClusterState:
         path-aware mode, the classic :class:`PortLedger` otherwise.
         """
         if self.paths is not None:
-            return LinkLedger(
+            ledger: PortLedger = LinkLedger(
                 self.topology, self.paths,
                 capacity_override=self.capacity_override,
             )
-        return PortLedger(self.fabric, capacity_override=self.capacity_override)
+        else:
+            ledger = PortLedger(
+                self.fabric, capacity_override=self.capacity_override
+            )
+        ledger._metrics = self.metrics
+        return ledger
+
+    def set_metrics(self, metrics: "object | None") -> None:
+        """(Un)attach an observability registry, patching any cached
+        ledger so future rounds count through it immediately."""
+        self.metrics = metrics
+        if self._cached_ledger is not None:
+            self._cached_ledger._metrics = metrics
 
     def acquire_ledger(self) -> PortLedger:
         """A pristine ledger, reusing the previous round's in O(changed ports).

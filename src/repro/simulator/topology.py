@@ -321,7 +321,7 @@ class PathMap:
       single-path fabric, useful as a worst-case baseline.
     """
 
-    __slots__ = ("topology", "selector", "_cache", "_assigned")
+    __slots__ = ("topology", "selector", "_cache", "_assigned", "tracer")
 
     def __init__(self, topology: Topology, selector: str | None = None):
         self.topology = topology
@@ -335,6 +335,9 @@ class PathMap:
         self._cache: dict[tuple[int, int], tuple[int, ...]] = {}
         #: link -> number of pairs assigned to it (least-loaded state).
         self._assigned: dict[int, int] = {}
+        #: Optional observability tracer recording path assignments
+        #: (attached by the session; None = disabled).
+        self.tracer = None
 
     def extra_links(self, src: int, dst: int) -> tuple[int, ...]:
         """Core links the ``src → dst`` path crosses (``()`` if none)."""
@@ -368,6 +371,15 @@ class PathMap:
             assigned = self._assigned
             for link in chosen:
                 assigned[link] = assigned.get(link, 0) + 1
+        tracer = self.tracer
+        if tracer is not None:
+            # A pair's path is chosen once per run, so this fires
+            # O(pairs) times — never inside a hot loop.
+            tracer.instant(
+                "path_assign", tracer.now, "path",
+                {"src": src, "dst": dst, "links": list(chosen),
+                 "selector": self.selector},
+            )
         return chosen
 
     def assigned_pairs(self) -> dict[tuple[int, int], tuple[int, ...]]:
@@ -400,6 +412,7 @@ class LinkLedger(PortLedger):
         capacity_override: dict[int, float] | None = None,
     ):
         self._fabric = topology.fabric
+        self._metrics = None
         self._topology = topology
         self._paths = paths
         num_links = topology.num_links
@@ -445,6 +458,8 @@ class LinkLedger(PortLedger):
             raise ConfigError(f"rate must be >= 0, got {rate}")
         if rate == 0:
             return
+        if self._metrics is not None:
+            self._metrics.inc("ledger.commit")
         used = self._used
         capacity = self._capacity
         touched = self._touched
@@ -459,6 +474,8 @@ class LinkLedger(PortLedger):
 
     def fill(self, src: int, dst: int) -> float:
         """Commit and return the smallest residual along the whole path."""
+        if self._metrics is not None:
+            self._metrics.inc("ledger.fill")
         used = self._used
         capacity = self._capacity
         extras = self._paths.extra_links(src, dst)
@@ -483,6 +500,8 @@ class LinkLedger(PortLedger):
         additionally bounded by every core link's residual (an exhausted
         core link behaves like an exhausted receiver — 0.0, no commit);
         the ``-1.0`` sender-exhausted sentinel is unchanged."""
+        if self._metrics is not None:
+            self._metrics.inc("ledger.fill_capped")
         used = self._used
         capacity = self._capacity
         rate = capacity[src] - used[src]

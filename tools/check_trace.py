@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Validate a simulation trace file (CI gate for the observability layer).
+
+Checks a ``jsonl`` trace line by line against the event schema emitted by
+:class:`repro.observability.Tracer` — header first, then instants /
+completes / counters with known categories, non-negative monotone-safe
+timestamps and JSON-object args — or loads a ``chrome`` trace and checks
+the ``trace_event`` envelope (``traceEvents`` array, known phase codes,
+microsecond timestamps).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace.py run.jsonl
+    PYTHONPATH=src python tools/check_trace.py --format chrome run.json
+
+Exit status 0 when the file validates; 1 with a line-numbered complaint
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability.trace import (  # noqa: E402
+    CATEGORIES,
+    FORMAT_CHROME,
+    FORMAT_JSONL,
+    FORMATS,
+    TRACE_SCHEMA_VERSION,
+)
+
+_EVENT_KINDS = ("instant", "complete", "counter")
+_CHROME_PHASES = {"i", "X", "C"}
+
+
+class TraceError(ValueError):
+    """One schema violation, with location context."""
+
+
+def _fail(where: str, message: str) -> None:
+    raise TraceError(f"{where}: {message}")
+
+
+def _check_event(event: dict, where: str) -> None:
+    kind = event.get("kind")
+    if kind not in _EVENT_KINDS:
+        _fail(where, f"unknown event kind {kind!r}")
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        _fail(where, "missing or empty event name")
+    cat = event.get("cat")
+    if cat not in CATEGORIES:
+        _fail(where, f"unknown category {cat!r}; known: {CATEGORIES}")
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or t < 0:
+        _fail(where, f"bad timestamp {t!r} (want a non-negative number)")
+    if kind == "complete":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            _fail(where, f"bad duration {dur!r}")
+    args = event.get("args")
+    if not isinstance(args, dict):
+        _fail(where, f"args must be a JSON object, got {type(args).__name__}")
+    if kind == "counter":
+        if not args:
+            _fail(where, "counter event with no value series")
+        for key, value in args.items():
+            if not isinstance(value, (int, float)):
+                _fail(where, f"counter series {key!r} holds non-numeric "
+                             f"value {value!r}")
+
+
+def check_jsonl(path: Path) -> int:
+    """Validate a jsonl trace; returns the number of events checked."""
+    events = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            if not line:
+                _fail(where, "blank line inside trace")
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                _fail(where, f"not valid JSON ({exc})")
+            if not isinstance(record, dict):
+                _fail(where, "trace line is not a JSON object")
+            if lineno == 1:
+                if record.get("kind") != "meta":
+                    _fail(where, "first line must be the meta header")
+                if record.get("schema") != TRACE_SCHEMA_VERSION:
+                    _fail(where, f"schema {record.get('schema')!r} != "
+                                 f"{TRACE_SCHEMA_VERSION}")
+                if record.get("format") != FORMAT_JSONL:
+                    _fail(where, f"format {record.get('format')!r} in a "
+                                 f"jsonl trace")
+                cats = record.get("categories")
+                if (not isinstance(cats, list)
+                        or not set(cats) <= set(CATEGORIES)):
+                    _fail(where, f"bad categories list {cats!r}")
+                continue
+            if record.get("kind") == "meta":
+                _fail(where, "duplicate meta header")
+            _check_event(record, where)
+            events += 1
+    if events == 0:
+        raise TraceError(f"{path}: header-only trace (no events)")
+    return events
+
+
+def check_chrome(path: Path) -> int:
+    """Validate a Chrome trace_event file; returns the event count."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    where = str(path)
+    if not isinstance(doc, dict):
+        _fail(where, "top level must be a JSON object")
+    trace_events = doc.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        _fail(where, "missing or empty traceEvents array")
+    metadata = doc.get("metadata", {})
+    if metadata.get("schema") != TRACE_SCHEMA_VERSION:
+        _fail(where, f"metadata.schema {metadata.get('schema')!r} != "
+                     f"{TRACE_SCHEMA_VERSION}")
+    for i, event in enumerate(trace_events):
+        ewhere = f"{where} traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(ewhere, "event is not a JSON object")
+        ph = event.get("ph")
+        if ph not in _CHROME_PHASES:
+            _fail(ewhere, f"unknown phase {ph!r}")
+        if not isinstance(event.get("name"), str):
+            _fail(ewhere, "missing event name")
+        if event.get("cat") not in CATEGORIES:
+            _fail(ewhere, f"unknown category {event.get('cat')!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            _fail(ewhere, f"bad ts {ts!r}")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            _fail(ewhere, "complete event without dur")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            _fail(ewhere, f"instant without a valid scope: {event.get('s')!r}")
+    return len(trace_events)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace file to validate")
+    parser.add_argument("--format", choices=list(FORMATS),
+                        default=FORMAT_JSONL,
+                        help="expected trace format (default: jsonl)")
+    args = parser.parse_args(argv)
+    try:
+        if args.format == FORMAT_CHROME:
+            events = check_chrome(args.trace)
+        else:
+            events = check_jsonl(args.trace)
+    except TraceError as exc:
+        print(f"TRACE-INVALID {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"TRACE-INVALID {exc}", file=sys.stderr)
+        return 1
+    print(f"TRACE-OK {args.trace}: {events} events ({args.format})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Render one or more metrics-registry JSON files as a readable report.
+
+Feed it the files written by ``simulate --metrics PATH`` or a whole
+``sweep --metrics-dir`` directory; multiple inputs are rolled up with
+:func:`repro.observability.aggregate_metrics` (counters add, summaries
+combine) before rendering.
+
+Usage::
+
+    PYTHONPATH=src python tools/metrics_report.py run.json
+    PYTHONPATH=src python tools/metrics_report.py sweep-metrics/*.json
+    PYTHONPATH=src python tools/metrics_report.py --dir sweep-metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import MetricsRegistry, aggregate_metrics  # noqa: E402
+
+
+def render(registry: MetricsRegistry, *, sources: int) -> str:
+    lines = [f"metrics report ({sources} source file(s))"]
+    if registry.counters:
+        lines.append("")
+        lines.append(f"{'counter':<40s} {'value':>14s}")
+        for name in sorted(registry.counters):
+            lines.append(f"{name:<40s} {registry.counters[name]:>14.0f}")
+    if registry.gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<40s} {'value':>14s}")
+        for name in sorted(registry.gauges):
+            lines.append(f"{name:<40s} {registry.gauges[name]:>14.4f}")
+    if registry.summaries:
+        lines.append("")
+        lines.append(f"{'summary':<28s} {'count':>8s} {'mean':>12s} "
+                     f"{'min':>12s} {'max':>12s}")
+        for name in sorted(registry.summaries):
+            cell = registry.summary(name)
+            lines.append(
+                f"{name:<28s} {cell['count']:>8.0f} {cell['mean']:>12.4f} "
+                f"{cell['min']:>12.4f} {cell['max']:>12.4f}"
+            )
+    if len(lines) == 1:
+        lines.append("(empty registry)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="metrics JSON files to merge and render")
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="read every *.json in this directory "
+                             "(e.g. a sweep --metrics-dir)")
+    args = parser.parse_args(argv)
+    files = list(args.files)
+    if args.dir is not None:
+        # Skip the sweep's own rollup: it already merges the per-run
+        # files, so including it would double every counter.
+        files.extend(p for p in sorted(args.dir.glob("*.json"))
+                     if p.name != "aggregate.json")
+    if not files:
+        parser.error("no input files (pass paths or --dir)")
+    try:
+        parts = [MetricsRegistry.load(str(path)) for path in files]
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render(aggregate_metrics(parts), sources=len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

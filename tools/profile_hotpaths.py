@@ -14,6 +14,7 @@ Usage::
     PYTHONPATH=src python tools/profile_hotpaths.py --all          # 4 policies
     PYTHONPATH=src python tools/profile_hotpaths.py --no-epochs    # old engine
     PYTHONPATH=src python tools/profile_hotpaths.py --cells        # cell table
+    PYTHONPATH=src python tools/profile_hotpaths.py --phases       # phase timers
 
 The ``--no-epochs`` / ``--no-incremental`` / ``--no-fastcore`` flags
 profile the fallback paths, which is how the allocation-epoch engine's win
@@ -25,6 +26,13 @@ of the Fig. 9 grid end-to-end (median of ``--runs``), printing a table
 sorted slowest-first — the figure-level view that tells you *which* cell
 to drill into with the cProfile mode. This is how the "osp-like/uc-tcp
 and osp-like/aalo dominate the wall clock" claims are reproduced.
+
+``--phases`` replaces cProfile with the engine's lightweight
+:class:`~repro.observability.PhaseTimers` — per-phase (lookout / advance /
+completions / events / schedule / apply) wall-time breakdowns that span
+the fastcore boundary without cProfile's per-call overhead distorting
+compiled-vs-Python comparisons. Composes with ``--cells`` to print a
+phase breakdown under every cell.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ import time
 
 from repro.config import PAPER_SYNC_INTERVAL, SimulationConfig
 from repro.experiments.common import ExperimentScale, fb_spec_for, osp_spec_for
+from repro.observability import PhaseTimers
 from repro.schedulers.registry import available_policies, make_scheduler
 from repro.simulator.engine import run_policy
 from repro.simulator.flows import clone_coflows
@@ -80,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=3,
                         help="repetitions per cell in --cells mode "
                              "(median is reported; default 3)")
+    parser.add_argument("--phases", action="store_true",
+                        help="report engine phase-timer breakdowns "
+                             "(lookout/advance/completions/events/"
+                             "schedule/apply) instead of cProfile; "
+                             "composes with --cells")
     return parser
 
 
@@ -100,8 +114,21 @@ def profile_one(policy: str, coflows, fabric, config: SimulationConfig,
     stats.sort_stats(sort).print_stats(top)
 
 
+def profile_phases_one(policy: str, coflows, fabric,
+                       config: SimulationConfig) -> None:
+    """One policy run under phase timers (no cProfile overhead)."""
+    timers = PhaseTimers()
+    result = run_policy(
+        make_scheduler(policy, config), clone_coflows(coflows), fabric,
+        config, timers=timers,
+    )
+    print(f"\n=== {policy}: {len(result.coflows)} coflows, "
+          f"{result.reschedules} reschedules ===")
+    print(timers.report())
+
+
 def profile_cells(config: SimulationConfig, scale: ExperimentScale,
-                  seed: int, runs: int) -> None:
+                  seed: int, runs: int, phases: bool = False) -> None:
     """Time every (trace x policy) Fig. 9 cell, slowest first.
 
     Uses wall-clock medians rather than cProfile (profiler overhead skews
@@ -110,7 +137,7 @@ def profile_cells(config: SimulationConfig, scale: ExperimentScale,
     """
     from repro import _fastcore
 
-    cells: list[tuple[str, str, float, int]] = []
+    cells: list[tuple[str, str, float, int, "PhaseTimers | None"]] = []
     for trace, spec_for in (("fb-like", fb_spec_for), ("osp-like", osp_spec_for)):
         spec = spec_for(scale)
         fabric = spec.make_fabric()
@@ -121,26 +148,34 @@ def profile_cells(config: SimulationConfig, scale: ExperimentScale,
         for policy in FIG9_POLICIES:
             walls = []
             reschedules = 0
+            merged = PhaseTimers() if phases else None
             for _ in range(runs):
+                timers = PhaseTimers() if phases else None
                 start = time.perf_counter()
                 result = run_policy(
                     make_scheduler(policy, config), clone_coflows(coflows),
-                    fabric, config,
+                    fabric, config, timers=timers,
                 )
                 walls.append(time.perf_counter() - start)
                 reschedules = result.reschedules
+                if merged is not None:
+                    merged.merge(timers)
             cells.append((trace, policy,
-                          statistics.median(walls), reschedules))
+                          statistics.median(walls), reschedules, merged))
     cells.sort(key=lambda c: c[2], reverse=True)
     total = sum(c[2] for c in cells)
     active = config.fastcore and _fastcore.AVAILABLE
     print(f"\nFig. 9 cells, slowest first (median of {runs}, "
           f"fastcore={'on' if active else 'off'}):")
     print(f"{'cell':<24} {'median_s':>9} {'share':>7} {'reschedules':>12}")
-    for trace, policy, wall, reschedules in cells:
+    for trace, policy, wall, reschedules, _ in cells:
         print(f"{trace + '/' + policy:<24} {wall:>9.3f} "
               f"{wall / total:>6.1%} {reschedules:>12}")
     print(f"{'total':<24} {total:>9.3f}")
+    if phases:
+        for trace, policy, _, _, merged in cells:
+            print(f"\n-- {trace}/{policy} phases (all {runs} run(s)) --")
+            print(merged.report())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -153,7 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         fastcore=not args.no_fastcore,
     )
     if args.cells:
-        profile_cells(config, scale, args.seed, max(1, args.runs))
+        profile_cells(config, scale, args.seed, max(1, args.runs),
+                      phases=args.phases)
         return 0
     spec = (fb_spec_for(scale) if args.trace == "fb-like"
             else osp_spec_for(scale))
@@ -165,8 +201,11 @@ def main(argv: list[str] | None = None) -> int:
           f"incremental={config.incremental} fastcore={config.fastcore}")
     policies = FIG9_POLICIES if args.all else (args.policy,)
     for policy in policies:
-        profile_one(policy, coflows, fabric, config,
-                    sort=args.sort, top=args.top)
+        if args.phases:
+            profile_phases_one(policy, coflows, fabric, config)
+        else:
+            profile_one(policy, coflows, fabric, config,
+                        sort=args.sort, top=args.top)
     return 0
 
 
